@@ -1,0 +1,101 @@
+// Command tero runs the complete Tero system against a simulated streaming
+// platform: it generates a synthetic world, serves it over HTTP (developer
+// API + thumbnail CDN + social profiles), drives the download module,
+// image-processing, location and data-analysis modules, and prints volume,
+// coverage and per-location latency summaries.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"tero/internal/core"
+	"tero/internal/pipeline"
+	"tero/internal/stats"
+	"tero/internal/twitchsim"
+	"tero/internal/worldsim"
+)
+
+func main() {
+	var (
+		seed      = flag.Int64("seed", 1, "world seed")
+		streamers = flag.Int("streamers", 300, "synthetic streamer population")
+		days      = flag.Int("days", 2, "observation days (virtual)")
+		workers   = flag.Int("downloaders", 4, "parallel downloaders")
+	)
+	flag.Parse()
+
+	cfg := worldsim.DefaultConfig(*seed)
+	cfg.Streamers = *streamers
+	cfg.Days = *days
+	cfg.LocatableFrac = 0.6
+	fmt.Printf("generating world: %d streamers, %d days (seed %d)...\n",
+		cfg.Streamers, cfg.Days, cfg.Seed)
+	world := worldsim.New(cfg)
+
+	platform := twitchsim.New(world)
+	defer platform.Close()
+	fmt.Printf("platform serving at %s\n", platform.URL())
+
+	p := pipeline.New(platform.URL(), *workers)
+	totalTicks := cfg.Days * 24 * 30
+	start := time.Now()
+	for i := 0; i < totalTicks; i++ {
+		if err := p.Tick(platform.Now(), i%3 == 0); err != nil {
+			fmt.Fprintf(os.Stderr, "pipeline: %v\n", err)
+			os.Exit(1)
+		}
+		if i%200 == 0 {
+			p.ProcessThumbnails()
+		}
+		if i%(totalTicks/10+1) == 0 {
+			fmt.Printf("  virtual %s — %d thumbnails, %d measurements\n",
+				platform.Now().Format("Jan 2 15:04"), p.Processed, p.Extracted)
+		}
+		platform.Advance(2 * time.Minute)
+	}
+	p.ProcessThumbnails()
+	p.LocateStreamers(platform.Now())
+	fmt.Printf("pipeline done in %s\n\n", time.Since(start).Round(time.Millisecond))
+
+	fmt.Printf("thumbnails processed:  %d\n", p.Processed)
+	fmt.Printf("measurements:          %d (missed %d, lobby zeros %d)\n",
+		p.Extracted, p.Missed, p.Zero)
+	fmt.Printf("streamers located:     %d (unlocatable %d)\n\n", p.Located, p.Unlocated)
+
+	analyses := p.Analyze(core.DefaultParams())
+	groups := core.GroupByLocation(analyses)
+
+	type row struct {
+		name string
+		n    int
+		box  stats.Boxplot
+	}
+	var rows []row
+	for key, as := range groups {
+		if key.Loc.IsZero() {
+			continue
+		}
+		dist := core.Distribution(as, core.DefaultParams())
+		if len(dist) < 12 {
+			continue
+		}
+		rows = append(rows, row{
+			name: fmt.Sprintf("%s / %s", key.Loc, key.Game),
+			n:    len(dist),
+			box:  stats.NewBoxplot(dist),
+		})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].box.P50 < rows[j].box.P50 })
+	fmt.Println("latency distributions per {location, game} (≥12 measurements):")
+	for _, r := range rows {
+		fmt.Printf("  %-55s n=%-5d p5=%5.0f p25=%5.0f p50=%5.0f p75=%5.0f p95=%5.0f\n",
+			r.name, r.n, r.box.P5, r.box.P25, r.box.P50, r.box.P75, r.box.P95)
+	}
+	if len(rows) == 0 {
+		fmt.Println("  (none with enough data; increase -streamers or -days)")
+	}
+}

@@ -1,0 +1,62 @@
+// Command teroexp regenerates the paper's tables and figures over the
+// synthetic world. Each experiment prints one or more aligned text tables;
+// DESIGN.md maps experiment IDs to the paper's artifacts.
+//
+// Usage:
+//
+//	teroexp -list
+//	teroexp [-seed N] [-scale F] <experiment-id> [<experiment-id>...]
+//	teroexp all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"tero/internal/experiments"
+)
+
+func main() {
+	var (
+		list  = flag.Bool("list", false, "list available experiments")
+		seed  = flag.Int64("seed", 1, "world seed")
+		scale = flag.Float64("scale", 1, "workload scale factor (1 = default size)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.List() {
+			fmt.Printf("  %-8s %s\n", e[0], e[1])
+		}
+		return
+	}
+	args := flag.Args()
+	if len(args) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: teroexp [-seed N] [-scale F] <experiment-id>... | all | -list")
+		os.Exit(2)
+	}
+	if len(args) == 1 && args[0] == "all" {
+		args = nil
+		for _, e := range experiments.List() {
+			args = append(args, e[0])
+		}
+	}
+	opts := experiments.Options{Seed: *seed, Scale: *scale}
+	exit := 0
+	for _, id := range args {
+		start := time.Now()
+		tables, err := experiments.Run(id, opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
+			exit = 1
+			continue
+		}
+		for _, t := range tables {
+			fmt.Println(t)
+		}
+		fmt.Printf("[%s completed in %s]\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+	os.Exit(exit)
+}

@@ -1,0 +1,138 @@
+// Anomaly trace: visualize how the data-analysis module (§3.3) carves one
+// streamer's latency series into stable and unstable segments and flags
+// glitches and spikes — an ASCII rendition of the paper's Fig. 1.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+
+	"tero/internal/core"
+	"tero/internal/geo"
+)
+
+func main() {
+	t0 := time.Date(2022, 6, 1, 18, 0, 0, 0, time.UTC)
+	// A hand-crafted stream: stable 45ms play, a digit-drop glitch (45→5),
+	// a genuine two-step congestion spike, and a server change to ~110ms.
+	values := []float64{
+		45, 46, 45, 44, 45, 46, 45, 45, // stable at 45
+		5, 6, // glitch: leading digit eaten by a menu
+		45, 44, 46, 45, 45, 46, // stable again
+		95, 120, 118, 96, // spike: congestion
+		45, 46, 45, 44, 45, 46, 45, 44, // recovery
+		110, 111, 109, 112, 110, 111, 110, 109, 112, 110, // server change
+	}
+	st := core.Stream{
+		Streamer: "demo", Game: "League of Legends",
+		Location: geo.Location{Country: "United Kingdom"},
+	}
+	rng := rand.New(rand.NewSource(1))
+	for i, v := range values {
+		pt := core.Point{T: t0.Add(time.Duration(i) * 5 * time.Minute), Ms: v}
+		// The glitched points carry the correct alternative value from the
+		// disagreeing third OCR engine (§3.2).
+		if v < 10 {
+			pt.Alt, pt.HasAlt = 45+rng.Float64(), true
+		}
+		st.Points = append(st.Points, pt)
+	}
+
+	a := core.Analyze([]core.Stream{st}, core.DefaultParams())
+
+	fmt.Println("latency series (one column per 5-minute thumbnail):")
+	plot(a)
+
+	fmt.Println("\nsegments:")
+	for _, s := range a.Segments {
+		stability := "unstable"
+		if s.Stable {
+			stability = "stable"
+		}
+		fmt.Printf("  points %2d-%2d  [%3.0f-%3.0f ms]  %-8s  flag=%s\n",
+			s.Start, s.End-1, s.Min, s.Max, stability, s.Flag)
+	}
+	fmt.Println("\nevents:")
+	for _, g := range a.Glitches {
+		fmt.Printf("  glitch: %d point(s), dropped %.0f ms below the stable level\n", g.Points, g.Drop)
+	}
+	for _, sp := range a.Spikes {
+		fmt.Printf("  spike:  %d point(s), %.0f ms above the stable level\n", sp.Points, sp.Size)
+	}
+	fmt.Println("\nclusters (per-streamer, §3.3.3):")
+	for _, c := range a.Clusters {
+		fmt.Printf("  [%3.0f-%3.0f ms] weight %.0f%%\n", c.Min, c.Max, 100*c.Weight)
+	}
+	fmt.Printf("\nstatic=%v  high-quality=%v  kept %d/%d points\n",
+		a.Static, a.HighQuality, a.KeptPoints, a.TotalPoints)
+	changes := core.DetectEndpointChanges(a, a.Clusters)
+	for _, ch := range changes {
+		kind := "possible location change"
+		if ch.IsServerChange() {
+			kind = "server change"
+		}
+		fmt.Printf("endpoint change at %s: cluster %d -> %d (%s)\n",
+			ch.Time.Format("15:04"), ch.From, ch.To, kind)
+	}
+}
+
+// plot renders the series with segment flags as a compact ASCII chart.
+func plot(a *core.Analysis) {
+	pts := a.Streams[0].Points
+	maxV := 0.0
+	for _, p := range pts {
+		if p.Ms > maxV {
+			maxV = p.Ms
+		}
+	}
+	const rows = 12
+	grid := make([][]rune, rows)
+	for r := range grid {
+		grid[r] = []rune(strings.Repeat(" ", len(pts)))
+	}
+	for i, p := range pts {
+		r := rows - 1 - int(p.Ms/maxV*float64(rows-1))
+		grid[r][i] = glyphFor(a, i)
+	}
+	for r, row := range grid {
+		label := ""
+		if r == 0 {
+			label = fmt.Sprintf("%3.0f ms", maxV)
+		} else if r == rows-1 {
+			label = "  0 ms"
+		} else {
+			label = "      "
+		}
+		fmt.Printf("%s |%s|\n", label, string(row))
+	}
+	fmt.Println("        legend: o stable · u unstable-kept  x discarded  G glitch  S spike  C corrected")
+}
+
+// glyphFor picks the plot glyph from the point's segment flag.
+func glyphFor(a *core.Analysis, idx int) rune {
+	for _, s := range a.Segments {
+		if idx < s.Start || idx >= s.End {
+			continue
+		}
+		switch s.Flag {
+		case core.FlagGlitch:
+			return 'G'
+		case core.FlagSpike:
+			return 'S'
+		case core.FlagCorrected:
+			return 'C'
+		case core.FlagDiscarded:
+			return 'x'
+		case core.FlagAbsorbed:
+			return 'u'
+		default:
+			if s.Stable {
+				return 'o'
+			}
+			return 'u'
+		}
+	}
+	return '?'
+}

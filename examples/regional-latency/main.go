@@ -1,0 +1,89 @@
+// Regional latency: reproduce the paper's headline analysis (Figs. 9-11) —
+// latency distributions per location for League of Legends, including the
+// same-doughnut disparities around the Chicago server.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"tero/internal/core"
+	"tero/internal/games"
+	"tero/internal/geo"
+	"tero/internal/stats"
+	"tero/internal/worldsim"
+)
+
+func main() {
+	// Pin 50 LoL streamers to each location of interest.
+	locations := []worldsim.PlaceAlloc{
+		{PlaceName: "District of Columbia", Country: "United States", Count: 50, GameSlug: "lol"},
+		{PlaceName: "Missouri", Country: "United States", Count: 50, GameSlug: "lol"},
+		{PlaceName: "Ontario", Country: "Canada", Count: 50, GameSlug: "lol"},
+		{PlaceName: "Minnesota", Country: "United States", Count: 50, GameSlug: "lol"},
+		{PlaceName: "North Carolina", Country: "United States", Count: 50, GameSlug: "lol"},
+		{PlaceName: "Switzerland", Count: 50, GameSlug: "lol"},
+		{PlaceName: "Poland", Count: 50, GameSlug: "lol"},
+		{PlaceName: "South Korea", Count: 50, GameSlug: "lol"},
+		{PlaceName: "Hawaii", Country: "United States", Count: 50, GameSlug: "lol"},
+	}
+	cfg := worldsim.DefaultConfig(7)
+	cfg.Streamers = 0
+	world := worldsim.NewCustom(cfg, locations)
+
+	lol := games.ByName("lol")
+	params := core.DefaultParams()
+	obs := worldsim.DefaultObservation()
+	rng := rand.New(rand.NewSource(99))
+
+	// Analyze per streamer, group by location.
+	byLoc := map[string][]*core.Analysis{}
+	places := map[string]*geo.Place{}
+	for _, st := range world.Streamers {
+		var streams []core.Stream
+		for _, gs := range world.Sessions(st) {
+			if gs.Game == lol {
+				streams = append(streams, gs.ToStream(obs, rng))
+			}
+		}
+		if len(streams) == 0 {
+			continue
+		}
+		key := st.Place.Location().String()
+		byLoc[key] = append(byLoc[key], core.Analyze(streams, params))
+		places[key] = st.Place
+	}
+
+	type row struct {
+		name   string
+		server string
+		km     float64
+		box    stats.Boxplot
+	}
+	var rows []row
+	gaz := world.Gaz
+	for key, as := range byLoc {
+		dist := core.Distribution(as, params)
+		if len(dist) == 0 {
+			continue
+		}
+		srv := lol.PrimaryServer(places[key], gaz)
+		sp := lol.ServerPlace(srv, gaz)
+		rows = append(rows, row{
+			name:   key,
+			server: sp.Name,
+			km:     geo.CorrectedDistanceKM(places[key], sp),
+			box:    stats.NewBoxplot(dist),
+		})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].box.P50 < rows[j].box.P50 })
+
+	fmt.Println("League-of-Legends latency per location (50 streamers each):")
+	fmt.Printf("%-40s %-14s %9s  %5s %5s %5s\n", "location", "server", "dist [km]", "p25", "p50", "p75")
+	for _, r := range rows {
+		fmt.Printf("%-40s %-14s %9.0f  %5.0f %5.0f %5.0f\n",
+			r.name, r.server, r.km, r.box.P25, r.box.P50, r.box.P75)
+	}
+	fmt.Println("\nnote the same-doughnut disparity: DC vs Missouri at similar distance from Chicago.")
+}

@@ -1,0 +1,3 @@
+module tero
+
+go 1.22

@@ -1,0 +1,280 @@
+// Package anomaly implements the unsupervised anomaly-detection baselines
+// the paper compares Tero's QoE-based technique against (App. J): Local
+// Outlier Factor (distance-based), Isolation Forest (isolation-based) and
+// Minimum Covariance Determinant (distribution-based), plus the PELT
+// changepoint-detection algorithm the authors tried and abandoned (§3.3.2).
+//
+// All detectors operate on a one-dimensional latency series and return a
+// boolean mask marking anomalous points.
+package anomaly
+
+import (
+	"math"
+	"sort"
+)
+
+// Detector flags anomalous points in a latency series.
+type Detector interface {
+	Name() string
+	// Detect returns a mask with true at anomalous points. The mask has
+	// the same length as values.
+	Detect(values []float64) []bool
+}
+
+// SplitByMean divides detected anomalies into spike-like (above the series
+// mean) and glitch-like (below), as App. J does: "anomaly detection has no
+// intrinsic concept of spikes or glitches, we simply divide all anomalies
+// across the mean".
+func SplitByMean(values []float64, mask []bool) (spikes, glitches []bool) {
+	mean := 0.0
+	for _, v := range values {
+		mean += v
+	}
+	if len(values) > 0 {
+		mean /= float64(len(values))
+	}
+	spikes = make([]bool, len(values))
+	glitches = make([]bool, len(values))
+	for i, m := range mask {
+		if !m {
+			continue
+		}
+		if values[i] >= mean {
+			spikes[i] = true
+		} else {
+			glitches[i] = true
+		}
+	}
+	return spikes, glitches
+}
+
+// --- Local Outlier Factor -------------------------------------------------
+
+// LOF is the distance-based detector of Breunig et al. applied to the
+// latency dimension. K controls how many neighbours must look similar for a
+// point to be considered normal (App. J).
+type LOF struct {
+	K int
+	// Threshold on the LOF score above which a point is anomalous
+	// (scores near 1 indicate inliers; 1.5 is a common cut-off).
+	Threshold float64
+}
+
+// Name implements Detector.
+func (l *LOF) Name() string { return "LOF" }
+
+// Detect implements Detector.
+func (l *LOF) Detect(values []float64) []bool {
+	n := len(values)
+	mask := make([]bool, n)
+	k := l.K
+	if k < 1 {
+		k = 5
+	}
+	if n <= k {
+		return mask
+	}
+	thr := l.Threshold
+	if thr <= 0 {
+		thr = 1.5
+	}
+	// Sort once; neighbours in 1-D are adjacent in sorted order.
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return values[idx[a]] < values[idx[b]] })
+	pos := make([]int, n) // original index -> sorted rank
+	for r, i := range idx {
+		pos[i] = r
+	}
+	sorted := make([]float64, n)
+	for r, i := range idx {
+		sorted[r] = values[i]
+	}
+
+	// kDist[r] and neighbours of each rank via two-pointer window.
+	kNeighbors := func(r int) []int {
+		lo, hi := r, r
+		out := make([]int, 0, k)
+		for len(out) < k {
+			left := math.Inf(1)
+			right := math.Inf(1)
+			if lo-1 >= 0 {
+				left = sorted[r] - sorted[lo-1]
+			}
+			if hi+1 < n {
+				right = sorted[hi+1] - sorted[r]
+			}
+			if left <= right {
+				if math.IsInf(left, 1) {
+					break
+				}
+				lo--
+				out = append(out, lo)
+			} else {
+				if math.IsInf(right, 1) {
+					break
+				}
+				hi++
+				out = append(out, hi)
+			}
+		}
+		return out
+	}
+	kDist := make([]float64, n)
+	neigh := make([][]int, n)
+	for r := 0; r < n; r++ {
+		ns := kNeighbors(r)
+		neigh[r] = ns
+		d := 0.0
+		for _, o := range ns {
+			if dd := math.Abs(sorted[r] - sorted[o]); dd > d {
+				d = dd
+			}
+		}
+		kDist[r] = d
+	}
+	// Local reachability density.
+	lrd := make([]float64, n)
+	for r := 0; r < n; r++ {
+		sum := 0.0
+		for _, o := range neigh[r] {
+			reach := math.Abs(sorted[r] - sorted[o])
+			if kDist[o] > reach {
+				reach = kDist[o]
+			}
+			sum += reach
+		}
+		if sum == 0 {
+			lrd[r] = math.Inf(1)
+		} else {
+			lrd[r] = float64(len(neigh[r])) / sum
+		}
+	}
+	// LOF score.
+	for r := 0; r < n; r++ {
+		if len(neigh[r]) == 0 {
+			continue
+		}
+		if math.IsInf(lrd[r], 1) {
+			continue // dense duplicate cluster: inlier
+		}
+		sum := 0.0
+		for _, o := range neigh[r] {
+			if math.IsInf(lrd[o], 1) {
+				sum += 1e9 // neighbours infinitely denser
+			} else {
+				sum += lrd[o] / lrd[r]
+			}
+		}
+		score := sum / float64(len(neigh[r]))
+		if score > thr {
+			mask[idx[r]] = true
+		}
+	}
+	return mask
+}
+
+// normalQuantile is a compact inverse-normal-CDF (Acklam's approximation),
+// sufficient for the MCD consistency factor.
+func normalQuantile(p float64) float64 {
+	if p <= 0 || p >= 1 {
+		return 0
+	}
+	// Bisection on Erfc is plenty here and avoids duplicating coefficients.
+	lo, hi := -10.0, 10.0
+	for i := 0; i < 80; i++ {
+		mid := (lo + hi) / 2
+		if 0.5*math.Erfc(-mid/math.Sqrt2) < p {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// --- Minimum Covariance Determinant ---------------------------------------
+
+// MCD is the distribution-based detector of Rousseeuw & Van Driessen: it
+// fits a robust mean/variance on the least-scattered half of the data and
+// flags the `Contamination` fraction with the largest robust distances
+// (App. J tries contamination in [0.01, 0.5]).
+type MCD struct {
+	Contamination float64
+}
+
+// Name implements Detector.
+func (m *MCD) Name() string { return "MCD" }
+
+// Detect implements Detector.
+func (m *MCD) Detect(values []float64) []bool {
+	n := len(values)
+	mask := make([]bool, n)
+	if n < 4 {
+		return mask
+	}
+	cont := m.Contamination
+	if cont <= 0 || cont >= 1 {
+		cont = 0.1
+	}
+	// Exact 1-D MCD: the size-h window of sorted values with minimal
+	// variance.
+	h := (n + 2) / 2
+	sorted := append([]float64(nil), values...)
+	sort.Float64s(sorted)
+	prefix := make([]float64, n+1)
+	prefix2 := make([]float64, n+1)
+	for i, v := range sorted {
+		prefix[i+1] = prefix[i] + v
+		prefix2[i+1] = prefix2[i] + v*v
+	}
+	bestVar := math.Inf(1)
+	bestMean := 0.0
+	for s := 0; s+h <= n; s++ {
+		sum := prefix[s+h] - prefix[s]
+		sum2 := prefix2[s+h] - prefix2[s]
+		mean := sum / float64(h)
+		variance := sum2/float64(h) - mean*mean
+		if variance < bestVar {
+			bestVar = variance
+			bestMean = mean
+		}
+	}
+	// Consistency correction: the variance of the tightest half-sample
+	// underestimates the true variance. For Gaussian data and coverage
+	// fraction a = h/n, the raw estimate converges to
+	// σ²·(1 − 2qφ(q)/(2Φ(q)−1)) with q = Φ⁻¹((1+a)/2); divide it out.
+	a := float64(h) / float64(n)
+	q := normalQuantile((1 + a) / 2)
+	phi := math.Exp(-q*q/2) / math.Sqrt(2*math.Pi)
+	Phi := 0.5 * math.Erfc(-q/math.Sqrt2)
+	shrink := 1 - 2*q*phi/(2*Phi-1)
+	if shrink > 1e-6 {
+		bestVar /= shrink
+	}
+	if bestVar <= 0 {
+		bestVar = 1e-9
+	}
+	// Robust squared distances; flag the top contamination fraction, but
+	// only points that are actually far (distance > chi2-ish cut of 3σ).
+	type scored struct {
+		i int
+		d float64
+	}
+	ds := make([]scored, n)
+	for i, v := range values {
+		d := (v - bestMean) * (v - bestMean) / bestVar
+		ds[i] = scored{i, d}
+	}
+	sort.Slice(ds, func(a, b int) bool { return ds[a].d > ds[b].d })
+	limit := int(math.Ceil(cont * float64(n)))
+	for r := 0; r < limit && r < n; r++ {
+		if ds[r].d < 9 { // within 3 robust sigmas: not anomalous
+			break
+		}
+		mask[ds[r].i] = true
+	}
+	return mask
+}

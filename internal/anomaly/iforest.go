@@ -1,0 +1,168 @@
+package anomaly
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// IForest is the isolation-based detector of Liu et al.: points that random
+// axis-parallel splits isolate quickly are anomalous. Instead of a fixed
+// contamination threshold (which App. J found to produce many false
+// anomalies), the score cut-off is the Tukey outlier fence over the scores
+// with parameter KIQR (App. J varies it from 0.5 to 2.0).
+type IForest struct {
+	Trees      int
+	SampleSize int
+	// KIQR is the inter-quartile-range multiplier for the score cut-off.
+	KIQR float64
+	// Seed makes the forest deterministic.
+	Seed int64
+}
+
+// Name implements Detector.
+func (f *IForest) Name() string { return "iForests" }
+
+// iNode is one node of an isolation tree over 1-D values.
+type iNode struct {
+	split       float64
+	left, right *iNode
+	size        int // leaf size
+}
+
+// c is the average path length of an unsuccessful BST search (standard
+// isolation-forest normalization term).
+func c(n int) float64 {
+	if n <= 1 {
+		return 0
+	}
+	h := math.Log(float64(n-1)) + 0.5772156649
+	return 2*h - 2*float64(n-1)/float64(n)
+}
+
+func buildTree(vals []float64, depth, maxDepth int, r *rand.Rand) *iNode {
+	if len(vals) <= 1 || depth >= maxDepth {
+		return &iNode{size: len(vals)}
+	}
+	lo, hi := vals[0], vals[0]
+	for _, v := range vals {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if hi == lo {
+		return &iNode{size: len(vals)}
+	}
+	split := lo + r.Float64()*(hi-lo)
+	var left, right []float64
+	for _, v := range vals {
+		if v < split {
+			left = append(left, v)
+		} else {
+			right = append(right, v)
+		}
+	}
+	return &iNode{
+		split: split,
+		left:  buildTree(left, depth+1, maxDepth, r),
+		right: buildTree(right, depth+1, maxDepth, r),
+	}
+}
+
+func pathLength(node *iNode, v float64, depth int) float64 {
+	if node.left == nil {
+		return float64(depth) + c(node.size)
+	}
+	if v < node.split {
+		return pathLength(node.left, v, depth+1)
+	}
+	return pathLength(node.right, v, depth+1)
+}
+
+// Scores returns the anomaly score in [0, 1] for each point (higher is more
+// anomalous).
+func (f *IForest) Scores(values []float64) []float64 {
+	n := len(values)
+	out := make([]float64, n)
+	if n == 0 {
+		return out
+	}
+	trees := f.Trees
+	if trees <= 0 {
+		trees = 100
+	}
+	sample := f.SampleSize
+	if sample <= 0 || sample > n {
+		sample = 256
+		if sample > n {
+			sample = n
+		}
+	}
+	r := rand.New(rand.NewSource(f.Seed + 1))
+	maxDepth := int(math.Ceil(math.Log2(float64(sample)))) + 1
+	forest := make([]*iNode, trees)
+	buf := make([]float64, sample)
+	for t := 0; t < trees; t++ {
+		for i := range buf {
+			buf[i] = values[r.Intn(n)]
+		}
+		forest[t] = buildTree(buf, 0, maxDepth, r)
+	}
+	cn := c(sample)
+	if cn == 0 {
+		cn = 1
+	}
+	for i, v := range values {
+		sum := 0.0
+		for _, tree := range forest {
+			sum += pathLength(tree, v, 0)
+		}
+		mean := sum / float64(trees)
+		out[i] = math.Pow(2, -mean/cn)
+	}
+	return out
+}
+
+// Detect implements Detector: scores above the Tukey fence
+// Q3 + KIQR*(Q3-Q1) are anomalies.
+func (f *IForest) Detect(values []float64) []bool {
+	n := len(values)
+	mask := make([]bool, n)
+	if n < 4 {
+		return mask
+	}
+	scores := f.Scores(values)
+	sortedScores := append([]float64(nil), scores...)
+	sort.Float64s(sortedScores)
+	q1 := quantileSorted(sortedScores, 0.25)
+	q3 := quantileSorted(sortedScores, 0.75)
+	k := f.KIQR
+	if k <= 0 {
+		k = 1.5
+	}
+	fence := q3 + k*(q3-q1)
+	for i, s := range scores {
+		if s > fence {
+			mask[i] = true
+		}
+	}
+	return mask
+}
+
+func quantileSorted(sorted []float64, q float64) float64 {
+	n := len(sorted)
+	if n == 0 {
+		return 0
+	}
+	rank := q * float64(n-1)
+	lo := int(rank)
+	hi := lo + 1
+	if hi >= n {
+		return sorted[n-1]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}

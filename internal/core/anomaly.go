@@ -1,0 +1,245 @@
+package core
+
+// detectGlitches flags unstable segments whose maximum latency is lower by
+// at least LatGap than the minimum latency of the two closest stable
+// segments on each side (Fig. 1a). Glitches are typically digit-drop
+// image-processing errors.
+func detectGlitches(segs []Segment, p Params) {
+	for i := range segs {
+		s := &segs[i]
+		if s.Stable || s.Flag != FlagNone {
+			continue
+		}
+		l, r := closestStable(segs, i)
+		if l < 0 || r < 0 {
+			continue
+		}
+		neighborMin := segs[l].Min
+		if segs[r].Min < neighborMin {
+			neighborMin = segs[r].Min
+		}
+		if s.Max <= neighborMin-p.LatGap {
+			s.Flag = FlagGlitch
+		}
+	}
+}
+
+// detectSpikes implements the iterative spike detection of §3.3.2:
+// iteration 1 flags unstable segments whose minimum exceeds both stable
+// neighbors' maxima by LatGap; later iterations flag unstable segments that
+// exceed one stable neighbor while their other adjacent segment was already
+// flagged as a spike. Iterations repeat until fixpoint.
+func detectSpikes(segs []Segment, p Params) {
+	// Iteration 1: both stable neighbors.
+	for i := range segs {
+		s := &segs[i]
+		if s.Stable || s.Flag != FlagNone {
+			continue
+		}
+		l, r := closestStable(segs, i)
+		if l < 0 || r < 0 {
+			continue
+		}
+		neighborMax := segs[l].Max
+		if segs[r].Max > neighborMax {
+			neighborMax = segs[r].Max
+		}
+		if s.Min >= neighborMax+p.LatGap {
+			s.Flag = FlagSpike
+		}
+	}
+	// Iterations 2+: one stable neighbor, the other side already a spike.
+	for changed := true; changed; {
+		changed = false
+		for i := range segs {
+			s := &segs[i]
+			if s.Stable || s.Flag != FlagNone {
+				continue
+			}
+			leftSpike := i > 0 && segs[i-1].Flag == FlagSpike
+			rightSpike := i+1 < len(segs) && segs[i+1].Flag == FlagSpike
+			if !leftSpike && !rightSpike {
+				continue
+			}
+			l, r := closestStable(segs, i)
+			exceeds := func(j int) bool {
+				return j >= 0 && s.Min >= segs[j].Max+p.LatGap
+			}
+			if (leftSpike && exceeds(r)) || (rightSpike && exceeds(l)) ||
+				(leftSpike && exceeds(l)) || (rightSpike && exceeds(r)) {
+				s.Flag = FlagSpike
+				changed = true
+			}
+		}
+	}
+}
+
+// cleanup revisits each unstable, unflagged segment (Fig. 1d): if its
+// measurements are within LatGap of the closest stable segment on either
+// side it is absorbed (left as-is); otherwise it is discarded, because a
+// segment that is neither a spike nor a spike-interrupted piece of a stable
+// segment is most likely the residue of a glitch.
+func cleanup(segs []Segment, p Params) {
+	for i := range segs {
+		s := &segs[i]
+		if s.Stable || s.Flag != FlagNone {
+			continue
+		}
+		l, r := closestStable(segs, i)
+		compatible := func(j int) bool {
+			if j < 0 {
+				return false
+			}
+			lo, hi := s.Min, s.Max
+			if segs[j].Min < lo {
+				lo = segs[j].Min
+			}
+			if segs[j].Max > hi {
+				hi = segs[j].Max
+			}
+			return hi-lo <= p.LatGap
+		}
+		if compatible(l) || compatible(r) {
+			s.Flag = FlagAbsorbed
+		} else {
+			s.Flag = FlagDiscarded
+		}
+	}
+}
+
+// correct tries to repair each glitch/spike segment by substituting the
+// alternative OCR values (§3.3.2 last paragraph). If every point has an
+// alternative and the corrected segment is compatible with a neighboring
+// stable segment, the substitution is applied and the segment kept;
+// otherwise the segment's points are discarded. The original flag is
+// recorded in the returned event lists regardless, because spikes remain
+// behavioural events even when their points are dropped.
+func correct(streams []Stream, segs []Segment, p Params) {
+	for i := range segs {
+		s := &segs[i]
+		if s.Flag != FlagGlitch && s.Flag != FlagSpike {
+			continue
+		}
+		pts := streams[s.StreamIdx].Points[s.Start:s.End]
+		allAlt := true
+		lo, hi := 0.0, 0.0
+		for k, pt := range pts {
+			if !pt.HasAlt {
+				allAlt = false
+				break
+			}
+			if k == 0 {
+				lo, hi = pt.Alt, pt.Alt
+				continue
+			}
+			if pt.Alt < lo {
+				lo = pt.Alt
+			}
+			if pt.Alt > hi {
+				hi = pt.Alt
+			}
+		}
+		if !allAlt || hi-lo > p.LatGap {
+			s.Flag = FlagDiscarded
+			continue
+		}
+		l, r := closestStable(segs, i)
+		compatible := func(j int) bool {
+			if j < 0 {
+				return false
+			}
+			clo, chi := lo, hi
+			if segs[j].Min < clo {
+				clo = segs[j].Min
+			}
+			if segs[j].Max > chi {
+				chi = segs[j].Max
+			}
+			return chi-clo <= p.LatGap
+		}
+		if !compatible(l) && !compatible(r) {
+			// Correction did not make the segment stable-compatible.
+			s.Flag = FlagDiscarded
+			continue
+		}
+		for k := range pts {
+			pts[k].Ms = pts[k].Alt
+		}
+		s.Min, s.Max = lo, hi
+		s.Flag = FlagCorrected
+	}
+}
+
+// collectEvents builds the Spike and Glitch event lists from flagged
+// segments, merging consecutive spike segments of the same stream into one
+// event (Fig. 1c). It must run after detection but the sizes are computed
+// against stable neighbors, so it runs before correction rewrites values.
+func collectEvents(streams []Stream, segs []Segment, p Params) ([]Spike, []Glitch) {
+	var spikes []Spike
+	var glitches []Glitch
+	streamer, game := "", ""
+	if len(streams) > 0 {
+		streamer, game = streams[0].Streamer, streams[0].Game
+	}
+	for i := 0; i < len(segs); i++ {
+		s := &segs[i]
+		switch s.Flag {
+		case FlagSpike:
+			// Merge the run of consecutive spike segments in this stream.
+			j := i
+			minLat := s.Min
+			points := 0
+			for j < len(segs) && segs[j].Flag == FlagSpike && segs[j].StreamIdx == s.StreamIdx {
+				if segs[j].Min < minLat {
+					minLat = segs[j].Min
+				}
+				points += segs[j].Len()
+				j++
+			}
+			lastSeg := &segs[j-1]
+			l, r := closestStable(segs, i)
+			base := 0.0
+			switch {
+			case l >= 0 && r >= 0:
+				base = segs[l].Max
+				if segs[r].Max > base {
+					base = segs[r].Max
+				}
+			case l >= 0:
+				base = segs[l].Max
+			case r >= 0:
+				base = segs[r].Max
+			}
+			size := minLat - base
+			st := streams[s.StreamIdx]
+			spikes = append(spikes, Spike{
+				Streamer: streamer, Game: game, Location: st.Location,
+				Start: st.Points[s.Start].T,
+				End:   streams[lastSeg.StreamIdx].Points[lastSeg.End-1].T,
+				Size:  size, Points: points, StreamIdx: s.StreamIdx,
+			})
+			i = j - 1
+		case FlagGlitch:
+			l, r := closestStable(segs, i)
+			base := 0.0
+			switch {
+			case l >= 0 && r >= 0:
+				base = segs[l].Min
+				if segs[r].Min < base {
+					base = segs[r].Min
+				}
+			case l >= 0:
+				base = segs[l].Min
+			case r >= 0:
+				base = segs[r].Min
+			}
+			st := streams[s.StreamIdx]
+			glitches = append(glitches, Glitch{
+				Streamer: streamer, Game: game,
+				Start: st.Points[s.Start].T, End: st.Points[s.End-1].T,
+				Drop: base - s.Max, Points: s.Len(),
+			})
+		}
+	}
+	return spikes, glitches
+}

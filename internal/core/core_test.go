@@ -1,0 +1,495 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"tero/internal/geo"
+)
+
+var t0 = time.Date(2022, 6, 1, 12, 0, 0, 0, time.UTC)
+
+// mkStream builds a stream with points 5 minutes apart starting at start.
+func mkStream(streamer, game string, start time.Time, values ...float64) Stream {
+	s := Stream{Streamer: streamer, Game: game,
+		Location: geo.Location{Region: "Illinois", Country: "United States"}}
+	for i, v := range values {
+		s.Points = append(s.Points, Point{T: start.Add(time.Duration(i) * 5 * time.Minute), Ms: v})
+	}
+	return s
+}
+
+// rep repeats value v n times.
+func rep(v float64, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = v
+	}
+	return out
+}
+
+func cat(parts ...[]float64) []float64 {
+	var out []float64
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	return out
+}
+
+func analyzeValues(t *testing.T, values []float64) *Analysis {
+	t.Helper()
+	st := mkStream("s1", "lol", t0, values...)
+	return Analyze([]Stream{st}, DefaultParams())
+}
+
+func TestSegmentation(t *testing.T) {
+	// 45,45,50 stays one segment (range 5 <= 15); jump to 80 splits.
+	segs := segmentStream(0, mkStream("s", "g", t0, 45, 45, 50, 80, 82).Points, DefaultParams())
+	if len(segs) != 2 {
+		t.Fatalf("segments = %d, want 2", len(segs))
+	}
+	if segs[0].Len() != 3 || segs[1].Len() != 2 {
+		t.Fatalf("segment lengths: %d, %d", segs[0].Len(), segs[1].Len())
+	}
+	if segs[0].Min != 45 || segs[0].Max != 50 {
+		t.Fatalf("segment range: [%v,%v]", segs[0].Min, segs[0].Max)
+	}
+}
+
+func TestSegmentStability(t *testing.T) {
+	p := DefaultParams() // StableLen 30min / 5min = 6 points
+	if p.stablePoints() != 6 {
+		t.Fatalf("stablePoints = %d, want 6", p.stablePoints())
+	}
+	segs := segmentStream(0, mkStream("s", "g", t0, cat(rep(45, 6), rep(90, 3))...).Points, p)
+	if !segs[0].Stable || segs[1].Stable {
+		t.Fatalf("stability: %v, %v", segs[0].Stable, segs[1].Stable)
+	}
+}
+
+func TestOnlyUnstableDiscarded(t *testing.T) {
+	// Latency bounces around: no stable segment, streamer dropped (§3.3.1).
+	a := analyzeValues(t, []float64{40, 80, 40, 80, 40, 80, 40, 80})
+	if !a.Discarded {
+		t.Fatal("streamer with only unstable segments must be discarded")
+	}
+	if a.KeptPoints != 0 {
+		t.Fatalf("kept = %d", a.KeptPoints)
+	}
+}
+
+func TestGlitchDetection(t *testing.T) {
+	// 45×8, then 5×2 (digit drop), then 45×8 — the 5s are a glitch (Fig. 1a).
+	a := analyzeValues(t, cat(rep(45, 8), rep(5, 2), rep(45, 8)))
+	if len(a.Glitches) != 1 {
+		t.Fatalf("glitches = %d, want 1", len(a.Glitches))
+	}
+	g := a.Glitches[0]
+	if g.Points != 2 {
+		t.Fatalf("glitch points = %d", g.Points)
+	}
+	if g.Drop != 40 {
+		t.Fatalf("glitch drop = %v, want 40", g.Drop)
+	}
+	if len(a.Spikes) != 0 {
+		t.Fatalf("spikes = %d, want 0", len(a.Spikes))
+	}
+	// Without alternatives the glitch points are discarded, not kept.
+	if a.KeptPoints != 16 {
+		t.Fatalf("kept = %d, want 16", a.KeptPoints)
+	}
+}
+
+func TestSpikeDetection(t *testing.T) {
+	// 45×8, spike to 120×2, back to 45×8 (Fig. 1b, iteration 1).
+	a := analyzeValues(t, cat(rep(45, 8), rep(120, 2), rep(45, 8)))
+	if len(a.Spikes) != 1 {
+		t.Fatalf("spikes = %d, want 1", len(a.Spikes))
+	}
+	sp := a.Spikes[0]
+	if sp.Size != 75 {
+		t.Fatalf("spike size = %v, want 75", sp.Size)
+	}
+	if sp.Points != 2 {
+		t.Fatalf("spike points = %d", sp.Points)
+	}
+}
+
+func TestSpikeIterativeDetection(t *testing.T) {
+	// A two-level spike: 45×8, 120×2, 90×2, 45×8. The 120s are flagged in
+	// iteration 1; the 90s only once their neighbor is a spike (iteration 2).
+	a := analyzeValues(t, cat(rep(45, 8), rep(120, 2), rep(90, 2), rep(45, 8)))
+	// Consecutive spikes merge into one event (Fig. 1c).
+	if len(a.Spikes) != 1 {
+		t.Fatalf("spikes = %d, want 1 merged", len(a.Spikes))
+	}
+	if a.Spikes[0].Points != 4 {
+		t.Fatalf("merged spike points = %d, want 4", a.Spikes[0].Points)
+	}
+	// Size is measured from the lowest point of the merged spike.
+	if a.Spikes[0].Size != 45 {
+		t.Fatalf("merged size = %v, want 45", a.Spikes[0].Size)
+	}
+}
+
+func TestCleanupAbsorbs(t *testing.T) {
+	// A stable run interrupted by a spike leaves a short unstable piece at
+	// the same level: absorbed, not discarded (green square, Fig. 1d).
+	vals := cat(rep(45, 8), rep(120, 2), rep(47, 3), rep(120, 2), rep(45, 8))
+	a := analyzeValues(t, vals)
+	absorbed := 0
+	for _, s := range a.Segments {
+		if s.Flag == FlagAbsorbed {
+			absorbed++
+		}
+	}
+	if absorbed != 1 {
+		t.Fatalf("absorbed = %d, want 1", absorbed)
+	}
+	// The 47s are kept.
+	if a.KeptPoints != 19 {
+		t.Fatalf("kept = %d, want 19", a.KeptPoints)
+	}
+}
+
+func TestCleanupDiscardsResidue(t *testing.T) {
+	// An unstable segment at a level unrelated to its stable neighbors:
+	// a 63 between a 45-stable and an 80-stable is neither a glitch nor a
+	// spike, and not within LatGap of either side — residue of a glitch,
+	// discarded (red cross, Fig. 1d).
+	vals := cat(rep(45, 8), []float64{63}, rep(80, 8))
+	a := analyzeValues(t, vals)
+	discarded := 0
+	for _, s := range a.Segments {
+		if s.Flag == FlagDiscarded {
+			discarded++
+		}
+	}
+	if discarded != 1 {
+		t.Fatalf("discarded = %d, want 1", discarded)
+	}
+	if len(a.Spikes) != 0 {
+		t.Fatal("59 over 45 with LatGap 15 must not be a spike")
+	}
+	if a.KeptPoints != 16 {
+		t.Fatalf("kept = %d", a.KeptPoints)
+	}
+}
+
+func TestCorrectionWithAlternatives(t *testing.T) {
+	// A glitch whose points carry alternatives equal to the true value is
+	// corrected and kept (§3.3.2, last paragraph).
+	st := mkStream("s1", "lol", t0, cat(rep(45, 8), rep(5, 2), rep(45, 8))...)
+	st.Points[8].Alt, st.Points[8].HasAlt = 45, true
+	st.Points[9].Alt, st.Points[9].HasAlt = 46, true
+	a := Analyze([]Stream{st}, DefaultParams())
+	if len(a.Glitches) != 1 {
+		t.Fatalf("glitches = %d", len(a.Glitches))
+	}
+	corrected := 0
+	for _, s := range a.Segments {
+		if s.Flag == FlagCorrected {
+			corrected++
+		}
+	}
+	if corrected != 1 {
+		t.Fatalf("corrected = %d, want 1", corrected)
+	}
+	if a.KeptPoints != 18 {
+		t.Fatalf("kept = %d, want all 18 after correction", a.KeptPoints)
+	}
+	// The corrected values replace the glitched ones.
+	if a.Streams[0].Points[8].Ms != 45 || a.Streams[0].Points[9].Ms != 46 {
+		t.Fatalf("points not corrected: %v, %v", a.Streams[0].Points[8].Ms, a.Streams[0].Points[9].Ms)
+	}
+}
+
+func TestCorrectionFailsWithIncompatibleAlt(t *testing.T) {
+	st := mkStream("s1", "lol", t0, cat(rep(45, 8), rep(5, 2), rep(45, 8))...)
+	st.Points[8].Alt, st.Points[8].HasAlt = 200, true // nonsense alternative
+	st.Points[9].Alt, st.Points[9].HasAlt = 200, true
+	a := Analyze([]Stream{st}, DefaultParams())
+	for _, s := range a.Segments {
+		if s.Flag == FlagCorrected {
+			t.Fatal("incompatible alternative must not correct")
+		}
+	}
+	if a.KeptPoints != 16 {
+		t.Fatalf("kept = %d, want 16", a.KeptPoints)
+	}
+}
+
+func TestHighQualityFilter(t *testing.T) {
+	// Mostly spikes: low quality.
+	vals := cat(rep(45, 6), rep(120, 4), rep(45, 1), rep(130, 4), rep(45, 6))
+	a := analyzeValues(t, vals)
+	if len(a.Spikes) == 0 {
+		t.Fatal("expected spikes")
+	}
+	clean := analyzeValues(t, rep(45, 20))
+	if !clean.HighQuality {
+		t.Fatal("clean streamer must be high quality")
+	}
+	if clean.SpikeFraction != 0 {
+		t.Fatalf("clean spike fraction = %v", clean.SpikeFraction)
+	}
+	if a.SpikeFraction <= clean.SpikeFraction {
+		t.Fatal("spiky streamer must have higher fraction")
+	}
+}
+
+func TestClustersAndStatic(t *testing.T) {
+	// One dominant level: one cluster, static.
+	a := analyzeValues(t, rep(45, 20))
+	if len(a.Clusters) != 1 {
+		t.Fatalf("clusters = %d", len(a.Clusters))
+	}
+	if !a.Static {
+		t.Fatal("single-cluster streamer must be static")
+	}
+	if w := a.Clusters[0].Weight; w != 1 {
+		t.Fatalf("weight = %v", w)
+	}
+
+	// Two levels far apart, balanced: two clusters, mobile.
+	two := Analyze([]Stream{
+		mkStream("s1", "lol", t0, rep(45, 10)...),
+		mkStream("s1", "lol", t0.Add(2*time.Hour), rep(110, 10)...),
+	}, DefaultParams())
+	if len(two.Clusters) != 2 {
+		t.Fatalf("clusters = %d, want 2", len(two.Clusters))
+	}
+	if two.Static {
+		t.Fatal("50/50 streamer must be mobile")
+	}
+}
+
+func TestClusterMergeWithinGap(t *testing.T) {
+	// Levels 45 and 52 are within LatGap: one cluster.
+	a := Analyze([]Stream{
+		mkStream("s1", "lol", t0, rep(45, 10)...),
+		mkStream("s1", "lol", t0.Add(2*time.Hour), rep(52, 10)...),
+	}, DefaultParams())
+	if len(a.Clusters) != 1 {
+		t.Fatalf("clusters = %d, want 1 (levels within LatGap)", len(a.Clusters))
+	}
+	if !a.Static {
+		t.Fatal("merged-cluster streamer must be static")
+	}
+}
+
+func TestEndpointChanges(t *testing.T) {
+	p := DefaultParams()
+	// Mid-stream change: 45×10 then 110×10 in ONE stream = server change.
+	serverChange := Analyze([]Stream{
+		mkStream("s1", "lol", t0, cat(rep(45, 10), rep(110, 10))...),
+	}, p)
+	// Build location clusters from two static streamers at each level.
+	var anchors []*Analysis
+	for i := 0; i < 3; i++ {
+		anchors = append(anchors,
+			Analyze([]Stream{mkStream("a", "lol", t0, rep(45, 20)...)}, p),
+			Analyze([]Stream{mkStream("b", "lol", t0, rep(110, 20)...)}, p))
+	}
+	locClusters := LocationClusters(anchors, p)
+	if len(locClusters) != 2 {
+		t.Fatalf("location clusters = %d, want 2", len(locClusters))
+	}
+
+	changes := DetectEndpointChanges(serverChange, locClusters)
+	if len(changes) != 1 {
+		t.Fatalf("changes = %d, want 1", len(changes))
+	}
+	if !changes[0].IsServerChange() {
+		t.Fatal("mid-stream change must be a server change")
+	}
+	if HasPossibleLocationChange(changes) {
+		t.Fatal("no location change expected")
+	}
+
+	// Across streams: possible location change.
+	locChange := Analyze([]Stream{
+		mkStream("s1", "lol", t0, rep(45, 10)...),
+		mkStream("s1", "lol", t0.Add(3*time.Hour), rep(110, 10)...),
+	}, p)
+	changes = DetectEndpointChanges(locChange, locClusters)
+	if len(changes) != 1 || changes[0].IsServerChange() {
+		t.Fatalf("expected one cross-stream change, got %+v", changes)
+	}
+	if !HasPossibleLocationChange(changes) {
+		t.Fatal("cross-stream change must be a possible location change")
+	}
+}
+
+func TestDistribution(t *testing.T) {
+	p := DefaultParams()
+	var analyses []*Analysis
+	// Five static streamers at ~50ms and two at 120ms (so the location has
+	// two clusters and endpoint changes are detectable).
+	for i := 0; i < 5; i++ {
+		analyses = append(analyses,
+			Analyze([]Stream{mkStream("s", "lol", t0, rep(50, 20)...)}, p))
+	}
+	for i := 0; i < 2; i++ {
+		analyses = append(analyses,
+			Analyze([]Stream{mkStream("h", "lol", t0, rep(120, 10)...)}, p))
+	}
+	// One mobile streamer split between 50 and 120 within one stream (a
+	// server change): only its measurements in the heaviest cluster count.
+	mobile := Analyze([]Stream{
+		mkStream("m", "lol", t0, cat(rep(50, 10), rep(120, 10))...),
+	}, p)
+	analyses = append(analyses, mobile)
+	// One streamer with a cross-stream (possible location) change: excluded.
+	mover := Analyze([]Stream{
+		mkStream("x", "lol", t0, rep(50, 10)...),
+		mkStream("x", "lol", t0.Add(3*time.Hour), rep(120, 10)...),
+	}, p)
+	analyses = append(analyses, mover)
+
+	dist := Distribution(analyses, p)
+	// 5×20 fifties + 2×10 one-twenties + mobile's 10 fifties = 130 points;
+	// the mover contributes nothing.
+	if len(dist) != 130 {
+		t.Fatalf("distribution size = %d, want 130", len(dist))
+	}
+	fifties, others := 0, 0
+	for _, v := range dist {
+		switch v {
+		case 50:
+			fifties++
+		case 120:
+			others++
+		default:
+			t.Fatalf("unexpected value %v in distribution", v)
+		}
+	}
+	if fifties != 110 || others != 20 {
+		t.Fatalf("fifties = %d, one-twenties = %d", fifties, others)
+	}
+}
+
+func TestSharedAnomalies(t *testing.T) {
+	p := DefaultParams()
+	cfg := DefaultSharedAnomalyConfig()
+	var analyses []*Analysis
+	// 12 streamers; all spike at the same instant (shared infrastructure
+	// problem), against a long clean baseline.
+	base := cat(rep(45, 30), rep(120, 2), rep(45, 30))
+	for i := 0; i < 12; i++ {
+		name := string(rune('a' + i))
+		analyses = append(analyses,
+			Analyze([]Stream{mkStream(name, "lol", t0, base...)}, p))
+	}
+	anoms := DetectAllSharedAnomalies(analyses, cfg)
+	if len(anoms) == 0 {
+		t.Fatal("coordinated spikes must form a shared anomaly")
+	}
+	if anoms[0].Affected < 12 {
+		t.Fatalf("affected = %d, want 12", anoms[0].Affected)
+	}
+
+	// Independent spikes at different times: no shared anomaly.
+	var indep []*Analysis
+	for i := 0; i < 12; i++ {
+		vals := cat(rep(45, 3+5*i), rep(120, 1), rep(45, 62-5*i))
+		name := string(rune('a' + i))
+		indep = append(indep, Analyze([]Stream{mkStream(name, "lol", t0, vals...)}, p))
+	}
+	anoms = DetectAllSharedAnomalies(indep, cfg)
+	if len(anoms) != 0 {
+		t.Fatalf("independent spikes flagged as shared: %d", len(anoms))
+	}
+}
+
+func TestAnalyzeEmptyAndNil(t *testing.T) {
+	a := Analyze(nil, DefaultParams())
+	if !a.Discarded {
+		t.Fatal("empty input must be discarded")
+	}
+	if Analyze([]Stream{{Streamer: "s", Game: "g"}}, DefaultParams()) == nil {
+		t.Fatal("empty stream should still produce an analysis")
+	}
+}
+
+func TestAnalyzeDoesNotMutateInput(t *testing.T) {
+	st := mkStream("s1", "lol", t0, cat(rep(45, 8), rep(5, 2), rep(45, 8))...)
+	st.Points[8].Alt, st.Points[8].HasAlt = 45, true
+	st.Points[9].Alt, st.Points[9].HasAlt = 45, true
+	orig := st.Points[8].Ms
+	Analyze([]Stream{st}, DefaultParams())
+	if st.Points[8].Ms != orig {
+		t.Fatal("Analyze mutated caller's points")
+	}
+}
+
+func TestGroupers(t *testing.T) {
+	p := DefaultParams()
+	a1 := Analyze([]Stream{mkStream("a", "lol", t0, rep(45, 10)...)}, p)
+	a2 := Analyze([]Stream{mkStream("b", "lol", t0, rep(45, 10)...)}, p)
+	byLoc := GroupByLocation([]*Analysis{a1, a2})
+	if len(byLoc) != 1 {
+		t.Fatalf("location groups = %d", len(byLoc))
+	}
+	byReg := GroupByRegion([]*Analysis{a1, a2})
+	for k := range byReg {
+		if k.Loc.City != "" {
+			t.Fatal("region key must not include city")
+		}
+	}
+}
+
+func TestRandomizedInvariants(t *testing.T) {
+	// Property-style: for random walks, every point ends in exactly one
+	// segment, flags are consistent, and kept + dropped == total.
+	r := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 40; trial++ {
+		n := 10 + r.Intn(80)
+		vals := make([]float64, n)
+		v := 40.0 + r.Float64()*40
+		for i := range vals {
+			if r.Float64() < 0.1 {
+				v = 40 + r.Float64()*120 // jump
+			}
+			vals[i] = v + r.Float64()*6
+		}
+		a := analyzeValues(t, vals)
+		covered := 0
+		for _, s := range a.Segments {
+			if s.Len() <= 0 {
+				t.Fatal("empty segment")
+			}
+			if s.Max-s.Min > DefaultParams().LatGap && s.Flag != FlagCorrected {
+				t.Fatalf("segment range %v exceeds LatGap", s.Max-s.Min)
+			}
+			covered += s.Len()
+		}
+		if covered != n {
+			t.Fatalf("segments cover %d of %d points", covered, n)
+		}
+		if a.Discarded {
+			continue
+		}
+		kept := 0
+		for i := range a.Segments {
+			if segmentKept(&a.Segments[i]) {
+				kept += a.Segments[i].Len()
+			}
+		}
+		if kept != a.KeptPoints {
+			t.Fatalf("KeptPoints %d != recount %d", a.KeptPoints, kept)
+		}
+		// Cluster weights sum to ~1.
+		sum := 0.0
+		for _, c := range a.Clusters {
+			sum += c.Weight
+			if c.Min > c.Max {
+				t.Fatal("inverted cluster")
+			}
+		}
+		if len(a.Clusters) > 0 && (sum < 0.999 || sum > 1.001) {
+			t.Fatalf("cluster weights sum %v", sum)
+		}
+	}
+}

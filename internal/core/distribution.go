@@ -1,0 +1,151 @@
+package core
+
+import (
+	"time"
+
+	"tero/internal/geo"
+)
+
+// LocationClusters merges the dominant cluster of every static,
+// high-quality streamer located at one {location, game} into the location's
+// similar-latency clusters (§3.3.3 step 3). Fig. 2 plots these clusters.
+func LocationClusters(analyses []*Analysis, p Params) []Cluster {
+	var ivs []interval
+	for _, a := range analyses {
+		if a.Discarded || !a.HighQuality || !a.Static {
+			continue
+		}
+		dom := a.DominantCluster()
+		if dom == nil {
+			continue
+		}
+		ivs = append(ivs, interval{min: dom.Min, max: dom.Max, points: dom.Points})
+	}
+	return mergeIntervals(ivs, p.MergeFactor*p.LatGap)
+}
+
+// EndpointChange is a transition of one streamer between two location-level
+// latency clusters (§3.3.3 step 4).
+type EndpointChange struct {
+	Streamer string
+	Game     string
+	// Time is when the new cluster was first observed.
+	Time time.Time
+	// From and To index the location-level clusters.
+	From, To int
+	// SameStream is true when the transition happened within one stream:
+	// a server change. Across streams it is a possible location change.
+	SameStream bool
+}
+
+// IsServerChange reports whether the change is a mid-stream server change.
+func (e EndpointChange) IsServerChange() bool { return e.SameStream }
+
+// DetectEndpointChanges walks a mobile streamer's kept stable segments in
+// chronological order and emits a change whenever two subsequent segments
+// belong to different location-level clusters.
+func DetectEndpointChanges(a *Analysis, locClusters []Cluster) []EndpointChange {
+	if a.Discarded || len(locClusters) < 2 {
+		return nil
+	}
+	var out []EndpointChange
+	prevCluster := -1
+	prevStream := -1
+	for i := range a.Segments {
+		s := &a.Segments[i]
+		if !segmentKept(s) || !s.Stable {
+			continue
+		}
+		c := clusterIndexOf(locClusters, s)
+		if c < 0 {
+			continue
+		}
+		if prevCluster >= 0 && c != prevCluster {
+			out = append(out, EndpointChange{
+				Streamer:   a.Streamer,
+				Game:       a.Game,
+				Time:       a.Streams[s.StreamIdx].Points[s.Start].T,
+				From:       prevCluster,
+				To:         c,
+				SameStream: s.StreamIdx == prevStream,
+			})
+		}
+		prevCluster = c
+		prevStream = s.StreamIdx
+	}
+	return out
+}
+
+// HasPossibleLocationChange reports whether any detected change spans two
+// streams (a possible location change), which excludes the streamer from
+// the location's latency distribution (§3.3.3 step 4).
+func HasPossibleLocationChange(changes []EndpointChange) bool {
+	for _, c := range changes {
+		if !c.SameStream {
+			return true
+		}
+	}
+	return false
+}
+
+// Distribution computes the latency distribution for one {location, game}
+// from the analyses of its streamers (§3.3.3, final step): static streamers
+// contribute all their kept measurements; mobile streamers contribute only
+// the measurements inside the location's heaviest cluster; streamers with a
+// possible location change are excluded entirely.
+func Distribution(analyses []*Analysis, p Params) []float64 {
+	locClusters := LocationClusters(analyses, p)
+	var out []float64
+	for _, a := range analyses {
+		if a.Discarded || !a.HighQuality {
+			continue
+		}
+		if a.Static {
+			out = append(out, a.KeptLatencies()...)
+			continue
+		}
+		changes := DetectEndpointChanges(a, locClusters)
+		if HasPossibleLocationChange(changes) {
+			continue
+		}
+		if len(locClusters) == 0 {
+			continue
+		}
+		heaviest := &locClusters[0]
+		out = append(out, a.LatenciesInCluster(heaviest)...)
+	}
+	return out
+}
+
+// GroupKey identifies a {location, game} aggregate.
+type GroupKey struct {
+	Loc  geo.Location
+	Game string
+}
+
+// GroupByLocation partitions analyses into {location, game} groups.
+func GroupByLocation(analyses []*Analysis) map[GroupKey][]*Analysis {
+	out := make(map[GroupKey][]*Analysis)
+	for _, a := range analyses {
+		if len(a.Streams) == 0 {
+			continue
+		}
+		k := GroupKey{Loc: a.Location(), Game: a.Game}
+		out[k] = append(out[k], a)
+	}
+	return out
+}
+
+// GroupByRegion partitions analyses into {region, game} groups — the
+// aggregation level used for shared-anomaly detection (§3.3.2).
+func GroupByRegion(analyses []*Analysis) map[GroupKey][]*Analysis {
+	out := make(map[GroupKey][]*Analysis)
+	for _, a := range analyses {
+		if len(a.Streams) == 0 {
+			continue
+		}
+		k := GroupKey{Loc: a.Location().RegionKey(), Game: a.Game}
+		out[k] = append(out[k], a)
+	}
+	return out
+}

@@ -1,0 +1,78 @@
+package core
+
+// segmentStream divides one stream's points into same-QoE segments: maximal
+// runs whose latency values span at most LatGap (§3.3.1). The greedy scan
+// closes a segment as soon as adding the next point would stretch the
+// min-max range beyond LatGap.
+func segmentStream(streamIdx int, pts []Point, p Params) []Segment {
+	if len(pts) == 0 {
+		return nil
+	}
+	var segs []Segment
+	cur := Segment{StreamIdx: streamIdx, Start: 0, End: 1, Min: pts[0].Ms, Max: pts[0].Ms}
+	for i := 1; i < len(pts); i++ {
+		v := pts[i].Ms
+		lo, hi := cur.Min, cur.Max
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+		if hi-lo <= p.LatGap {
+			cur.End = i + 1
+			cur.Min, cur.Max = lo, hi
+			continue
+		}
+		segs = append(segs, cur)
+		cur = Segment{StreamIdx: streamIdx, Start: i, End: i + 1, Min: v, Max: v}
+	}
+	segs = append(segs, cur)
+
+	stableN := p.stablePoints()
+	for i := range segs {
+		segs[i].Stable = segs[i].Len() >= stableN
+	}
+	return segs
+}
+
+// stitch concatenates the segments of all streams of one {streamer, game}
+// in chronological stream order — the paper "stitches together all the
+// same-QoE segments experienced by one streamer playing one game" (§3.3.2).
+func stitch(streams []Stream, p Params) []Segment {
+	var all []Segment
+	for i := range streams {
+		all = append(all, segmentStream(i, streams[i].Points, p)...)
+	}
+	return all
+}
+
+// closestStable returns the indexes of the nearest stable segments strictly
+// before and after position i in segs (-1 when none exists). Discarded
+// segments are skipped.
+func closestStable(segs []Segment, i int) (left, right int) {
+	left, right = -1, -1
+	for j := i - 1; j >= 0; j-- {
+		if segs[j].Stable && segs[j].Flag != FlagDiscarded {
+			left = j
+			break
+		}
+	}
+	for j := i + 1; j < len(segs); j++ {
+		if segs[j].Stable && segs[j].Flag != FlagDiscarded {
+			right = j
+			break
+		}
+	}
+	return left, right
+}
+
+// hasStable reports whether any segment is stable.
+func hasStable(segs []Segment) bool {
+	for i := range segs {
+		if segs[i].Stable {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,164 @@
+package core
+
+import (
+	"sort"
+	"time"
+
+	"tero/internal/stats"
+)
+
+// SharedAnomaly is a set of overlapping spikes across streamers of the same
+// {region, game} that is too large to be a coincidence (App. F), indicating
+// a problem in shared infrastructure.
+type SharedAnomaly struct {
+	Key        GroupKey
+	Start, End time.Time
+	// Spikes are the member spikes.
+	Spikes []Spike
+	// Probability is the binomial tail probability that the spikes were
+	// independent.
+	Probability float64
+	// Streaming is N: streamers active in the window; Affected is D.
+	Streaming, Affected int
+}
+
+// SharedAnomalyConfig tunes the App. F statistical test.
+type SharedAnomalyConfig struct {
+	// Window is the interval around a spike within which another streamer
+	// counts as concurrently streaming/affected. The paper uses 12 minutes
+	// (2× the 90th-percentile thumbnail gap, Fig. 13).
+	Window time.Duration
+	// Alpha is the probability threshold: spikes form a shared anomaly when
+	// the independence probability is at most Alpha (paper: 0.01%).
+	Alpha float64
+}
+
+// DefaultSharedAnomalyConfig returns the paper's test parameters.
+func DefaultSharedAnomalyConfig() SharedAnomalyConfig {
+	return SharedAnomalyConfig{Window: 12 * time.Minute, Alpha: 0.0001}
+}
+
+// DetectSharedAnomalies runs the App. F test over the analyses of one
+// {region, game} group and returns the shared anomalies found.
+//
+// For the group it estimates p_e = #spike-points / #measurements, requires
+// the significance condition #measurements * p_e * (1-p_e) > 10, and for
+// each spike E counts the streamers N streaming in the window around E and
+// the streamers D among them that spiked in the window; the spikes form a
+// shared anomaly when Pr[>=D spikes | independent] <= Alpha.
+func DetectSharedAnomalies(key GroupKey, analyses []*Analysis, cfg SharedAnomalyConfig) []SharedAnomaly {
+	type streamerData struct {
+		id     string
+		spikes []Spike
+		points []time.Time
+	}
+	var members []streamerData
+	totalMeasurements := 0
+	totalSpikePoints := 0
+	for _, a := range analyses {
+		if a.Discarded {
+			continue
+		}
+		sd := streamerData{id: a.Streamer, spikes: a.Spikes}
+		for _, st := range a.Streams {
+			for _, pt := range st.Points {
+				sd.points = append(sd.points, pt.T)
+			}
+		}
+		sort.Slice(sd.points, func(i, j int) bool { return sd.points[i].Before(sd.points[j]) })
+		totalMeasurements += len(sd.points)
+		for _, sp := range a.Spikes {
+			totalSpikePoints += sp.Points
+		}
+		members = append(members, sd)
+	}
+	if totalMeasurements == 0 || totalSpikePoints == 0 {
+		return nil
+	}
+	pe := float64(totalSpikePoints) / float64(totalMeasurements)
+	if pe >= 1 {
+		return nil
+	}
+	if !stats.SignificanceCondition(totalMeasurements, pe) {
+		return nil
+	}
+
+	// Evaluate each spike as a candidate anchor.
+	var out []SharedAnomaly
+	seen := make(map[string]bool) // dedupe by window key
+	for _, m := range members {
+		for _, e := range m.spikes {
+			lo := e.Start.Add(-cfg.Window / 2)
+			hi := e.End.Add(cfg.Window / 2)
+			var (
+				n, d   int
+				joined []Spike
+			)
+			for _, other := range members {
+				streaming := false
+				for _, t := range other.points {
+					if !t.Before(lo) && !t.After(hi) {
+						streaming = true
+						break
+					}
+				}
+				if !streaming {
+					continue
+				}
+				n++
+				spiked := false
+				for _, os := range other.spikes {
+					if !os.End.Before(lo) && !os.Start.After(hi) {
+						spiked = true
+						joined = append(joined, os)
+					}
+				}
+				if spiked {
+					d++
+				}
+			}
+			if n == 0 || d < 2 {
+				continue // a shared anomaly needs at least two affected streamers
+			}
+			prob := stats.BinomialTail(n, d, pe)
+			if prob > cfg.Alpha {
+				continue
+			}
+			// Window signature for dedupe: anchor rounded to the window.
+			sig := key.Game + "|" + key.Loc.Key() + "|" +
+				e.Start.Truncate(cfg.Window).Format(time.RFC3339)
+			if seen[sig] {
+				continue
+			}
+			seen[sig] = true
+			sa := SharedAnomaly{
+				Key: key, Start: lo, End: hi,
+				Spikes: joined, Probability: prob,
+				Streaming: n, Affected: d,
+			}
+			out = append(out, sa)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Start.Before(out[j].Start) })
+	return out
+}
+
+// DetectAllSharedAnomalies runs the test over every {region, game} group.
+func DetectAllSharedAnomalies(analyses []*Analysis, cfg SharedAnomalyConfig) []SharedAnomaly {
+	var out []SharedAnomaly
+	groups := GroupByRegion(analyses)
+	keys := make([]GroupKey, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].Game != keys[j].Game {
+			return keys[i].Game < keys[j].Game
+		}
+		return keys[i].Loc.Key() < keys[j].Loc.Key()
+	})
+	for _, k := range keys {
+		out = append(out, DetectSharedAnomalies(k, groups[k], cfg)...)
+	}
+	return out
+}

@@ -1,0 +1,166 @@
+package docstore
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestInsertAndGet(t *testing.T) {
+	s := New()
+	c := s.C("measurements")
+	id := c.Insert(Doc{"streamer": "s1", "ms": 45})
+	if id == "" {
+		t.Fatal("empty id")
+	}
+	d, ok := c.Get(id)
+	if !ok || d["streamer"] != "s1" || d["ms"] != 45 {
+		t.Fatalf("doc = %v", d)
+	}
+	if d.ID() != id {
+		t.Fatal("ID()")
+	}
+	if _, ok := c.Get("nope"); ok {
+		t.Fatal("missing get")
+	}
+}
+
+func TestInsertCopies(t *testing.T) {
+	s := New()
+	c := s.C("x")
+	src := Doc{"a": 1}
+	id := c.Insert(src)
+	src["a"] = 2
+	d, _ := c.Get(id)
+	if d["a"] != 1 {
+		t.Fatal("Insert must copy")
+	}
+	// Mutating the returned doc must not affect the store.
+	d["a"] = 3
+	d2, _ := c.Get(id)
+	if d2["a"] != 1 {
+		t.Fatal("Get must copy")
+	}
+}
+
+func TestFindWithFilter(t *testing.T) {
+	s := New()
+	c := s.C("x")
+	for i := 0; i < 10; i++ {
+		c.Insert(Doc{"n": i})
+	}
+	got := c.Find(func(d Doc) bool { return d["n"].(int) >= 7 })
+	if len(got) != 3 {
+		t.Fatalf("found %d", len(got))
+	}
+	if len(c.Find(nil)) != 10 {
+		t.Fatal("nil filter should match all")
+	}
+}
+
+func TestFindEqWithAndWithoutIndex(t *testing.T) {
+	s := New()
+	c := s.C("x")
+	for i := 0; i < 20; i++ {
+		c.Insert(Doc{"game": []string{"lol", "dota"}[i%2], "n": i})
+	}
+	noIdx := c.FindEq("game", "lol")
+	c.EnsureIndex("game")
+	withIdx := c.FindEq("game", "lol")
+	if len(noIdx) != 10 || len(withIdx) != 10 {
+		t.Fatalf("lens %d, %d", len(noIdx), len(withIdx))
+	}
+	for i := range noIdx {
+		if noIdx[i].ID() != withIdx[i].ID() {
+			t.Fatal("index and scan disagree")
+		}
+	}
+	// Index maintained across insert/update/delete.
+	id := c.Insert(Doc{"game": "lol"})
+	if len(c.FindEq("game", "lol")) != 11 {
+		t.Fatal("index not updated on insert")
+	}
+	c.Update(id, Doc{"game": "dota"})
+	if len(c.FindEq("game", "lol")) != 10 || len(c.FindEq("game", "dota")) != 11 {
+		t.Fatal("index not updated on update")
+	}
+	c.Delete(id)
+	if len(c.FindEq("game", "dota")) != 10 {
+		t.Fatal("index not updated on delete")
+	}
+}
+
+func TestUpdate(t *testing.T) {
+	s := New()
+	c := s.C("x")
+	id := c.Insert(Doc{"a": 1})
+	if !c.Update(id, Doc{"b": 2}) {
+		t.Fatal("update failed")
+	}
+	d, _ := c.Get(id)
+	if d["a"] != 1 || d["b"] != 2 {
+		t.Fatalf("doc = %v", d)
+	}
+	// _id cannot be overwritten.
+	c.Update(id, Doc{"_id": "evil"})
+	if d, _ := c.Get(id); d.ID() != id {
+		t.Fatal("_id overwritten")
+	}
+	if c.Update("missing", Doc{"a": 1}) {
+		t.Fatal("update missing should fail")
+	}
+}
+
+func TestDeleteAndCount(t *testing.T) {
+	s := New()
+	c := s.C("x")
+	id := c.Insert(Doc{"a": 1})
+	if c.Count() != 1 {
+		t.Fatal("count")
+	}
+	if !c.Delete(id) || c.Delete(id) {
+		t.Fatal("delete semantics")
+	}
+	if c.Count() != 0 {
+		t.Fatal("count after delete")
+	}
+}
+
+func TestCollections(t *testing.T) {
+	s := New()
+	s.C("b")
+	s.C("a")
+	s.C("b")
+	got := s.Collections()
+	if len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("collections = %v", got)
+	}
+}
+
+func TestConcurrentInserts(t *testing.T) {
+	s := New()
+	c := s.C("x")
+	c.EnsureIndex("g")
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				c.Insert(Doc{"g": g, "i": i})
+				c.FindEq("g", g)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.Count() != 800 {
+		t.Fatalf("count = %d", c.Count())
+	}
+	// IDs unique.
+	seen := map[string]bool{}
+	for _, d := range c.Find(nil) {
+		if seen[d.ID()] {
+			t.Fatal("duplicate id")
+		}
+		seen[d.ID()] = true
+	}
+}

@@ -1,0 +1,355 @@
+// Package download implements Tero's download module (App. A): a
+// coordinator that polls the platform API under its rate limit to detect
+// streamers going live, and lean downloaders that fetch thumbnails from the
+// CDN before they are overwritten. Coordinator and downloaders share state
+// exclusively through the key-value store, which also provides crash
+// recovery.
+package download
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"tero/internal/kvstore"
+	"tero/internal/objstore"
+)
+
+// Key-value store layout.
+const (
+	keyActive   = "dl:active"  // hash: streamer id -> assignment JSON
+	keyQueue    = "dl:queue"   // list: assignment JSON waiting for a downloader
+	keyOffline  = "dl:offline" // list: streamer ids reported offline
+	keyClaimed  = "dl:claimed" // hash: streamer id -> downloader id
+	ThumbBucket = "thumbs"     // object-store bucket for thumbnails
+)
+
+// Assignment describes one streamer a downloader should poll.
+type Assignment struct {
+	StreamerID string `json:"id"`
+	Login      string `json:"login"`
+	Game       string `json:"game"`
+	URL        string `json:"url"`
+}
+
+func (a Assignment) encode() string {
+	b, _ := json.Marshal(a)
+	return string(b)
+}
+
+func decodeAssignment(s string) (Assignment, error) {
+	var a Assignment
+	err := json.Unmarshal([]byte(s), &a)
+	return a, err
+}
+
+// APIClient talks to the platform's developer API with 429 handling.
+type APIClient struct {
+	Base string
+	HTTP *http.Client
+	// MaxRetries bounds 429 retries per request.
+	MaxRetries int
+	// RetryWait is the pause after a 429 (the coordinator "issues these
+	// queries in a way that respects the rate limit").
+	RetryWait time.Duration
+}
+
+// NewAPIClient returns a client for the platform at base.
+func NewAPIClient(base string) *APIClient {
+	return &APIClient{
+		Base:       strings.TrimRight(base, "/"),
+		HTTP:       &http.Client{Timeout: 10 * time.Second},
+		MaxRetries: 20,
+		RetryWait:  100 * time.Millisecond,
+	}
+}
+
+// streamRow mirrors the platform's Get Streams row.
+type streamRow struct {
+	UserID       string   `json:"user_id"`
+	UserLogin    string   `json:"user_login"`
+	GameName     string   `json:"game_name"`
+	ThumbnailURL string   `json:"thumbnail_url"`
+	Tags         []string `json:"tags"`
+}
+
+type streamsPage struct {
+	Data       []streamRow `json:"data"`
+	Pagination struct {
+		Cursor string `json:"cursor"`
+	} `json:"pagination"`
+}
+
+// getJSON fetches a URL with 429 retries.
+func (c *APIClient) getJSON(url string, out any) error {
+	for attempt := 0; ; attempt++ {
+		resp, err := c.HTTP.Get(url)
+		if err != nil {
+			return err
+		}
+		if resp.StatusCode == http.StatusTooManyRequests {
+			resp.Body.Close()
+			if attempt >= c.MaxRetries {
+				return fmt.Errorf("download: rate limited after %d retries", attempt)
+			}
+			time.Sleep(c.RetryWait)
+			continue
+		}
+		if resp.StatusCode != http.StatusOK {
+			resp.Body.Close()
+			return fmt.Errorf("download: %s -> %s", url, resp.Status)
+		}
+		err = json.NewDecoder(resp.Body).Decode(out)
+		resp.Body.Close()
+		return err
+	}
+}
+
+// LiveStreams pages through /helix/streams and returns all live rows.
+func (c *APIClient) LiveStreams() ([]streamRow, error) {
+	var all []streamRow
+	cursor := ""
+	for {
+		url := c.Base + "/helix/streams?first=100"
+		if cursor != "" {
+			url += "&after=" + cursor
+		}
+		var page streamsPage
+		if err := c.getJSON(url, &page); err != nil {
+			return nil, err
+		}
+		all = append(all, page.Data...)
+		if page.Pagination.Cursor == "" {
+			break
+		}
+		cursor = page.Pagination.Cursor
+	}
+	return all, nil
+}
+
+// UserDescription fetches a streamer's profile description.
+func (c *APIClient) UserDescription(id string) (login, description string, err error) {
+	var resp struct {
+		Data []struct {
+			ID          string `json:"id"`
+			Login       string `json:"login"`
+			Description string `json:"description"`
+		} `json:"data"`
+	}
+	if err := c.getJSON(c.Base+"/helix/users?id="+id, &resp); err != nil {
+		return "", "", err
+	}
+	if len(resp.Data) == 0 {
+		return "", "", fmt.Errorf("download: user %s not found", id)
+	}
+	return resp.Data[0].Login, resp.Data[0].Description, nil
+}
+
+// Coordinator detects streamers going live and hands their thumbnail URLs
+// to downloaders via the key-value store (App. A).
+type Coordinator struct {
+	KV  kvstore.KV
+	API *APIClient
+
+	// NewlyLive counts streamers enqueued over the coordinator's lifetime.
+	NewlyLive int
+}
+
+// NewCoordinator builds a coordinator, recovering active-streamer state
+// from the key-value store after a crash.
+func NewCoordinator(kv kvstore.KV, api *APIClient) *Coordinator {
+	return &Coordinator{KV: kv, API: api}
+}
+
+// PollOnce queries the API once, enqueues newly live streamers, and
+// processes offline notices from downloaders.
+func (c *Coordinator) PollOnce() error {
+	// Offline notices first: free the streamer for future re-detection.
+	for {
+		id, ok := c.KV.LPop(keyOffline)
+		if !ok {
+			break
+		}
+		c.KV.HDel(keyActive, id)
+		c.KV.HDel(keyClaimed, id)
+	}
+
+	rows, err := c.API.LiveStreams()
+	if err != nil {
+		return err
+	}
+	for _, row := range rows {
+		if _, active := c.KV.HGet(keyActive, row.UserID); active {
+			continue
+		}
+		a := Assignment{
+			StreamerID: row.UserID,
+			Login:      row.UserLogin,
+			Game:       row.GameName,
+			URL:        row.ThumbnailURL,
+		}
+		c.KV.HSet(keyActive, row.UserID, a.encode())
+		c.KV.RPush(keyQueue, a.encode())
+		// Country-level tags feed the location module's tag recovery
+		// (App. D.2).
+		if len(row.Tags) > 0 {
+			c.KV.HSet("tags", row.UserID, row.Tags[0])
+		}
+		c.NewlyLive++
+	}
+	return nil
+}
+
+// ActiveCount returns the number of streamers currently tracked.
+func (c *Coordinator) ActiveCount() int {
+	return len(c.KV.HGetAll(keyActive))
+}
+
+// Downloader fetches thumbnails for its assigned streamers. It is
+// deliberately lean: all state handling beyond plain downloading lives in
+// the coordinator and the key-value store.
+type Downloader struct {
+	ID    string
+	KV    kvstore.KV
+	Store *objstore.Store
+	HTTP  *http.Client
+
+	assigned map[string]*tracked
+
+	// Downloads and Misses count fetched and lost thumbnails.
+	Downloads, Misses int
+}
+
+type tracked struct {
+	a       Assignment
+	next    time.Time // when the next thumbnail becomes available
+	lastSeq string
+}
+
+// NewDownloader builds a downloader. The HTTP client must not follow
+// redirects: a redirect to the offline thumbnail is the going-offline
+// signal.
+func NewDownloader(id string, kv kvstore.KV, store *objstore.Store) *Downloader {
+	return &Downloader{
+		ID: id, KV: kv, Store: store,
+		HTTP: &http.Client{
+			Timeout: 10 * time.Second,
+			CheckRedirect: func(req *http.Request, via []*http.Request) error {
+				return http.ErrUseLastResponse
+			},
+		},
+		assigned: make(map[string]*tracked),
+	}
+}
+
+// Assigned returns the number of streamers this downloader polls.
+func (d *Downloader) Assigned() int { return len(d.assigned) }
+
+// PollOnce processes all due assignments at virtual time now, then — if
+// idle — claims new streamers from the queue (the idle-based load balancing
+// of App. A).
+func (d *Downloader) PollOnce(now time.Time) error {
+	due := 0
+	for id, tr := range d.assigned {
+		if tr.next.After(now) {
+			continue
+		}
+		due++
+		if err := d.fetch(id, tr, now); err != nil {
+			return err
+		}
+	}
+	if due == 0 {
+		// Idle: adopt one new streamer (claiming one at a time keeps the
+		// fleet balanced — a single fast downloader cannot drain the whole
+		// queue before its peers get a chance).
+		if raw, ok := d.KV.LPop(keyQueue); ok {
+			if a, err := decodeAssignment(raw); err == nil {
+				d.KV.HSet(keyClaimed, a.StreamerID, d.ID)
+				tr := &tracked{a: a}
+				d.assigned[a.StreamerID] = tr
+				if err := d.fetch(a.StreamerID, tr, now); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// fetch HEADs the thumbnail URL, downloads a new thumbnail if one appeared,
+// and handles the offline redirect.
+func (d *Downloader) fetch(id string, tr *tracked, now time.Time) error {
+	req, err := http.NewRequest(http.MethodHead, tr.a.URL, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := d.HTTP.Do(req)
+	if err != nil {
+		return err
+	}
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusFound {
+		// Offline: drop and notify the coordinator.
+		delete(d.assigned, id)
+		d.KV.RPush(keyOffline, id)
+		return nil
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("download: HEAD %s -> %s", tr.a.URL, resp.Status)
+	}
+	seq := resp.Header.Get("X-Thumbnail-Seq")
+	if next, err := time.Parse(time.RFC3339, resp.Header.Get("X-Next-Thumbnail")); err == nil {
+		tr.next = next
+	} else {
+		tr.next = now.Add(5 * time.Minute)
+	}
+	if seq == tr.lastSeq {
+		return nil // already have this one
+	}
+	// GET the thumbnail body.
+	getResp, err := d.HTTP.Get(tr.a.URL)
+	if err != nil {
+		return err
+	}
+	defer getResp.Body.Close()
+	if getResp.StatusCode == http.StatusFound {
+		delete(d.assigned, id)
+		d.KV.RPush(keyOffline, id)
+		return nil
+	}
+	if getResp.StatusCode != http.StatusOK {
+		return fmt.Errorf("download: GET %s -> %s", tr.a.URL, getResp.Status)
+	}
+	// If the thumbnail was overwritten between HEAD and GET we simply
+	// store the newer one; a fully missed window shows up as a seq skip.
+	body, err := io.ReadAll(getResp.Body)
+	if err != nil {
+		return err
+	}
+	if tr.lastSeq != "" {
+		if prev, cur, ok := seqGap(tr.lastSeq, seq); ok && cur > prev+1 {
+			d.Misses += cur - prev - 1
+		}
+	}
+	tr.lastSeq = seq
+	key := fmt.Sprintf("%s/%s.pgm", id, seq)
+	d.Store.Put(ThumbBucket, key, body, map[string]string{
+		"streamer": id,
+		"login":    tr.a.Login,
+		"game":     tr.a.Game,
+		"seq":      seq,
+		"at":       now.UTC().Format(time.RFC3339),
+	})
+	d.Downloads++
+	return nil
+}
+
+func seqGap(prev, cur string) (p, c int, ok bool) {
+	_, err1 := fmt.Sscanf(prev, "%d", &p)
+	_, err2 := fmt.Sscanf(cur, "%d", &c)
+	return p, c, err1 == nil && err2 == nil
+}

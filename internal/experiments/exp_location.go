@@ -1,0 +1,207 @@
+package experiments
+
+import (
+	"fmt"
+
+	"tero/internal/geo"
+	"tero/internal/geoparse"
+	"tero/internal/location"
+	"tero/internal/worldsim"
+)
+
+func init() {
+	register("tab3", "extraction and error rates of location techniques (Table 3)", runTab3)
+}
+
+// worldSocial adapts a streamer's profile to location.SocialLookup with the
+// platform's exact behaviour (impersonators included).
+type worldSocial struct{ st *worldsim.Streamer }
+
+func (w worldSocial) Twitter(u string) (location.TwitterProfile, bool) {
+	p := w.st.Profile
+	if !p.HasTwitter || p.TwitterUsername != u {
+		return location.TwitterProfile{}, false
+	}
+	if p.Impersonator {
+		return location.TwitterProfile{Username: u, Location: p.ImpersonatorLocation,
+			Links: []string{"twitch.tv/" + w.st.Username}}, true
+	}
+	out := location.TwitterProfile{Username: u, Location: p.TwitterLocation}
+	if p.TwitterBacklink {
+		out.Links = []string{"twitch.tv/" + w.st.Username}
+	}
+	return out, true
+}
+
+func (w worldSocial) Steam(u string) (location.SteamProfile, bool) {
+	p := w.st.Profile
+	if !p.HasSteam || p.SteamUsername != u {
+		return location.SteamProfile{}, false
+	}
+	out := location.SteamProfile{Username: u, Country: p.SteamCountry}
+	if p.SteamBacklink {
+		out.Links = []string{"twitch.tv/" + w.st.Username}
+	}
+	return out, true
+}
+
+// truthAt returns the streamer's true location at the world start.
+func truthAt(st *worldsim.Streamer) geo.Location { return st.Place.Location() }
+
+func runTab3(o Options) ([]*Table, error) {
+	cfg := worldsim.DefaultConfig(o.Seed)
+	cfg.Streamers = o.scaled(6000)
+	world := worldsim.New(cfg)
+	gaz := world.Gaz
+	twitchTools := geoparse.DefaultTwitchTools(gaz)
+	nominatim, geonames := geoparse.DefaultTwitterTools(gaz)
+	mod := location.New()
+
+	t := &Table{
+		Title:  "Table 3: extraction and error rates of location techniques",
+		Header: []string{"technique", "% extracted", "error rate"},
+		Notes: []string{
+			fmt.Sprintf("%d streamers; %% extracted = outputs / all inputs of that stage", cfg.Streamers),
+			"'++' = tool + conservative filter (App. D.1)",
+		},
+	}
+
+	correct := func(got geo.Location, st *worldsim.Streamer) bool {
+		c := gaz.Canonicalize(got)
+		return c.Compatible(truthAt(st)) && !c.IsZero()
+	}
+
+	// --- Raw geocoders and ++ variants over Twitch descriptions. ---
+	type counter struct{ extracted, wrong int }
+	raw := map[string]*counter{}
+	filtered := map[string]*counter{}
+	for _, tool := range twitchTools {
+		raw[tool.Name()] = &counter{}
+		filtered[tool.Name()] = &counter{}
+	}
+	combined := &counter{}
+	descInputs := 0
+
+	for _, st := range world.Streamers {
+		desc := st.Profile.Description
+		descInputs++
+		outputs := geoparse.RunTools(twitchTools, desc)
+		for _, out := range outputs {
+			if len(out.Locs) == 0 {
+				continue
+			}
+			c := raw[out.Tool]
+			c.extracted++
+			// Mordecai counts as correct if any candidate is correct.
+			ok := false
+			for _, l := range out.Locs {
+				if correct(l, st) {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				c.wrong++
+			}
+			// ++ = conservative filter applied to the primary output.
+			if geoparse.ConservativeFilter(gaz, desc, out.Locs[0]) {
+				fc := filtered[out.Tool]
+				fc.extracted++
+				if !correct(out.Locs[0], st) {
+					fc.wrong++
+				}
+			}
+		}
+		if res := geoparse.CombineTwitch(gaz, desc, outputs); res.OK {
+			combined.extracted++
+			if !correct(res.Loc, st) {
+				combined.wrong++
+			}
+		}
+	}
+
+	addRow := func(name string, c *counter, denom int) {
+		if c.extracted == 0 {
+			t.AddRow(name, "0%", "-")
+			return
+		}
+		t.AddRow(name, pct(float64(c.extracted)/float64(denom)),
+			pct(float64(c.wrong)/float64(c.extracted)))
+	}
+	for _, tool := range twitchTools {
+		addRow(tool.Name(), raw[tool.Name()], descInputs)
+	}
+	for _, tool := range twitchTools {
+		addRow(tool.Name()+"++", filtered[tool.Name()], descInputs)
+	}
+	addRow("Twitch Comb.", combined, descInputs)
+
+	// --- Twitter-Twitch mapping accuracy. ---
+	mapping := &counter{}
+	for _, st := range world.Streamers {
+		p := st.Profile
+		if !p.HasTwitter || p.TwitterUsername != st.Username {
+			continue
+		}
+		// The module maps when a backlink exists.
+		social := worldSocial{st: st}
+		tw, ok := social.Twitter(st.Username)
+		if !ok || len(tw.Links) == 0 {
+			continue
+		}
+		mapping.extracted++
+		if p.Impersonator {
+			mapping.wrong++ // mapped to someone else's profile
+		}
+	}
+	addRow("Twitter-Twitch mapping", mapping, len(world.Streamers))
+
+	// --- Geoparsers over Twitter location fields. ---
+	nomC, geoC, twComb := &counter{}, &counter{}, &counter{}
+	fieldInputs := 0
+	for _, st := range world.Streamers {
+		p := st.Profile
+		if !p.HasTwitter || p.TwitterLocation == "" {
+			continue
+		}
+		fieldInputs++
+		field := p.TwitterLocation
+		if locs := nominatim.Extract(field); len(locs) > 0 {
+			nomC.extracted++
+			if !correct(locs[0], st) {
+				nomC.wrong++
+			}
+		}
+		if locs := geonames.Extract(field); len(locs) > 0 {
+			geoC.extracted++
+			if !correct(locs[0], st) {
+				geoC.wrong++
+			}
+		}
+		if res := geoparse.CombineTwitter(gaz, field, nominatim, geonames, twitchTools); res.OK {
+			twComb.extracted++
+			if !correct(res.Loc, st) {
+				twComb.wrong++
+			}
+		}
+	}
+	addRow("Nominatim", nomC, fieldInputs)
+	addRow("Geonames", geoC, fieldInputs)
+	addRow("Twitter Comb.", twComb, fieldInputs)
+
+	// --- Tero end-to-end (the whole §3.1 module). ---
+	tero := &counter{}
+	for _, st := range world.Streamers {
+		res := mod.Locate(st.Username, st.Profile.Description, st.Profile.CountryTag,
+			worldSocial{st: st})
+		if !res.OK {
+			continue
+		}
+		tero.extracted++
+		if !correct(res.Loc, st) {
+			tero.wrong++
+		}
+	}
+	addRow("Tero", tero, len(world.Streamers))
+	return []*Table{t}, nil
+}

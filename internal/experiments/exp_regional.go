@@ -1,0 +1,376 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"tero/internal/core"
+	"tero/internal/games"
+	"tero/internal/geo"
+	"tero/internal/stats"
+	"tero/internal/worldsim"
+)
+
+func init() {
+	register("fig2", "latency clusters per location (Fig. 2)", runFig2)
+	register("fig14", "latency clusters at x0.5/x1.5 merge factors (Fig. 14)", runFig14)
+	register("fig9", "best/worst absolute and distance-normalized latency (Fig. 9)", runFig9)
+	register("fig10", "US states in 500km doughnuts around Chicago (Fig. 10)", runFig10)
+	register("fig11", "EU countries in 500km doughnuts around Amsterdam (Fig. 11)", runFig11)
+	register("fig12", "El Salvador and Jamaica vs equidistant peers (Fig. 12)", runFig12)
+}
+
+// locGroup is the analysis bundle of one {location, game} group.
+type locGroup struct {
+	Name      string
+	Place     *geo.Place
+	Analyses  []*core.Analysis
+	Dist      []float64
+	Box       stats.Boxplot
+	CorrDist  float64 // corrected distance to the primary server
+	Server    string
+	ServerCty string
+}
+
+// buildRegionalWorld allocates `per` LoL streamers at each named place and
+// returns per-location analyses and distributions, sampling `sample`
+// streamers per location like the paper (50).
+func buildRegionalWorld(o Options, per, sample int, placeNames [][2]string) []*locGroup {
+	lol := games.ByName("lol")
+	var allocs []worldsim.PlaceAlloc
+	for _, pn := range placeNames {
+		allocs = append(allocs, worldsim.PlaceAlloc{
+			PlaceName: pn[0], Country: pn[1], Count: per, GameSlug: "lol",
+		})
+	}
+	cfg := worldsim.DefaultConfig(o.Seed)
+	cfg.Streamers = 0 // only pinned streamers
+	cfg.Days = 7
+	world := worldsim.NewCustom(cfg, allocs)
+
+	params := core.DefaultParams()
+	obs := worldsim.DefaultObservation()
+	rng := rand.New(rand.NewSource(o.Seed + 99))
+
+	groups := make(map[string]*locGroup)
+	var order []string
+	gaz := world.Gaz
+	for _, st := range world.Streamers {
+		var streams []core.Stream
+		for _, gs := range world.Sessions(st) {
+			if gs.Game != lol {
+				continue
+			}
+			streams = append(streams, gs.ToStream(obs, rng))
+		}
+		if len(streams) == 0 {
+			continue
+		}
+		a := core.Analyze(streams, params)
+		key := st.Place.Location().String()
+		g, ok := groups[key]
+		if !ok {
+			g = &locGroup{Name: key, Place: st.Place}
+			groups[key] = g
+			order = append(order, key)
+		}
+		g.Analyses = append(g.Analyses, a)
+	}
+
+	var out []*locGroup
+	for _, key := range order {
+		g := groups[key]
+		// Sample the same number of streamers per location (paper: 50).
+		if sample > 0 && len(g.Analyses) > sample {
+			rng.Shuffle(len(g.Analyses), func(i, j int) {
+				g.Analyses[i], g.Analyses[j] = g.Analyses[j], g.Analyses[i]
+			})
+			g.Analyses = g.Analyses[:sample]
+		}
+		g.Dist = core.Distribution(g.Analyses, params)
+		g.Box = stats.NewBoxplot(g.Dist)
+		if srv := lol.PrimaryServer(g.Place, gaz); srv != nil {
+			sp := lol.ServerPlace(srv, gaz)
+			g.Server = srv.Name
+			g.ServerCty = sp.Name
+			g.CorrDist = geo.CorrectedDistanceKM(g.Place, sp)
+		}
+		out = append(out, g)
+	}
+	return out
+}
+
+// clusterLocations are the Fig. 2 examples.
+var clusterLocations = [][2]string{
+	{"Ile-de-France", "France"},
+	{"Catalunya", "Spain"},
+	{"Buenos Aires", "Argentina"},
+	{"Sao Paulo", "Brazil"},
+	{"Ontario", "Canada"},
+	{"California", "United States"},
+}
+
+func clustersTable(title string, o Options, factor float64) *Table {
+	per := o.scaled(60)
+	groups := buildRegionalWorld(o, per, 0, clusterLocations)
+	params := core.DefaultParams()
+	params.MergeFactor = factor
+	t := &Table{
+		Title:  title,
+		Header: []string{"location", "cluster [ms]", "weight"},
+		Notes: []string{fmt.Sprintf("merge factor ×%.1f LatGap; %d streamers/location",
+			factor, per)},
+	}
+	for _, g := range groups {
+		clusters := core.LocationClusters(g.Analyses, params)
+		if len(clusters) == 0 {
+			t.AddRow(g.Name, "-", "-")
+			continue
+		}
+		sort.Slice(clusters, func(i, j int) bool { return clusters[i].Min < clusters[j].Min })
+		for _, c := range clusters {
+			t.AddRow(g.Name, fmt.Sprintf("[%.0f, %.0f]", c.Min, c.Max), pct(c.Weight))
+		}
+	}
+	return t
+}
+
+func runFig2(o Options) ([]*Table, error) {
+	return []*Table{clustersTable("Fig. 2: latency clusters per location (LoL)", o, 1.0)}, nil
+}
+
+func runFig14(o Options) ([]*Table, error) {
+	return []*Table{
+		clustersTable("Fig. 14a: clusters at ×0.5 LatGap", o, 0.5),
+		clustersTable("Fig. 14b: clusters at ×1.5 LatGap", o, 1.5),
+	}, nil
+}
+
+// fig9Candidates: locations searched for the best/worst per area.
+var fig9Candidates = []struct {
+	name, country, area string
+}{
+	{"South Korea", "", "Asia"},
+	{"Japan", "", "Asia"},
+	{"Saudi Arabia", "", "Asia"},
+	{"Turkey", "", "Asia"},
+	{"Illinois", "United States", "US"},
+	{"California", "United States", "US"},
+	{"Texas", "United States", "US"},
+	{"Hawaii", "United States", "US"},
+	{"Netherlands", "", "EU"},
+	{"Germany", "", "EU"},
+	{"Belgium", "", "EU"},
+	{"Greece", "", "EU"},
+	{"Chile", "", "Latam"},
+	{"Ecuador", "", "Latam"},
+	{"Brazil", "", "Latam"},
+	{"Bolivia", "", "Latam"},
+}
+
+func runFig9(o Options) ([]*Table, error) {
+	var names [][2]string
+	areaOf := make(map[string]string)
+	for _, c := range fig9Candidates {
+		names = append(names, [2]string{c.name, c.country})
+		areaOf[c.name] = c.area
+	}
+	per := o.scaled(60)
+	groups := buildRegionalWorld(o, per, 50, names)
+
+	area := func(g *locGroup) string { return areaOf[g.Place.Name] }
+	type scored struct {
+		g    *locGroup
+		norm float64
+	}
+	var all []scored
+	for _, g := range groups {
+		if len(g.Dist) == 0 || g.CorrDist == 0 {
+			continue
+		}
+		all = append(all, scored{g, g.Box.P50 / g.CorrDist * 1000}) // ms per 1000 km
+	}
+
+	mkRow := func(t *Table, label string, s scored) {
+		t.AddRow(label,
+			fmt.Sprintf("%s-%s (%.0f km)", s.g.Place.Name, s.g.ServerCty, s.g.CorrDist),
+			f1(s.g.Box.P5), f1(s.g.Box.P25), f1(s.g.Box.P50), f1(s.g.Box.P75), f1(s.g.Box.P95))
+	}
+	header := []string{"slot", "location-server (corr. dist)", "p5", "p25", "p50", "p75", "p95"}
+
+	absT := &Table{Title: "Fig. 9a: best/worst absolute LoL latency per area", Header: header}
+	normT := &Table{Title: "Fig. 9b: best/worst distance-normalized LoL latency per area", Header: header}
+	for _, a := range []string{"Asia", "US", "EU", "Latam"} {
+		var inArea []scored
+		for _, s := range all {
+			if area(s.g) == a {
+				inArea = append(inArea, s)
+			}
+		}
+		if len(inArea) == 0 {
+			continue
+		}
+		sort.Slice(inArea, func(i, j int) bool { return inArea[i].g.Box.P50 < inArea[j].g.Box.P50 })
+		mkRow(absT, a+"-Best", inArea[0])
+		mkRow(absT, a+"-Worst", inArea[len(inArea)-1])
+		sort.Slice(inArea, func(i, j int) bool { return inArea[i].norm < inArea[j].norm })
+		mkRow(normT, a+"-Best", inArea[0])
+		mkRow(normT, a+"-Worst", inArea[len(inArea)-1])
+	}
+	return []*Table{absT, normT}, nil
+}
+
+// doughnutTable builds the Fig. 10/11 style doughnut comparison around a
+// server city.
+func doughnutTable(o Options, title, serverCity string, names [][2]string) *Table {
+	per := o.scaled(50)
+	groups := buildRegionalWorld(o, per, 0, names)
+	gaz := geo.World()
+	server := gaz.City(serverCity, "")
+	if server == nil {
+		server = gaz.LookupOne(serverCity)
+	}
+	t := &Table{
+		Title:  title,
+		Header: []string{"doughnut", "location", "corr. dist [km]", "p25", "p50", "p75"},
+	}
+	type row struct {
+		d    int
+		name string
+		km   float64
+		box  stats.Boxplot
+	}
+	var rows []row
+	for _, g := range groups {
+		if len(g.Dist) == 0 {
+			continue
+		}
+		km := geo.CorrectedDistanceKM(g.Place, server)
+		d := 0
+		switch {
+		case km >= 500 && km < 1000:
+			d = 1
+		case km >= 1000 && km < 1500:
+			d = 2
+		default:
+			continue
+		}
+		rows = append(rows, row{d, g.Place.Name, km, g.Box})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].d != rows[j].d {
+			return rows[i].d < rows[j].d
+		}
+		return rows[i].name < rows[j].name
+	})
+	for _, r := range rows {
+		label := "500-1000 km"
+		if r.d == 2 {
+			label = "1000-1500 km"
+		}
+		t.AddRow(label, r.name, f1(r.km), f1(r.box.P25), f1(r.box.P50), f1(r.box.P75))
+	}
+	// Headline check: spread of p75 within each doughnut.
+	for d := 1; d <= 2; d++ {
+		var p75s []float64
+		for _, r := range rows {
+			if r.d == d {
+				p75s = append(p75s, r.box.P75)
+			}
+		}
+		if len(p75s) > 1 {
+			t.Notes = append(t.Notes, fmt.Sprintf(
+				"doughnut %d: p75 spread %.0f ms (max %.0f, min %.0f)",
+				d, stats.Max(p75s)-stats.Min(p75s), stats.Max(p75s), stats.Min(p75s)))
+		}
+	}
+	return t
+}
+
+func runFig10(o Options) ([]*Table, error) {
+	names := [][2]string{
+		{"District of Columbia", "United States"}, {"Georgia", "United States"},
+		{"Kentucky", "United States"}, {"Minnesota", "United States"},
+		{"Missouri", "United States"}, {"North Carolina", "United States"},
+		{"Ontario", "Canada"}, {"Pennsylvania", "United States"},
+		{"Tennessee", "United States"}, {"Virginia", "United States"},
+		{"Massachusetts", "United States"}, {"New Jersey", "United States"},
+		{"Oklahoma", "United States"}, {"Texas", "United States"},
+	}
+	return []*Table{doughnutTable(o,
+		"Fig. 10: US states in 500-km doughnuts around the Chicago server (LoL)",
+		"Chicago", names)}, nil
+}
+
+func runFig11(o Options) ([]*Table, error) {
+	names := [][2]string{
+		{"Austria", ""}, {"Denmark", ""}, {"France", ""}, {"Germany", ""},
+		{"Italy", ""}, {"Poland", ""}, {"Switzerland", ""},
+		{"United Kingdom", ""}, {"Spain", ""},
+	}
+	return []*Table{doughnutTable(o,
+		"Fig. 11: EU countries in 500-km doughnuts around the Amsterdam server (LoL)",
+		"Amsterdam", names)}, nil
+}
+
+func runFig12(o Options) ([]*Table, error) {
+	gaz := geo.World()
+	miami := gaz.City("Miami", "United States")
+	out := make([]*Table, 0, 2)
+	for _, anchor := range []struct{ name, country string }{
+		{"El Salvador", ""}, {"Jamaica", ""},
+	} {
+		var ap *geo.Place
+		if anchor.country != "" {
+			ap = gaz.Country(anchor.country)
+		} else {
+			ap = gaz.Country(anchor.name)
+		}
+		if ap == nil {
+			continue
+		}
+		anchorKM := geo.CorrectedDistanceKM(ap, miami)
+		// Peers: LAN-area places within ±200 km of the anchor's corrected
+		// distance to Miami.
+		names := [][2]string{{anchor.name, ""}}
+		lanCountries := map[string]bool{
+			"Mexico": true, "Guatemala": true, "Honduras": true,
+			"Nicaragua": true, "Costa Rica": true, "Panama": true,
+			"Colombia": true, "Dominican Republic": true,
+			"El Salvador": true, "Jamaica": true,
+		}
+		for _, p := range append(gaz.All(geo.KindRegion), gaz.All(geo.KindCountry)...) {
+			country := p.Country
+			if p.Kind == geo.KindCountry {
+				country = p.Name
+			}
+			if !lanCountries[country] || p.Name == anchor.name {
+				continue
+			}
+			km := geo.CorrectedDistanceKM(p, miami)
+			if km >= anchorKM-200 && km <= anchorKM+200 {
+				if p.Kind == geo.KindCountry {
+					names = append(names, [2]string{p.Name, ""})
+				} else {
+					names = append(names, [2]string{p.Name, p.Country})
+				}
+			}
+		}
+		groups := buildRegionalWorld(o, o.scaled(50), 0, names)
+		t := &Table{
+			Title: fmt.Sprintf("Fig. 12: %s vs peers at ±200 km of the Miami server distance (%.0f km)",
+				anchor.name, anchorKM),
+			Header: []string{"location", "corr. dist [km]", "p25", "p50", "p75"},
+		}
+		for _, g := range groups {
+			if len(g.Dist) == 0 {
+				continue
+			}
+			t.AddRow(g.Place.Name, f1(geo.CorrectedDistanceKM(g.Place, miami)),
+				f1(g.Box.P25), f1(g.Box.P50), f1(g.Box.P75))
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}

@@ -1,0 +1,151 @@
+// Package experiments contains one runner per table and figure of the
+// paper's evaluation (§4-§6 and the appendix), over the synthetic world.
+// Each runner returns printable tables; cmd/teroexp and the repository
+// benchmarks call into here. DESIGN.md holds the experiment index and
+// EXPERIMENTS.md records paper-versus-measured outcomes.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Options tunes experiment scale.
+type Options struct {
+	// Seed for the synthetic world.
+	Seed int64
+	// Scale multiplies default workload sizes (1.0 = default; benchmarks
+	// use less, full runs more).
+	Scale float64
+}
+
+// DefaultOptions returns the standard configuration.
+func DefaultOptions() Options { return Options{Seed: 1, Scale: 1} }
+
+func (o Options) scaled(n int) int {
+	if o.Scale <= 0 {
+		return n
+	}
+	v := int(float64(n) * o.Scale)
+	if v < 1 {
+		v = 1
+	}
+	return v
+}
+
+// Table is a printable result table.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+	// Notes are printed under the table.
+	Notes []string
+}
+
+// AddRow appends a row of stringified cells.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	var sb strings.Builder
+	sb.WriteString("== " + t.Title + " ==\n")
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			sb.WriteString(c)
+			if i < len(widths) {
+				sb.WriteString(strings.Repeat(" ", widths[i]-len(c)))
+			}
+		}
+		sb.WriteString("\n")
+	}
+	line(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		sb.WriteString("note: " + n + "\n")
+	}
+	return sb.String()
+}
+
+// Runner executes one experiment.
+type Runner func(Options) ([]*Table, error)
+
+// registry maps experiment IDs to runners; populated by init() functions in
+// the per-experiment files.
+var registry = map[string]Runner{}
+
+// descriptions holds a one-line summary per experiment.
+var descriptions = map[string]string{}
+
+func register(id, desc string, r Runner) {
+	registry[id] = r
+	descriptions[id] = desc
+}
+
+// Run executes the experiment with the given ID.
+func Run(id string, o Options) ([]*Table, error) {
+	r, ok := registry[id]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown experiment %q (try List())", id)
+	}
+	return r(o)
+}
+
+// List returns all experiment IDs with descriptions, sorted.
+func List() [][2]string {
+	ids := make([]string, 0, len(registry))
+	for id := range registry {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	out := make([][2]string, len(ids))
+	for i, id := range ids {
+		out[i] = [2]string{id, descriptions[id]}
+	}
+	return out
+}
+
+// sortedKeys returns the map's keys in sorted order, so loops that consume
+// a shared random source are deterministic despite Go's randomized map
+// iteration.
+func sortedKeys[M map[string]V, V any](m M) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// f1 formats a float with one decimal.
+func f1(v float64) string { return fmt.Sprintf("%.1f", v) }
+
+// f2 formats a float with two decimals.
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+
+// pct formats a ratio as a percentage.
+func pct(v float64) string { return fmt.Sprintf("%.2f%%", 100*v) }
+
+// itoa formats an int.
+func itoa(v int) string { return fmt.Sprintf("%d", v) }

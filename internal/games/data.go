@@ -1,0 +1,170 @@
+package games
+
+import (
+	"time"
+
+	"tero/internal/geo"
+)
+
+// Server fleets follow App. C (Tables 6–7). Area-served rules are encoded
+// as explicit country lists (taking precedence) plus continent defaults.
+
+// riotServers is shared by League of Legends and Teamfight Tactics (same
+// provider and fleet, Table 6).
+var riotServers = []Server{
+	{Name: "EUW", City: "Amsterdam", Continents: []geo.Continent{geo.Europe, geo.Africa}},
+	{Name: "NA", City: "Chicago", Countries: []string{"United States", "Canada"}},
+	{Name: "BR", City: "Sao Paulo City", Countries: []string{"Brazil"}},
+	{Name: "LAN", City: "Miami", Countries: []string{"Mexico", "Guatemala", "El Salvador",
+		"Honduras", "Nicaragua", "Costa Rica", "Panama", "Jamaica", "Dominican Republic",
+		"Cuba", "Haiti", "Colombia", "Venezuela", "Ecuador", "Peru"}},
+	{Name: "LAS", City: "Santiago", Countries: []string{"Chile", "Argentina", "Uruguay",
+		"Paraguay", "Bolivia"}, Continents: []geo.Continent{geo.SouthAmerica}},
+	{Name: "OCE", City: "Sydney", Continents: []geo.Continent{geo.Oceania}},
+	{Name: "TR", City: "Istanbul", Countries: []string{"Turkey", "Saudi Arabia",
+		"United Arab Emirates", "Israel", "Iraq", "Iran", "Jordan", "Kuwait", "Qatar", "Egypt"}},
+	{Name: "KR", City: "Seoul", Countries: []string{"South Korea"}},
+	{Name: "JP", City: "Tokyo", Countries: []string{"Japan"}, Continents: []geo.Continent{geo.Asia}},
+}
+
+var dotaServers = []Server{
+	{Name: "US East", City: "Ashburn", Countries: []string{"United States", "Canada"}},
+	{Name: "US West", City: "Seattle", Countries: []string{"United States", "Canada"}},
+	{Name: "EU West", City: "Luxembourg City", Continents: []geo.Continent{geo.Europe, geo.Africa}},
+	{Name: "EU East", City: "Vienna", Continents: []geo.Continent{geo.Europe}},
+	{Name: "SA Santiago", City: "Santiago", Continents: []geo.Continent{geo.SouthAmerica}},
+	{Name: "SA Lima", City: "Lima", Continents: []geo.Continent{geo.SouthAmerica}},
+	{Name: "Middle East", City: "Dubai", Countries: []string{"Saudi Arabia",
+		"United Arab Emirates", "Turkey", "Israel", "Iraq", "Iran", "Jordan", "Kuwait", "Qatar"}},
+	{Name: "Oceania", City: "Sydney", Continents: []geo.Continent{geo.Oceania}},
+	{Name: "Asia", City: "Tokyo", Continents: []geo.Continent{geo.Asia}},
+	// Dota also serves Mexico/Central America from US servers.
+	{Name: "US South", City: "Dallas", Countries: []string{"Mexico", "Guatemala",
+		"El Salvador", "Honduras", "Nicaragua", "Costa Rica", "Panama", "Jamaica",
+		"Dominican Republic", "Cuba", "Haiti"}},
+}
+
+var genshinServers = []Server{
+	{Name: "America", City: "Ashburn", Continents: []geo.Continent{geo.NorthAmerica, geo.SouthAmerica}},
+	{Name: "Europe", City: "Frankfurt", Continents: []geo.Continent{geo.Europe, geo.Africa},
+		Countries: []string{"Turkey", "Saudi Arabia", "United Arab Emirates", "Israel"}},
+	{Name: "Asia", City: "Tokyo", Continents: []geo.Continent{geo.Asia, geo.Oceania}},
+}
+
+var lostArkServers = []Server{
+	{Name: "NA East", City: "Ashburn", Continents: []geo.Continent{geo.NorthAmerica, geo.SouthAmerica}},
+	{Name: "EU Central", City: "Frankfurt", Continents: []geo.Continent{geo.Europe, geo.Africa},
+		Countries: []string{"Turkey", "Saudi Arabia", "United Arab Emirates", "Israel"}},
+	{Name: "Asia", City: "Tokyo", Continents: []geo.Continent{geo.Asia}},
+}
+
+var amongUsServers = []Server{
+	{Name: "NA West", City: "Los Angeles", Continents: []geo.Continent{geo.NorthAmerica, geo.SouthAmerica, geo.Oceania}},
+	{Name: "NA Central", City: "Dallas", Continents: []geo.Continent{geo.NorthAmerica, geo.SouthAmerica, geo.Oceania}},
+	{Name: "Europe", City: "Frankfurt", Continents: []geo.Continent{geo.Europe, geo.Africa},
+		Countries: []string{"Turkey", "Saudi Arabia", "United Arab Emirates", "Israel"}},
+	{Name: "Asia", City: "Tokyo", Continents: []geo.Continent{geo.Asia}},
+}
+
+// codServers follows Table 7 (Call of Duty: Warzone / Modern Warfare).
+var codServers = []Server{
+	{Name: "Salt Lake City", City: "Salt Lake City", Continents: []geo.Continent{geo.NorthAmerica}},
+	{Name: "Los Angeles", City: "Los Angeles", Continents: []geo.Continent{geo.NorthAmerica}},
+	{Name: "San Francisco", City: "San Francisco", Continents: []geo.Continent{geo.NorthAmerica}},
+	{Name: "Dallas", City: "Dallas", Continents: []geo.Continent{geo.NorthAmerica}},
+	{Name: "St. Louis", City: "St. Louis", Continents: []geo.Continent{geo.NorthAmerica}},
+	{Name: "Columbus", City: "Columbus", Continents: []geo.Continent{geo.NorthAmerica}},
+	{Name: "New York", City: "New York City", Continents: []geo.Continent{geo.NorthAmerica}},
+	{Name: "Chicago", City: "Chicago", Continents: []geo.Continent{geo.NorthAmerica}},
+	{Name: "Washington", City: "Washington City", Continents: []geo.Continent{geo.NorthAmerica}},
+	{Name: "Atlanta", City: "Atlanta", Continents: []geo.Continent{geo.NorthAmerica}},
+	{Name: "London", City: "London", Continents: []geo.Continent{geo.Europe}},
+	{Name: "Frankfurt", City: "Frankfurt", Continents: []geo.Continent{geo.Europe}},
+	{Name: "Amsterdam", City: "Amsterdam", Continents: []geo.Continent{geo.Europe}},
+	{Name: "Brussels", City: "Brussels", Continents: []geo.Continent{geo.Europe}},
+	{Name: "Paris", City: "Paris", Continents: []geo.Continent{geo.Europe}},
+	{Name: "Madrid", City: "Madrid", Continents: []geo.Continent{geo.Europe}},
+	{Name: "Stockholm", City: "Stockholm", Continents: []geo.Continent{geo.Europe}},
+	{Name: "Rome", City: "Rome", Continents: []geo.Continent{geo.Europe}},
+	{Name: "Santiago", City: "Santiago", Continents: []geo.Continent{geo.SouthAmerica}},
+	{Name: "Lima", City: "Lima", Continents: []geo.Continent{geo.SouthAmerica}},
+	{Name: "Sao Paulo", City: "Sao Paulo City", Continents: []geo.Continent{geo.SouthAmerica}},
+	{Name: "Riyadh", City: "Riyadh", Countries: []string{"Saudi Arabia", "United Arab Emirates",
+		"Turkey", "Israel", "Iraq", "Iran", "Jordan", "Kuwait", "Qatar", "Egypt"}},
+	{Name: "Sydney", City: "Sydney", Continents: []geo.Continent{geo.Oceania}},
+	{Name: "Tokyo", City: "Tokyo", Continents: []geo.Continent{geo.Asia}},
+}
+
+// All lists the nine games processed by the reproduction, mirroring the
+// paper (§5.1: 9 games; App. C: server info found for 8 of them — here
+// Valorant is the one with an undisclosed fleet).
+var All = []*Game{
+	{
+		Name: "League of Legends", Slug: "lol",
+		UI:        UISpec{Anchor: TopRight, OffsetX: 8, OffsetY: 6, Suffix: " ms", Scale: 1},
+		Servers:   riotServers,
+		StableLen: 30 * time.Minute, MatchLen: 30 * time.Minute,
+		ZeroWhileWaiting: true,
+	},
+	{
+		Name: "Teamfight Tactics", Slug: "tft",
+		UI:        UISpec{Anchor: TopRight, OffsetX: 10, OffsetY: 10, Suffix: "ms", Scale: 1},
+		Servers:   riotServers,
+		StableLen: 30 * time.Minute, MatchLen: 35 * time.Minute,
+		ZeroWhileWaiting: true,
+	},
+	{
+		Name: "Call of Duty Warzone", Slug: "cod",
+		UI:        UISpec{Anchor: TopLeft, OffsetX: 10, OffsetY: 12, Prefix: "Latency: ", Suffix: "ms", Scale: 1},
+		Servers:   codServers,
+		StableLen: 30 * time.Minute, MatchLen: 25 * time.Minute,
+	},
+	{
+		Name: "Genshin Impact", Slug: "genshin",
+		UI:        UISpec{Anchor: TopRight, OffsetX: 6, OffsetY: 4, Suffix: " ms", Scale: 1},
+		Servers:   genshinServers,
+		StableLen: 30 * time.Minute, MatchLen: 45 * time.Minute,
+	},
+	{
+		Name: "Dota 2", Slug: "dota2",
+		UI:        UISpec{Anchor: BottomRight, OffsetX: 12, OffsetY: 8, Prefix: "ping: ", Scale: 1},
+		Servers:   dotaServers,
+		StableLen: 30 * time.Minute, MatchLen: 40 * time.Minute,
+		ZeroWhileWaiting: true,
+	},
+	{
+		Name: "Among Us", Slug: "amongus",
+		UI:        UISpec{Anchor: TopLeft, OffsetX: 14, OffsetY: 8, Prefix: "Ping: ", Suffix: " ms", Scale: 1},
+		Servers:   amongUsServers,
+		StableLen: 30 * time.Minute, MatchLen: 12 * time.Minute,
+	},
+	{
+		Name: "Lost Ark", Slug: "lostark",
+		UI:        UISpec{Anchor: BottomLeft, OffsetX: 10, OffsetY: 10, Suffix: "ms", Scale: 1},
+		Servers:   lostArkServers,
+		StableLen: 30 * time.Minute, MatchLen: 60 * time.Minute,
+	},
+	{
+		Name: "Apex Legends", Slug: "apex",
+		UI:        UISpec{Anchor: TopRight, OffsetX: 12, OffsetY: 14, Prefix: "Ping ", Suffix: "ms", Scale: 1},
+		Servers:   codServers[:18], // similar broad fleet in NA/EU
+		StableLen: 30 * time.Minute, MatchLen: 20 * time.Minute,
+	},
+	{
+		Name: "Valorant", Slug: "valorant",
+		UI:        UISpec{Anchor: TopLeft, OffsetX: 8, OffsetY: 6, Suffix: " ms", Scale: 1},
+		Servers:   nil, // undisclosed fleet (the paper found info for 8 of 9)
+		StableLen: 30 * time.Minute, MatchLen: 35 * time.Minute,
+		ZeroWhileWaiting: true,
+	},
+}
+
+// ByName returns the game with the given name or slug, or nil.
+func ByName(name string) *Game {
+	for _, g := range All {
+		if g.Name == name || g.Slug == name {
+			return g
+		}
+	}
+	return nil
+}

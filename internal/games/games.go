@@ -1,0 +1,215 @@
+// Package games defines the online video games processed by the Tero
+// reproduction: their on-screen latency UI (where and how latency is
+// displayed, used both to render synthetic thumbnails and as the
+// game-knowledge that the image-processing module exploits, §3.2), their
+// server fleets with locations and served areas (App. C, Tables 6–7), and
+// per-game analysis parameters such as StableLen (App. I).
+package games
+
+import (
+	"fmt"
+	"time"
+
+	"tero/internal/geo"
+	"tero/internal/imaging"
+)
+
+// ThumbW and ThumbH are the dimensions of a Twitch thumbnail in the
+// simulation (the real ones are larger; the paper reports the latency text
+// itself averages 75 dpi, which the 5×7 font at scale 1-2 mimics).
+const (
+	ThumbW = 320
+	ThumbH = 180
+)
+
+// Corner anchors a UI element to one corner of the screen.
+type Corner int
+
+// Screen corners for UI anchors.
+const (
+	TopLeft Corner = iota
+	TopRight
+	BottomLeft
+	BottomRight
+)
+
+// UISpec describes where and how a game displays its latency.
+type UISpec struct {
+	Anchor Corner
+	// OffsetX/OffsetY are distances (px) from the anchored corner.
+	OffsetX, OffsetY int
+	// Prefix and Suffix are the text around the number, e.g. "Ping: " and
+	// " ms". Either may be empty.
+	Prefix, Suffix string
+	// Scale is the integer font scale used by the game.
+	Scale int
+}
+
+// Format renders the latency display string for the given value.
+func (u UISpec) Format(ms int) string {
+	return fmt.Sprintf("%s%d%s", u.Prefix, ms, u.Suffix)
+}
+
+// TextOrigin returns the top-left pixel of the rendered display for a given
+// text width and height on a ThumbW×ThumbH thumbnail.
+func (u UISpec) TextOrigin(textW, textH int) (x, y int) {
+	switch u.Anchor {
+	case TopLeft:
+		return u.OffsetX, u.OffsetY
+	case TopRight:
+		return ThumbW - u.OffsetX - textW, u.OffsetY
+	case BottomLeft:
+		return u.OffsetX, ThumbH - u.OffsetY - textH
+	default: // BottomRight
+		return ThumbW - u.OffsetX - textW, ThumbH - u.OffsetY - textH
+	}
+}
+
+// CropRect returns the region of the thumbnail where this game displays
+// latency, padded by pad pixels — the game-specific crop that Tero's
+// image-processing module applies before OCR (§3.2 step 1).
+func (u UISpec) CropRect(pad int) imaging.Rect {
+	// The widest realistic display: prefix + 3 digits + suffix.
+	maxText := u.Format(888)
+	w := textWidth(maxText, u.Scale)
+	h := 7 * u.Scale
+	x, y := u.TextOrigin(w, h)
+	return imaging.Rect{X0: x - pad, Y0: y - pad, X1: x + w + pad, Y1: y + h + pad}.
+		Clamp(ThumbW, ThumbH)
+}
+
+// textWidth mirrors font.TextWidth without importing it (avoids a cycle for
+// packages that want games without the font).
+func textWidth(s string, scale int) int {
+	if scale < 1 {
+		scale = 1
+	}
+	n := len([]rune(s))
+	if n == 0 {
+		return 0
+	}
+	return (n*6 - 1) * scale
+}
+
+// Server is one game-server deployment.
+type Server struct {
+	Name string
+	// City is the gazetteer city name of the server location.
+	City string
+	// Countries lists countries explicitly served by this server (canonical
+	// gazetteer names); takes precedence over Continents.
+	Countries []string
+	// Continents lists continents served when no country rule matches.
+	Continents []geo.Continent
+}
+
+// Game describes one processed video game.
+type Game struct {
+	Name string
+	Slug string
+	UI   UISpec
+	// Servers is the fleet (nil for games with undisclosed server locations).
+	Servers []Server
+	// StableLen is the minimum time a player must stay on one server before
+	// switching (the segment-stability threshold, §3.3.1). App. I settles on
+	// 30 minutes for all games.
+	StableLen time.Duration
+	// MatchLen is the typical match duration, used by the world simulator.
+	MatchLen time.Duration
+	// ZeroWhileWaiting: some games show latency 0 in lobbies (App. E).
+	ZeroWhileWaiting bool
+}
+
+// covers reports whether server s serves the given place and how
+// specifically: 2 = country rule, 1 = continent rule, 0 = not served.
+func (s *Server) covers(p *geo.Place) int {
+	for _, c := range s.Countries {
+		if c == p.Country || (p.Kind == geo.KindCountry && c == p.Name) {
+			return 2
+		}
+	}
+	for _, ct := range s.Continents {
+		if ct == p.Continent {
+			return 1
+		}
+	}
+	return 0
+}
+
+// resolveCity maps a server city name to a gazetteer place, preferring
+// city-kind entries over same-named regions or countries.
+func resolveCity(gaz *geo.Gazetteer, name string) *geo.Place {
+	var fallback *geo.Place
+	for _, p := range gaz.Lookup(name) {
+		if p.Kind == geo.KindCity {
+			return p
+		}
+		if fallback == nil {
+			fallback = p
+		}
+	}
+	return fallback
+}
+
+// PrimaryServer returns the server on which players from the given place
+// are expected to play (§3.3.3): among the servers whose area covers the
+// place (country rules beating continent rules), the one with the smallest
+// corrected distance. Games without disclosed servers return nil.
+func (g *Game) PrimaryServer(p *geo.Place, gaz *geo.Gazetteer) *Server {
+	if len(g.Servers) == 0 || p == nil {
+		return nil
+	}
+	best := -1
+	bestSpec := -1
+	bestDist := 0.0
+	for i := range g.Servers {
+		s := &g.Servers[i]
+		spec := s.covers(p)
+		if spec == 0 {
+			continue
+		}
+		sp := resolveCity(gaz, s.City)
+		if sp == nil {
+			continue
+		}
+		d := geo.CorrectedDistanceKM(p, sp)
+		if spec > bestSpec || (spec == bestSpec && d < bestDist) {
+			best, bestSpec, bestDist = i, spec, d
+		}
+	}
+	if best < 0 {
+		// Fall back to globally closest server.
+		for i := range g.Servers {
+			sp := resolveCity(gaz, g.Servers[i].City)
+			if sp == nil {
+				continue
+			}
+			d := geo.CorrectedDistanceKM(p, sp)
+			if best < 0 || d < bestDist {
+				best, bestDist = i, d
+			}
+		}
+	}
+	if best < 0 {
+		return nil
+	}
+	return &g.Servers[best]
+}
+
+// ServerPlace resolves a server's city to a gazetteer place.
+func (g *Game) ServerPlace(s *Server, gaz *geo.Gazetteer) *geo.Place {
+	if s == nil {
+		return nil
+	}
+	return resolveCity(gaz, s.City)
+}
+
+// ServerByName returns the named server, or nil.
+func (g *Game) ServerByName(name string) *Server {
+	for i := range g.Servers {
+		if g.Servers[i].Name == name {
+			return &g.Servers[i]
+		}
+	}
+	return nil
+}

@@ -1,0 +1,173 @@
+package games
+
+import (
+	"testing"
+
+	"tero/internal/geo"
+)
+
+func TestNineGames(t *testing.T) {
+	if len(All) != 9 {
+		t.Fatalf("games = %d, want 9 (§5.1)", len(All))
+	}
+	withServers := 0
+	slugs := map[string]bool{}
+	for _, g := range All {
+		if slugs[g.Slug] {
+			t.Errorf("duplicate slug %q", g.Slug)
+		}
+		slugs[g.Slug] = true
+		if len(g.Servers) > 0 {
+			withServers++
+		}
+		if g.StableLen <= 0 || g.MatchLen <= 0 {
+			t.Errorf("%s: missing durations", g.Name)
+		}
+		if g.UI.Scale < 1 {
+			t.Errorf("%s: bad UI scale", g.Name)
+		}
+	}
+	if withServers != 8 {
+		t.Fatalf("games with server info = %d, want 8 (App. C)", withServers)
+	}
+}
+
+func TestByName(t *testing.T) {
+	if ByName("League of Legends") == nil || ByName("lol") == nil {
+		t.Fatal("ByName lookup failed")
+	}
+	if ByName("Pong") != nil {
+		t.Fatal("unknown game should be nil")
+	}
+}
+
+func TestServerCitiesResolve(t *testing.T) {
+	gaz := geo.World()
+	for _, g := range All {
+		for i := range g.Servers {
+			s := &g.Servers[i]
+			if p := g.ServerPlace(s, gaz); p == nil {
+				t.Errorf("%s/%s: city %q not in gazetteer", g.Name, s.Name, s.City)
+			}
+			for _, c := range s.Countries {
+				if gaz.Country(c) == nil {
+					t.Errorf("%s/%s: served country %q not in gazetteer", g.Name, s.Name, c)
+				}
+			}
+		}
+	}
+}
+
+func TestPrimaryServerAssignments(t *testing.T) {
+	gaz := geo.World()
+	lol := ByName("lol")
+	cases := []struct {
+		loc  geo.Location
+		want string
+	}{
+		// "There is one League of Legends server in Europe (in Amsterdam),
+		// and all players from Europe are supposed to play there."
+		{geo.Location{Country: "Greece"}, "EUW"},
+		{geo.Location{Country: "Switzerland"}, "EUW"},
+		{geo.Location{Region: "Hawaii", Country: "United States"}, "NA"},
+		{geo.Location{Region: "California", Country: "United States"}, "NA"},
+		{geo.Location{Country: "Brazil"}, "BR"},
+		{geo.Location{Country: "Bolivia"}, "LAS"},
+		{geo.Location{Country: "El Salvador"}, "LAN"},
+		{geo.Location{Country: "Jamaica"}, "LAN"},
+		{geo.Location{Country: "Turkey"}, "TR"},
+		{geo.Location{Country: "Saudi Arabia"}, "TR"},
+		{geo.Location{Country: "South Korea"}, "KR"},
+		{geo.Location{Country: "Japan"}, "JP"},
+		{geo.Location{Country: "Australia"}, "OCE"},
+		{geo.Location{Country: "Ecuador"}, "LAN"},
+	}
+	for _, c := range cases {
+		p := gaz.Resolve(c.loc)
+		if p == nil {
+			t.Fatalf("cannot resolve %v", c.loc)
+		}
+		s := lol.PrimaryServer(p, gaz)
+		if s == nil {
+			t.Fatalf("%v: no server", c.loc)
+		}
+		if s.Name != c.want {
+			t.Errorf("%v -> %s, want %s", c.loc, s.Name, c.want)
+		}
+	}
+}
+
+func TestPrimaryServerCoDPicksClosest(t *testing.T) {
+	// CoD has 10 NA servers; players are assigned by smallest corrected
+	// distance. Illinois streamers must land on the Chicago server.
+	gaz := geo.World()
+	cod := ByName("cod")
+	il := gaz.Region("Illinois", "United States")
+	s := cod.PrimaryServer(il, gaz)
+	if s == nil || s.Name != "Chicago" {
+		t.Fatalf("Illinois CoD server = %v, want Chicago", s)
+	}
+	ga := gaz.Region("Georgia", "United States")
+	s = cod.PrimaryServer(ga, gaz)
+	if s == nil || s.Name != "Atlanta" {
+		t.Fatalf("Georgia CoD server = %v, want Atlanta", s)
+	}
+}
+
+func TestPrimaryServerNilCases(t *testing.T) {
+	gaz := geo.World()
+	val := ByName("valorant")
+	us := gaz.Country("United States")
+	if val.PrimaryServer(us, gaz) != nil {
+		t.Fatal("game without fleet must return nil")
+	}
+	lol := ByName("lol")
+	if lol.PrimaryServer(nil, gaz) != nil {
+		t.Fatal("nil place must return nil")
+	}
+	if lol.ServerByName("EUW") == nil || lol.ServerByName("XX") != nil {
+		t.Fatal("ServerByName")
+	}
+}
+
+func TestUISpecFormatAndOrigin(t *testing.T) {
+	ui := UISpec{Anchor: TopRight, OffsetX: 8, OffsetY: 6, Suffix: " ms", Scale: 1}
+	if got := ui.Format(42); got != "42 ms" {
+		t.Fatalf("Format = %q", got)
+	}
+	x, y := ui.TextOrigin(29, 7)
+	if x != ThumbW-8-29 || y != 6 {
+		t.Fatalf("TopRight origin = (%d,%d)", x, y)
+	}
+	ui.Anchor = BottomLeft
+	x, y = ui.TextOrigin(29, 7)
+	if x != 8 || y != ThumbH-6-7 {
+		t.Fatalf("BottomLeft origin = (%d,%d)", x, y)
+	}
+}
+
+func TestCropRectContainsDisplay(t *testing.T) {
+	// The game-knowledge crop must contain the rendered text for any
+	// realistic latency value, for every game.
+	for _, g := range All {
+		crop := g.UI.CropRect(4)
+		if crop.Empty() {
+			t.Fatalf("%s: empty crop", g.Name)
+		}
+		for _, ms := range []int{1, 9, 42, 110, 345, 888} {
+			text := g.UI.Format(ms)
+			w := textWidth(text, g.UI.Scale)
+			h := 7 * g.UI.Scale
+			x, y := g.UI.TextOrigin(w, h)
+			if x < crop.X0 || y < crop.Y0 || x+w > crop.X1 || y+h > crop.Y1 {
+				t.Errorf("%s: %dms display (%d,%d,%d,%d) outside crop %+v",
+					g.Name, ms, x, y, x+w, y+h, crop)
+			}
+		}
+		// The crop must be a small fraction of the thumbnail (that is its
+		// entire point, §3.2).
+		if area := crop.Width() * crop.Height(); area > ThumbW*ThumbH/4 {
+			t.Errorf("%s: crop too large (%d px²)", g.Name, area)
+		}
+	}
+}

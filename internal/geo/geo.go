@@ -1,0 +1,204 @@
+// Package geo provides the geographic substrate of the Tero reproduction:
+// location tuples at {city, region, country} granularity, an embedded world
+// gazetteer with coordinates, population and streaming-popularity weights,
+// geodesic (haversine) distances, and the paper's "corrected distance"
+// (§3.3.3) used to normalize latency distributions and to pick primary
+// servers.
+package geo
+
+import (
+	"math"
+	"strings"
+)
+
+// Continent identifies one of the six inhabited continents, using the
+// paper's Fig. 7 abbreviations.
+type Continent string
+
+// Continent codes as used in Fig. 7.
+const (
+	Asia         Continent = "AS"
+	Africa       Continent = "AF"
+	Europe       Continent = "EU"
+	NorthAmerica Continent = "NA"
+	SouthAmerica Continent = "SA"
+	Oceania      Continent = "OC"
+)
+
+// Continents lists all continents in Fig. 7 order.
+var Continents = []Continent{Asia, Africa, Europe, NorthAmerica, SouthAmerica, Oceania}
+
+// Kind classifies a gazetteer place by granularity.
+type Kind int
+
+// Gazetteer place granularities, from most general to most specific.
+const (
+	KindCountry Kind = iota
+	KindRegion
+	KindCity
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindCountry:
+		return "country"
+	case KindRegion:
+		return "region"
+	case KindCity:
+		return "city"
+	}
+	return "unknown"
+}
+
+// Location is the {city, region, country} tuple Tero outputs for a streamer
+// (§3.1). City and Region may be empty when only coarser granularity is
+// known; Country is always set for a valid location.
+type Location struct {
+	City    string
+	Region  string
+	Country string
+}
+
+// IsZero reports whether no component of the location is set.
+func (l Location) IsZero() bool { return l.City == "" && l.Region == "" && l.Country == "" }
+
+// Granularity returns the finest kind of information present.
+func (l Location) Granularity() Kind {
+	switch {
+	case l.City != "":
+		return KindCity
+	case l.Region != "":
+		return KindRegion
+	default:
+		return KindCountry
+	}
+}
+
+// String renders the location as "City, Region, Country" omitting empty parts.
+func (l Location) String() string {
+	parts := make([]string, 0, 3)
+	for _, p := range []string{l.City, l.Region, l.Country} {
+		if p != "" {
+			parts = append(parts, p)
+		}
+	}
+	if len(parts) == 0 {
+		return "<unknown>"
+	}
+	return strings.Join(parts, ", ")
+}
+
+// Key returns a stable map key for the location.
+func (l Location) Key() string {
+	return strings.ToLower(l.City) + "|" + strings.ToLower(l.Region) + "|" + strings.ToLower(l.Country)
+}
+
+// Equal reports whether two locations are identical tuples.
+func (l Location) Equal(o Location) bool { return l == o }
+
+// Subsumes reports whether l is a (strictly or equally) more general
+// location that is compatible with o — e.g. {Region: California, Country:
+// USA} subsumes {City: Los Angeles, Region: California, Country: USA}.
+// This implements the compatibility rule of §3.1 item (3).
+func (l Location) Subsumes(o Location) bool {
+	if l.Country != "" && !strings.EqualFold(l.Country, o.Country) {
+		return false
+	}
+	if l.Region != "" && !strings.EqualFold(l.Region, o.Region) {
+		return false
+	}
+	if l.City != "" && !strings.EqualFold(l.City, o.City) {
+		return false
+	}
+	return l.Country != "" || l.Region != "" || l.City != ""
+}
+
+// Compatible reports whether one of the two locations subsumes the other.
+func (l Location) Compatible(o Location) bool {
+	return l.Subsumes(o) || o.Subsumes(l)
+}
+
+// MoreComplete returns the more specific of two compatible locations. When
+// the two are equally specific, l is returned.
+func (l Location) MoreComplete(o Location) Location {
+	if o.Granularity() > l.Granularity() {
+		return o
+	}
+	return l
+}
+
+// RegionKey returns the location truncated to region granularity — the
+// aggregation level used for shared-anomaly detection (§3.3.2): streamers
+// from the same region typically play on the same server and share
+// infrastructure.
+func (l Location) RegionKey() Location {
+	return Location{Region: l.Region, Country: l.Country}
+}
+
+// CountryKey returns the location truncated to country granularity.
+func (l Location) CountryKey() Location {
+	return Location{Country: l.Country}
+}
+
+// Place is one gazetteer entry.
+type Place struct {
+	Name      string
+	Kind      Kind
+	Country   string // canonical country name; empty only for countries themselves
+	Region    string // canonical region name, set for cities inside a known region
+	Lat, Lon  float64
+	SpreadKM  float64 // average distance of a point in the place to its geometric center
+	Pop       int64   // approximate population (disambiguation prior & world-sim weight)
+	Continent Continent
+	// InternetFrac is the approximate fraction of the population online
+	// (countries only; used by Fig. 7).
+	InternetFrac float64
+	// TwitchWeight scales how popular streaming is at this place relative to
+	// population (countries only; used by the world simulator to reproduce
+	// the paper's streamer-bias coverage, Fig. 7).
+	TwitchWeight float64
+	Aliases      []string
+}
+
+// Location returns the location tuple that the place denotes.
+func (p *Place) Location() Location {
+	switch p.Kind {
+	case KindCountry:
+		return Location{Country: p.Name}
+	case KindRegion:
+		return Location{Region: p.Name, Country: p.Country}
+	default:
+		return Location{City: p.Name, Region: p.Region, Country: p.Country}
+	}
+}
+
+// EarthRadiusKM is the mean Earth radius used for geodesic distances.
+const EarthRadiusKM = 6371.0
+
+// HaversineKM returns the great-circle distance in kilometers between two
+// (lat, lon) points given in degrees.
+func HaversineKM(lat1, lon1, lat2, lon2 float64) float64 {
+	const deg = math.Pi / 180
+	phi1, phi2 := lat1*deg, lat2*deg
+	dPhi := (lat2 - lat1) * deg
+	dLam := (lon2 - lon1) * deg
+	a := math.Sin(dPhi/2)*math.Sin(dPhi/2) +
+		math.Cos(phi1)*math.Cos(phi2)*math.Sin(dLam/2)*math.Sin(dLam/2)
+	return 2 * EarthRadiusKM * math.Asin(math.Min(1, math.Sqrt(a)))
+}
+
+// DistanceKM returns the geodesic distance between the geometric centers of
+// two places.
+func DistanceKM(a, b *Place) float64 {
+	return HaversineKM(a.Lat, a.Lon, b.Lat, b.Lon)
+}
+
+// CorrectedDistanceKM implements the paper's corrected distance (§3.3.3)
+// between a streamer location and a server location: the geodesic distance
+// between the geometric centers plus the average distance of any point in
+// the streamer's location from that location's center. The second component
+// matters most when streamer and server share a location (plain geodesic
+// distance would be zero).
+func CorrectedDistanceKM(streamer, server *Place) float64 {
+	return DistanceKM(streamer, server) + streamer.SpreadKM
+}

@@ -1,0 +1,145 @@
+package geoparse
+
+import (
+	"strings"
+
+	"tero/internal/geo"
+)
+
+// ConservativeFilter implements App. D.1: a tool's output location is
+// accepted only if the input text contains the country or region name of
+// the output (canonical names or aliases, case-insensitive). "Join us in
+// Detroit" → (US, Michigan, Detroit) is rejected because neither "United
+// States" nor "Michigan" appears in the text.
+func ConservativeFilter(gaz *geo.Gazetteer, text string, loc geo.Location) bool {
+	norm := " " + geo.Normalize(text) + " "
+	contains := func(name string) bool {
+		n := geo.Normalize(name)
+		// Two-letter aliases like "US" collide with ordinary words
+		// ("join us in Detroit"): too weak as filter evidence.
+		if len(n) < 3 || commonWords[n] {
+			return false
+		}
+		return strings.Contains(norm, " "+n+" ") ||
+			strings.Contains(norm, n+",") // "Miami, Florida"
+	}
+	// Country names and aliases.
+	if c := gaz.Country(loc.Country); c != nil {
+		if contains(c.Name) {
+			return true
+		}
+		for _, a := range c.Aliases {
+			if contains(a) {
+				return true
+			}
+		}
+	} else if contains(loc.Country) {
+		return true
+	}
+	// Region names and aliases.
+	if loc.Region != "" {
+		if r := gaz.Region(loc.Region, loc.Country); r != nil {
+			if contains(r.Name) {
+				return true
+			}
+			for _, a := range r.Aliases {
+				if contains(a) {
+					return true
+				}
+			}
+		} else if contains(loc.Region) {
+			return true
+		}
+	}
+	return false
+}
+
+// CombineResult is the outcome of a tool combination.
+type CombineResult struct {
+	Loc geo.Location
+	OK  bool
+	// Reason records which rule accepted the location: "filter",
+	// "agreement", "subsumption", or "" when not accepted.
+	Reason string
+}
+
+// ToolOutput pairs a tool with its (possibly multiple) extractions.
+type ToolOutput struct {
+	Tool string
+	Locs []geo.Location
+}
+
+// RunTools applies every tool to the text.
+func RunTools(tools []Tool, text string) []ToolOutput {
+	out := make([]ToolOutput, 0, len(tools))
+	for _, t := range tools {
+		out = append(out, ToolOutput{Tool: t.Name(), Locs: t.Extract(text)})
+	}
+	return out
+}
+
+// CombineTwitch implements the §3.1 acceptance rules over geocoder outputs
+// for a Twitch description: accept L when (1) a tool's output passes the
+// conservative filter, or (2) at least two tools output L (compatible
+// tuples count, keeping the more complete), or (3) one tool outputs L and
+// another outputs a more general compatible location.
+func CombineTwitch(gaz *geo.Gazetteer, text string, outputs []ToolOutput) CombineResult {
+	// Rule 1: conservative filter on each tool's primary output.
+	for _, o := range outputs {
+		if len(o.Locs) == 0 {
+			continue
+		}
+		if ConservativeFilter(gaz, text, o.Locs[0]) {
+			return CombineResult{Loc: gaz.Canonicalize(o.Locs[0]), OK: true, Reason: "filter"}
+		}
+	}
+	// Rules 2-3: pairwise agreement/subsumption across tools. Mordecai's
+	// multiple candidates each participate.
+	for i := 0; i < len(outputs); i++ {
+		for _, li := range outputs[i].Locs {
+			for j := i + 1; j < len(outputs); j++ {
+				for _, lj := range outputs[j].Locs {
+					ci := gaz.Canonicalize(li)
+					cj := gaz.Canonicalize(lj)
+					if ci.Equal(cj) {
+						return CombineResult{Loc: ci, OK: true, Reason: "agreement"}
+					}
+					if ci.Compatible(cj) {
+						return CombineResult{Loc: ci.MoreComplete(cj), OK: true, Reason: "subsumption"}
+					}
+				}
+			}
+		}
+	}
+	return CombineResult{}
+}
+
+// CombineTwitter implements App. D.3 for a Twitter location field: run
+// Nominatim and GeoNames; if they agree or one subsumes the other, accept
+// the more complete output; otherwise fall back to processing the field as
+// a Twitch description with the geocoder stack.
+func CombineTwitter(gaz *geo.Gazetteer, field string, nominatim, geonames Tool, twitchTools []Tool) CombineResult {
+	a := nominatim.Extract(field)
+	b := geonames.Extract(field)
+	if len(a) > 0 && len(b) > 0 {
+		ca := gaz.Canonicalize(a[0])
+		cb := gaz.Canonicalize(b[0])
+		if ca.Equal(cb) {
+			return CombineResult{Loc: ca, OK: true, Reason: "agreement"}
+		}
+		if ca.Compatible(cb) {
+			return CombineResult{Loc: ca.MoreComplete(cb), OK: true, Reason: "subsumption"}
+		}
+	}
+	return CombineTwitch(gaz, field, RunTools(twitchTools, field))
+}
+
+// DefaultTwitchTools returns the three geocoders in paper order.
+func DefaultTwitchTools(gaz *geo.Gazetteer) []Tool {
+	return []Tool{&CLIFF{Gaz: gaz}, &Xponents{Gaz: gaz}, &Mordecai{Gaz: gaz}}
+}
+
+// DefaultTwitterTools returns the two geoparsers.
+func DefaultTwitterTools(gaz *geo.Gazetteer) (nominatim, geonames Tool) {
+	return &Nominatim{Gaz: gaz}, &GeoNames{Gaz: gaz}
+}

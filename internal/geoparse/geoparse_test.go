@@ -1,0 +1,198 @@
+package geoparse
+
+import (
+	"testing"
+
+	"tero/internal/geo"
+)
+
+func gaz() *geo.Gazetteer { return geo.World() }
+
+func TestCLIFFFindsCapitalizedPlaces(t *testing.T) {
+	c := &CLIFF{Gaz: gaz()}
+	locs := c.Extract("Join us in Detroit!")
+	if len(locs) != 1 || locs[0].City != "Detroit" {
+		t.Fatalf("locs = %v", locs)
+	}
+	// Lowercase mention is ignored (proper-noun heuristic).
+	if locs := c.Extract("i love detroit pizza"); len(locs) != 0 {
+		t.Fatalf("lowercase matched: %v", locs)
+	}
+	// No location at all.
+	if locs := c.Extract("Gaming and coffee every day"); len(locs) != 0 {
+		t.Fatalf("phantom location: %v", locs)
+	}
+}
+
+func TestCLIFFAmbiguityGoesToPopulous(t *testing.T) {
+	c := &CLIFF{Gaz: gaz()}
+	// "Paris" alone resolves to Paris, France (most populous) — which is
+	// an error when the streamer means Paris, Texas. This is the error
+	// mode Table 3 quantifies.
+	locs := c.Extract("Streaming from Paris")
+	if len(locs) != 1 || locs[0].Country != "France" {
+		t.Fatalf("locs = %v", locs)
+	}
+}
+
+func TestXponentsPrefixMatch(t *testing.T) {
+	x := &Xponents{Gaz: gaz()}
+	// "Denmarkian" → Denmark (the paper's example of informal text that
+	// confuses tools).
+	locs := x.Extract("I live in Denmarkian but have roots in Iran")
+	if len(locs) == 0 {
+		t.Fatal("no extraction")
+	}
+	// Case-insensitive: lowercase place names match (higher recall than
+	// CLIFF, and the source of extra errors like "chile" the food).
+	locs = x.Extract("best chile con carne in town")
+	if len(locs) != 1 || locs[0].Country != "Chile" {
+		t.Fatalf("locs = %v", locs)
+	}
+}
+
+func TestMordecaiMultipleCandidates(t *testing.T) {
+	m := &Mordecai{Gaz: gaz()}
+	locs := m.Extract("Greetings from Manchester")
+	if len(locs) < 2 {
+		t.Fatalf("want multiple candidates for ambiguous Manchester, got %v", locs)
+	}
+	found := map[string]bool{}
+	for _, l := range locs {
+		found[l.Country] = true
+	}
+	if !found["United Kingdom"] || !found["United States"] {
+		t.Fatalf("candidates = %v", locs)
+	}
+}
+
+func TestNominatimUsesContext(t *testing.T) {
+	n := &Nominatim{Gaz: gaz()}
+	locs := n.Extract("Paris, Texas")
+	if len(locs) != 1 || locs[0].Country != "United States" {
+		t.Fatalf("locs = %v", locs)
+	}
+	locs = n.Extract("Paris, France")
+	if len(locs) != 1 || locs[0].Country != "France" {
+		t.Fatalf("locs = %v", locs)
+	}
+	locs = n.Extract("Barcelona, Spain")
+	if len(locs) != 1 || locs[0].City != "Barcelona" {
+		t.Fatalf("locs = %v", locs)
+	}
+	// Region-level field.
+	locs = n.Extract("Catalunya")
+	if len(locs) != 1 || locs[0].Region != "Catalunya" {
+		t.Fatalf("locs = %v", locs)
+	}
+	if locs := n.Extract(""); locs != nil {
+		t.Fatal("empty field")
+	}
+	// Unknown city with known country context falls back to the country.
+	locs = n.Extract("Smallville, Germany")
+	if len(locs) != 1 || locs[0].Country != "Germany" || locs[0].City != "" {
+		t.Fatalf("locs = %v", locs)
+	}
+}
+
+func TestGeoNamesIgnoresContext(t *testing.T) {
+	g := &GeoNames{Gaz: gaz()}
+	// Population-first resolution: "Paris, Texas" → Paris (France) — the
+	// documented GeoNames failure that Nominatim avoids.
+	locs := g.Extract("Paris, Texas")
+	if len(locs) != 1 || locs[0].Country == "United States" {
+		t.Fatalf("locs = %v (GeoNames should pick populous Paris)", locs)
+	}
+}
+
+func TestConservativeFilter(t *testing.T) {
+	g := gaz()
+	detroit := geo.Location{City: "Detroit", Region: "Michigan", Country: "United States"}
+	// "Join us in Detroit" does not contain the country or region: rejected.
+	if ConservativeFilter(g, "Join us in Detroit!", detroit) {
+		t.Fatal("filter should reject bare city mention")
+	}
+	// "From Miami, Florida" contains the region: accepted.
+	miami := geo.Location{City: "Miami", Region: "Florida", Country: "United States"}
+	if !ConservativeFilter(g, "From Miami, Florida", miami) {
+		t.Fatal("filter should accept region mention")
+	}
+	// Country alias counts.
+	chicago := geo.Location{City: "Chicago", Region: "Illinois", Country: "United States"}
+	if !ConservativeFilter(g, "Chicago USA stream", chicago) {
+		t.Fatal("filter should accept country alias")
+	}
+}
+
+func TestCombineTwitchFilterRule(t *testing.T) {
+	g := gaz()
+	tools := DefaultTwitchTools(g)
+	text := "Streaming live from Miami, Florida"
+	res := CombineTwitch(g, text, RunTools(tools, text))
+	if !res.OK || res.Loc.City != "Miami" {
+		t.Fatalf("res = %+v", res)
+	}
+	if res.Reason != "filter" {
+		t.Fatalf("reason = %s", res.Reason)
+	}
+}
+
+func TestCombineTwitchAgreementRule(t *testing.T) {
+	g := gaz()
+	tools := DefaultTwitchTools(g)
+	// Bare city: the filter rejects, but CLIFF, Xponents and Mordecai all
+	// find Detroit → agreement accepts.
+	text := "Join us in Detroit!"
+	res := CombineTwitch(g, text, RunTools(tools, text))
+	if !res.OK || res.Loc.City != "Detroit" {
+		t.Fatalf("res = %+v", res)
+	}
+	if res.Reason == "filter" {
+		t.Fatal("filter should not have fired")
+	}
+}
+
+func TestCombineTwitchNoLocation(t *testing.T) {
+	g := gaz()
+	tools := DefaultTwitchTools(g)
+	text := "I stream variety games every evening"
+	res := CombineTwitch(g, text, RunTools(tools, text))
+	if res.OK {
+		t.Fatalf("phantom location: %+v", res)
+	}
+}
+
+func TestCombineTwitterAgreement(t *testing.T) {
+	g := gaz()
+	nom, geon := DefaultTwitterTools(g)
+	res := CombineTwitter(g, "Barcelona, Spain", nom, geon, DefaultTwitchTools(g))
+	if !res.OK || res.Loc.City != "Barcelona" {
+		t.Fatalf("res = %+v", res)
+	}
+	// Subsumption: one tool city-level, other country-level.
+	res = CombineTwitter(g, "Reykjavik, Iceland", nom, geon, DefaultTwitchTools(g))
+	// Reykjavik is not in the gazetteer: Nominatim returns Iceland; the
+	// result should be country-level at best or not OK — never a wrong city.
+	if res.OK && res.Loc.Country != "Iceland" {
+		t.Fatalf("res = %+v", res)
+	}
+}
+
+func TestCombineTwitterJunkField(t *testing.T) {
+	g := gaz()
+	nom, geon := DefaultTwitterTools(g)
+	res := CombineTwitter(g, "the moon", nom, geon, DefaultTwitchTools(g))
+	if res.OK {
+		t.Fatalf("junk field located: %+v", res)
+	}
+}
+
+func TestTokenize(t *testing.T) {
+	toks := tokenize("Hello, world! (from Geneva)")
+	if len(toks) != 4 || toks[3].norm != "geneva" {
+		t.Fatalf("toks = %+v", toks)
+	}
+	if len(tokenize("")) != 0 {
+		t.Fatal("empty")
+	}
+}

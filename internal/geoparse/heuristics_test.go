@@ -1,0 +1,114 @@
+package geoparse
+
+import (
+	"testing"
+
+	"tero/internal/geo"
+)
+
+func TestWeakShortMatch(t *testing.T) {
+	cases := []struct {
+		raw, norm string
+		weak      bool
+	}{
+		{"on", "on", true},
+		{"ON", "on", false},
+		{"ca", "ca", true},
+		{"CA", "ca", false},
+		{"usa", "usa", false}, // 3 letters: strong either way
+		{"Rio", "rio", false},
+	}
+	for _, c := range cases {
+		if got := weakShortMatch(c.raw, c.norm); got != c.weak {
+			t.Errorf("weakShortMatch(%q) = %v, want %v", c.raw, c.norm, c.weak)
+		}
+	}
+}
+
+func TestShortCodesRequireUppercase(t *testing.T) {
+	x := &Xponents{Gaz: geo.World()}
+	// "speedruns on weekends" must not resolve "on" to Ontario.
+	if locs := x.Extract("speedruns on weekends"); len(locs) != 0 {
+		t.Fatalf("lowercase 'on' matched: %v", locs)
+	}
+	// Upper-case "ON" is a deliberate region code.
+	locs := x.Extract("moving to Toronto ON next year")
+	if len(locs) == 0 {
+		t.Fatal("nothing extracted")
+	}
+	if locs[0].Country != "Canada" {
+		t.Fatalf("locs = %v", locs)
+	}
+}
+
+func TestMordecaiSkipsSentenceInitial(t *testing.T) {
+	m := &Mordecai{Gaz: geo.World()}
+	// Sentence-opening capitalized place name: not proper-noun evidence.
+	if locs := m.Extract("Georgia on my mind, always"); len(locs) != 0 {
+		t.Fatalf("sentence-initial matched: %v", locs)
+	}
+	// Mid-sentence mention is evidence.
+	locs := m.Extract("I just visited Georgia last year")
+	if len(locs) == 0 {
+		t.Fatal("mid-sentence mention missed")
+	}
+	// After punctuation a new sentence starts.
+	if locs := m.Extract("Great stream! Georgia rocks"); len(locs) != 0 {
+		t.Fatalf("post-punctuation initial matched: %v", locs)
+	}
+}
+
+func TestCLIFFFallsForSentenceInitial(t *testing.T) {
+	// The deliberate CLIFF/Mordecai difference: CLIFF takes the bait.
+	c := &CLIFF{Gaz: geo.World()}
+	locs := c.Extract("Georgia on my mind, always")
+	if len(locs) == 0 {
+		t.Fatal("CLIFF should fall for the sentence-initial place")
+	}
+}
+
+func TestCliffTrapDisagreement(t *testing.T) {
+	// The worldsim trap construction: CLIFF picks the capitalized opener,
+	// Xponents the lowercase giant — so the combination rejects both.
+	gaz := geo.World()
+	text := "Paris fashion hater, moscow mule drinker"
+	c := (&CLIFF{Gaz: gaz}).Extract(text)
+	x := (&Xponents{Gaz: gaz}).Extract(text)
+	if len(c) == 0 || len(x) == 0 {
+		t.Fatalf("extractions: cliff=%v xponents=%v", c, x)
+	}
+	if c[0].Compatible(x[0]) {
+		t.Fatalf("trap failed: cliff=%v xponents=%v agree", c[0], x[0])
+	}
+	res := CombineTwitch(gaz, text, RunTools(DefaultTwitchTools(gaz), text))
+	if res.OK {
+		t.Fatalf("combination accepted a trap: %+v", res)
+	}
+}
+
+func TestSubsumptionRule(t *testing.T) {
+	gaz := geo.World()
+	outputs := []ToolOutput{
+		{Tool: "a", Locs: []geo.Location{{City: "Los Angeles", Region: "California", Country: "United States"}}},
+		{Tool: "b", Locs: []geo.Location{{Region: "California", Country: "United States"}}},
+	}
+	res := CombineTwitch(gaz, "irrelevant text", outputs)
+	if !res.OK || res.Loc.City != "Los Angeles" {
+		t.Fatalf("subsumption should pick the more complete tuple: %+v", res)
+	}
+	if res.Reason != "subsumption" && res.Reason != "agreement" {
+		t.Fatalf("reason = %s", res.Reason)
+	}
+}
+
+func TestXponentsDenmarkianPrefix(t *testing.T) {
+	x := &Xponents{Gaz: geo.World()}
+	locs := x.Extract("I live in Denmarkian")
+	if len(locs) != 1 || locs[0].Country != "Denmark" {
+		t.Fatalf("prefix fallback = %v", locs)
+	}
+	// Short tokens never prefix-match.
+	if locs := x.Extract("zzzzz"); len(locs) != 0 {
+		t.Fatalf("junk matched: %v", locs)
+	}
+}

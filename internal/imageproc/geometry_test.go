@@ -1,0 +1,110 @@
+package imageproc
+
+import (
+	"testing"
+
+	"tero/internal/games"
+	"tero/internal/imaging"
+	"tero/internal/ocr"
+)
+
+func TestDigitWindowRightAnchored(t *testing.T) {
+	e := New()
+	g := games.ByName("apex") // TopRight, prefix "Ping ", suffix "ms"
+	cropW := g.UI.CropRect(e.Pad).Width() * 2
+	lo, hi := e.digitWindow(g, cropW, 2)
+	if lo >= hi {
+		t.Fatalf("window [%d, %d]", lo, hi)
+	}
+	// The window must end before the suffix and span 3 digit advances.
+	adv := 6 * g.UI.Scale * 2
+	if hi-lo != 3*adv {
+		t.Fatalf("window width %d, want %d", hi-lo, 3*adv)
+	}
+	if hi > cropW-e.Pad*2-2*adv+1 {
+		t.Fatalf("window overlaps suffix: hi=%d cropW=%d", hi, cropW)
+	}
+}
+
+func TestDigitWindowLeftAnchored(t *testing.T) {
+	e := New()
+	g := games.ByName("cod") // TopLeft, prefix "Latency: "
+	cropW := g.UI.CropRect(e.Pad).Width() * 2
+	lo, _ := e.digitWindow(g, cropW, 2)
+	adv := 6 * g.UI.Scale * 2
+	wantLo := e.Pad*2 + len([]rune(g.UI.Prefix))*adv
+	if lo != wantLo {
+		t.Fatalf("lo = %d, want %d (after the prefix)", lo, wantLo)
+	}
+}
+
+func TestPositionalFilterDropsLabelDigits(t *testing.T) {
+	e := New()
+	g := games.ByName("apex")
+	cropW := g.UI.CropRect(e.Pad).Width() * 2
+	lo, hi := e.digitWindow(g, cropW, 2)
+
+	mk := func(r rune, x int) ocr.Char {
+		return ocr.Char{R: r, Box: imaging.Rect{X0: x, X1: x + 10, Y0: 0, Y1: 14}}
+	}
+	res := ocr.Result{Chars: []ocr.Char{
+		mk('9', lo-20),     // the 'g' of "Ping" misread as a digit: drop
+		mk('3', lo+4),      // real digit inside window: keep
+		mk('6', lo+16),     // real digit: keep
+		mk('m', hi+2),      // suffix letter: keep (stripLabel handles it)
+		mk('7', -400),      // far-away junk digit: drop
+		mk('X', cropW+300), // far-away junk letter: drop
+	}}
+	got := e.positionalFilter(res, g, cropW, 2)
+	if got.Text != "36m" {
+		t.Fatalf("filtered = %q, want \"36m\"", got.Text)
+	}
+}
+
+func TestPositionalFilterNoBoxesPassThrough(t *testing.T) {
+	e := New()
+	g := games.ByName("lol")
+	res := ocr.Result{Text: "45 ms"}
+	if got := e.positionalFilter(res, g, 100, 1); got.Text != "45 ms" {
+		t.Fatalf("pass-through broken: %q", got.Text)
+	}
+}
+
+func TestCleanupEdgePunctuation(t *testing.T) {
+	lol := games.ByName("lol")
+	cases := []struct {
+		text string
+		want int
+		ok   bool
+	}{
+		{"-48-ms-", 48, true},
+		{"--48", 48, true},
+		{"48/", 48, true},
+		{"---", 0, false},
+	}
+	for _, c := range cases {
+		got, ok := CleanupResult(ocr.Result{Text: c.text}, lol)
+		if ok != c.ok || (ok && got != c.want) {
+			t.Errorf("Cleanup(%q) = %d,%v want %d,%v", c.text, got, ok, c.want, c.ok)
+		}
+	}
+}
+
+func TestStripLabelSubstitution(t *testing.T) {
+	apex := games.ByName("apex") // prefix "Ping "
+	// 'P' misread as 'F': substitution still aligns the label.
+	v, ok := CleanupResult(ocr.Result{Text: "Fing36ms"}, apex)
+	if !ok || v != 36 {
+		t.Fatalf("Fing36ms -> %d,%v", v, ok)
+	}
+	// 'g' misread as '9' with the rest of the label intact.
+	v, ok = CleanupResult(ocr.Result{Text: "P1n936ms"}, apex)
+	if !ok || v != 36 {
+		t.Fatalf("P1n936ms -> %d,%v", v, ok)
+	}
+	// Bare digits never lose their tail to the label matcher.
+	v, ok = CleanupResult(ocr.Result{Text: "45"}, games.ByName("lol"))
+	if !ok || v != 45 {
+		t.Fatalf("45 -> %d,%v", v, ok)
+	}
+}

@@ -1,0 +1,240 @@
+package imageproc
+
+import (
+	"math/rand"
+	"testing"
+
+	"tero/internal/font"
+	"tero/internal/games"
+	"tero/internal/imaging"
+	"tero/internal/ocr"
+)
+
+// renderThumb draws the game's latency display on a synthetic thumbnail.
+func renderThumb(g *games.Game, ms int, bg, fg uint8) *imaging.Gray {
+	img := imaging.NewFilled(games.ThumbW, games.ThumbH, bg)
+	text := g.UI.Format(ms)
+	w := font.TextWidth(text, g.UI.Scale)
+	h := font.TextHeight(g.UI.Scale)
+	x, y := g.UI.TextOrigin(w, h)
+	font.Draw(img, x, y, text, g.UI.Scale, fg)
+	return img
+}
+
+func TestExtractCleanThumbnails(t *testing.T) {
+	e := New()
+	for _, g := range games.All {
+		for _, ms := range []int{7, 45, 110, 238} {
+			thumb := renderThumb(g, ms, 25, 230)
+			ex := e.Extract(thumb, g)
+			if !ex.OK {
+				t.Errorf("%s %dms: no extraction", g.Name, ms)
+				continue
+			}
+			if ex.Value != ms {
+				t.Errorf("%s: extracted %d, want %d", g.Name, ex.Value, ms)
+			}
+		}
+	}
+}
+
+func TestExtractZeroPlaceholder(t *testing.T) {
+	e := New()
+	g := games.ByName("lol")
+	thumb := renderThumb(g, 0, 25, 230)
+	ex := e.Extract(thumb, g)
+	if ex.OK {
+		t.Fatalf("zero display must be discarded, got %d", ex.Value)
+	}
+	if !ex.Zero {
+		t.Fatal("zero display should be flagged Zero")
+	}
+}
+
+func TestExtractOcclusionDigitDrop(t *testing.T) {
+	// Cover the leading digit: all engines agree on the remaining digits,
+	// so Tero confidently extracts a wrong value — the dominant error mode
+	// (§3.2.1: 68.42% of errors are digit drops).
+	e := New()
+	g := games.ByName("lol") // displays "45 ms" top-right
+	thumb := renderThumb(g, 45, 25, 230)
+	text := g.UI.Format(45)
+	w := font.TextWidth(text, g.UI.Scale)
+	x, y := g.UI.TextOrigin(w, font.TextHeight(g.UI.Scale))
+	// Menu overlapping the first digit only.
+	thumb.FillRect(imaging.Rect{X0: x - 2, Y0: y - 2, X1: x + font.AdvanceX - 1, Y1: y + 10}, 25)
+	ex := e.Extract(thumb, g)
+	if !ex.OK {
+		t.Fatal("digit-dropped display should still extract")
+	}
+	if ex.Value != 5 {
+		t.Fatalf("extracted %d, want digit-dropped 5", ex.Value)
+	}
+}
+
+func TestExtractMissesBlankThumb(t *testing.T) {
+	e := New()
+	g := games.ByName("lol")
+	thumb := imaging.NewFilled(games.ThumbW, games.ThumbH, 25)
+	if ex := e.Extract(thumb, g); ex.OK {
+		t.Fatalf("blank thumb extracted %d", ex.Value)
+	}
+}
+
+func TestExtractLowContrast(t *testing.T) {
+	// Low-contrast text defeats Tessera's fixed threshold but the adaptive
+	// engines agree, so the combination still extracts (or at worst
+	// misses) — it must never extract a wrong value here.
+	e := New()
+	g := games.ByName("lol")
+	thumb := renderThumb(g, 73, 60, 105)
+	ex := e.Extract(thumb, g)
+	if ex.OK && ex.Value != 73 {
+		t.Fatalf("low contrast produced wrong value %d", ex.Value)
+	}
+}
+
+func TestExtractUnderNoise(t *testing.T) {
+	// Under salt-and-pepper noise, extraction may miss or digit-drop
+	// (45 -> 5-style, the error data-analysis later catches as glitches),
+	// but it must not fabricate arbitrary values: every wrong extraction
+	// must be a subsequence of the true digits.
+	e := New()
+	g := games.ByName("lol")
+	r := rand.New(rand.NewSource(9))
+	okCount, correct := 0, 0
+	const trials = 60
+	for i := 0; i < trials; i++ {
+		thumb := renderThumb(g, 48, 25, 215).SaltPepper(0.02, r.Float64)
+		ex := e.Extract(thumb, g)
+		if !ex.OK {
+			continue
+		}
+		okCount++
+		if ex.Value == 48 {
+			correct++
+		} else if ex.Value > 999 {
+			t.Errorf("impossible value %d extracted", ex.Value)
+		}
+	}
+	if okCount == 0 {
+		t.Fatal("noise destroyed all extractions")
+	}
+	if float64(correct) < 0.4*float64(okCount) {
+		t.Fatalf("too few correct under noise: %d/%d", correct, okCount)
+	}
+}
+
+// stubEngine returns canned text, for direct vote-logic tests.
+type stubEngine struct {
+	name string
+	text string
+}
+
+func (s stubEngine) Name() string { return s.name }
+func (s stubEngine) Recognize(*imaging.Gray) ocr.Result {
+	return ocr.Result{Text: s.text}
+}
+
+func voteWith(texts ...string) (Extraction, bool) {
+	e := New()
+	e.Engines = nil
+	for i, tx := range texts {
+		e.Engines = append(e.Engines, stubEngine{name: string(rune('a' + i)), text: tx})
+	}
+	img := imaging.NewFilled(8, 8, 0)
+	return e.voteOn(img, games.ByName("lol"), 1)
+}
+
+func TestVoteAllAgree(t *testing.T) {
+	ex, ok := voteWith("45 ms", "45ms", "45")
+	if !ok || !ex.OK || ex.Value != 45 || ex.HasAlt {
+		t.Fatalf("vote = %+v ok=%v", ex, ok)
+	}
+}
+
+func TestVoteTwoAgreeThirdAlternative(t *testing.T) {
+	// Exactly two agree; the third engine's differing value is kept as the
+	// alternative (§3.2 step 4).
+	ex, ok := voteWith("45 ms", "45ms", "145 ms")
+	if !ok || !ex.OK || ex.Value != 45 {
+		t.Fatalf("vote = %+v ok=%v", ex, ok)
+	}
+	if !ex.HasAlt || ex.Alt != 145 {
+		t.Fatalf("alternative = %+v", ex)
+	}
+}
+
+func TestVoteNoAgreement(t *testing.T) {
+	if _, ok := voteWith("45", "46", "47"); ok {
+		t.Fatal("three-way disagreement must be inconclusive")
+	}
+	if _, ok := voteWith("45", "", ""); ok {
+		t.Fatal("single opinion must be inconclusive")
+	}
+	if _, ok := voteWith("", "", ""); ok {
+		t.Fatal("no opinions must be inconclusive")
+	}
+}
+
+func TestVoteZeroAgreement(t *testing.T) {
+	ex, ok := voteWith("0 ms", "0ms", "0")
+	if !ok || ex.OK || !ex.Zero {
+		t.Fatalf("zero vote = %+v ok=%v", ex, ok)
+	}
+}
+
+func TestVoteRejectsFourDigitAgreement(t *testing.T) {
+	if _, ok := voteWith("4512 ms", "4512ms", ""); ok {
+		t.Fatal("4-digit latency must be rejected")
+	}
+}
+
+func TestCleanupResult(t *testing.T) {
+	lol := games.ByName("lol") // suffix " ms"
+	dota := games.ByName("dota2")
+	cod := games.ByName("cod")
+	cases := []struct {
+		game *games.Game
+		text string
+		want int
+		ok   bool
+	}{
+		{lol, "45 ms", 45, true},
+		{lol, "45ms", 45, true},
+		{lol, "45", 45, true},
+		{lol, "4S ms", 45, true},   // S -> 5 confusion fixed
+		{lol, "B2 ms", 82, true},   // B -> 8
+		{lol, "1O7 ms", 107, true}, // O -> 0
+		{lol, "", 0, false},
+		{lol, "msms", 0, false},
+		{dota, "ping: 99", 99, true},
+		{dota, "p1ng: 99", 99, true}, // label letter read as digit is still stripped
+		{cod, "Latency: 142ms", 142, true},
+		{lol, "45x9 ms", 0, false}, // unconvertible letter in digit region
+	}
+	for _, c := range cases {
+		got, ok := CleanupResult(ocr.Result{Text: c.text}, c.game)
+		if ok != c.ok || (ok && got != c.want) {
+			t.Errorf("Cleanup(%q, %s) = %d,%v want %d,%v", c.text, c.game.Slug, got, ok, c.want, c.ok)
+		}
+	}
+}
+
+func TestStripLabel(t *testing.T) {
+	got := string(stripLabel([]rune("ms"), " ms", true))
+	if got != "" {
+		t.Fatalf("stripLabel suffix = %q", got)
+	}
+	got = string(stripLabel([]rune("45"), " ms", true))
+	if got != "45" {
+		t.Fatalf("digits must survive suffix strip: %q", got)
+	}
+	got = string(stripLabel([]rune("Ping45"), "Ping: ", false))
+	if got != "45" {
+		t.Fatalf("prefix strip = %q", got)
+	}
+	if got := string(stripLabel([]rune("abc"), "", false)); got != "abc" {
+		t.Fatalf("empty label should not strip: %q", got)
+	}
+}

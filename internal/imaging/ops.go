@@ -1,0 +1,261 @@
+package imaging
+
+import "math"
+
+// ScaleNearest returns the image up- or down-scaled by an integer factor
+// using nearest-neighbour sampling (factor >= 1).
+func (g *Gray) ScaleNearest(factor int) *Gray {
+	if factor <= 1 {
+		return g.Clone()
+	}
+	out := New(g.W*factor, g.H*factor)
+	for y := 0; y < out.H; y++ {
+		sy := y / factor
+		for x := 0; x < out.W; x++ {
+			out.Pix[y*out.W+x] = g.Pix[sy*g.W+x/factor]
+		}
+	}
+	return out
+}
+
+// ScaleBilinear returns the image resampled to (w, h) with bilinear
+// interpolation.
+func (g *Gray) ScaleBilinear(w, h int) *Gray {
+	out := New(w, h)
+	if g.W == 0 || g.H == 0 || w == 0 || h == 0 {
+		return out
+	}
+	xRatio := float64(g.W-1) / float64(max(w-1, 1))
+	yRatio := float64(g.H-1) / float64(max(h-1, 1))
+	for y := 0; y < h; y++ {
+		fy := float64(y) * yRatio
+		y0 := int(fy)
+		dy := fy - float64(y0)
+		y1 := min(y0+1, g.H-1)
+		for x := 0; x < w; x++ {
+			fx := float64(x) * xRatio
+			x0 := int(fx)
+			dx := fx - float64(x0)
+			x1 := min(x0+1, g.W-1)
+			v := float64(g.Pix[y0*g.W+x0])*(1-dx)*(1-dy) +
+				float64(g.Pix[y0*g.W+x1])*dx*(1-dy) +
+				float64(g.Pix[y1*g.W+x0])*(1-dx)*dy +
+				float64(g.Pix[y1*g.W+x1])*dx*dy
+			out.Pix[y*w+x] = uint8(v + 0.5)
+		}
+	}
+	return out
+}
+
+// GaussianBlur returns the image convolved with a separable Gaussian kernel
+// of the given sigma (radius = ceil(3*sigma)).
+func (g *Gray) GaussianBlur(sigma float64) *Gray {
+	if sigma <= 0 || g.W == 0 || g.H == 0 {
+		return g.Clone()
+	}
+	radius := int(math.Ceil(3 * sigma))
+	kernel := make([]float64, 2*radius+1)
+	sum := 0.0
+	for i := range kernel {
+		d := float64(i - radius)
+		kernel[i] = math.Exp(-d * d / (2 * sigma * sigma))
+		sum += kernel[i]
+	}
+	for i := range kernel {
+		kernel[i] /= sum
+	}
+	// Horizontal pass.
+	tmp := make([]float64, g.W*g.H)
+	for y := 0; y < g.H; y++ {
+		for x := 0; x < g.W; x++ {
+			acc := 0.0
+			for k, kv := range kernel {
+				sx := x + k - radius
+				if sx < 0 {
+					sx = 0
+				}
+				if sx >= g.W {
+					sx = g.W - 1
+				}
+				acc += kv * float64(g.Pix[y*g.W+sx])
+			}
+			tmp[y*g.W+x] = acc
+		}
+	}
+	// Vertical pass.
+	out := New(g.W, g.H)
+	for y := 0; y < g.H; y++ {
+		for x := 0; x < g.W; x++ {
+			acc := 0.0
+			for k, kv := range kernel {
+				sy := y + k - radius
+				if sy < 0 {
+					sy = 0
+				}
+				if sy >= g.H {
+					sy = g.H - 1
+				}
+				acc += kv * tmp[sy*g.W+x]
+			}
+			out.Pix[y*g.W+x] = uint8(acc + 0.5)
+		}
+	}
+	return out
+}
+
+// Threshold returns a binary image: pixels >= t become 255, others 0.
+func (g *Gray) Threshold(t uint8) *Gray {
+	out := New(g.W, g.H)
+	for i, p := range g.Pix {
+		if p >= t {
+			out.Pix[i] = 255
+		}
+	}
+	return out
+}
+
+// OtsuThreshold computes the Otsu threshold of the image: the level that
+// maximizes between-class variance of the intensity histogram [Otsu 1979],
+// as cited by the paper's pre-processing step (App. E).
+func (g *Gray) OtsuThreshold() uint8 {
+	hist := g.Histogram256()
+	total := len(g.Pix)
+	if total == 0 {
+		return 128
+	}
+	var sumAll float64
+	for i, c := range hist {
+		sumAll += float64(i) * float64(c)
+	}
+	var (
+		wB, wF   float64
+		sumB     float64
+		maxVar   float64
+		bestThr  int
+		totalF   = float64(total)
+		foundAny bool
+	)
+	for t := 0; t < 256; t++ {
+		wB += float64(hist[t])
+		if wB == 0 {
+			continue
+		}
+		wF = totalF - wB
+		if wF == 0 {
+			break
+		}
+		sumB += float64(t) * float64(hist[t])
+		mB := sumB / wB
+		mF := (sumAll - sumB) / wF
+		between := wB * wF * (mB - mF) * (mB - mF)
+		if between > maxVar {
+			maxVar = between
+			bestThr = t
+			foundAny = true
+		}
+	}
+	if !foundAny {
+		return 128
+	}
+	return uint8(bestThr + 1)
+}
+
+// OtsuBinarize thresholds the image at its Otsu level.
+func (g *Gray) OtsuBinarize() *Gray { return g.Threshold(g.OtsuThreshold()) }
+
+// Dilate returns the morphological dilation with a 3×3 structuring element
+// (max filter), treating 255 as foreground.
+func (g *Gray) Dilate() *Gray { return g.morph(true) }
+
+// Erode returns the morphological erosion with a 3×3 structuring element
+// (min filter).
+func (g *Gray) Erode() *Gray { return g.morph(false) }
+
+func (g *Gray) morph(dilate bool) *Gray {
+	out := New(g.W, g.H)
+	for y := 0; y < g.H; y++ {
+		for x := 0; x < g.W; x++ {
+			var best uint8
+			if !dilate {
+				best = 255
+			}
+			for dy := -1; dy <= 1; dy++ {
+				for dx := -1; dx <= 1; dx++ {
+					sx, sy := x+dx, y+dy
+					if sx < 0 || sy < 0 || sx >= g.W || sy >= g.H {
+						continue
+					}
+					v := g.Pix[sy*g.W+sx]
+					if dilate && v > best {
+						best = v
+					}
+					if !dilate && v < best {
+						best = v
+					}
+				}
+			}
+			out.Pix[y*g.W+x] = best
+		}
+	}
+	return out
+}
+
+// Close performs n iterations of dilation followed by n of erosion —
+// the "dilating and eroding ... to merge disjoint regions" step of App. E.
+func (g *Gray) Close(n int) *Gray {
+	out := g
+	for i := 0; i < n; i++ {
+		out = out.Dilate()
+	}
+	for i := 0; i < n; i++ {
+		out = out.Erode()
+	}
+	return out
+}
+
+// AddNoise adds uniform ±amp noise using the caller's random source (a
+// func returning values in [0,1)), clamping to [0,255].
+func (g *Gray) AddNoise(amp int, rnd func() float64) *Gray {
+	out := g.Clone()
+	for i := range out.Pix {
+		d := int(rnd()*float64(2*amp+1)) - amp
+		v := int(out.Pix[i]) + d
+		if v < 0 {
+			v = 0
+		}
+		if v > 255 {
+			v = 255
+		}
+		out.Pix[i] = uint8(v)
+	}
+	return out
+}
+
+// SaltPepper flips a fraction p of the pixels to either 0 or 255.
+func (g *Gray) SaltPepper(p float64, rnd func() float64) *Gray {
+	out := g.Clone()
+	for i := range out.Pix {
+		if rnd() < p {
+			if rnd() < 0.5 {
+				out.Pix[i] = 0
+			} else {
+				out.Pix[i] = 255
+			}
+		}
+	}
+	return out
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,46 @@
+package imaging
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// EncodePGM writes the image as a binary PGM (P5), the wire format the
+// simulated CDN serves thumbnails in.
+func (g *Gray) EncodePGM(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "P5\n%d %d\n255\n", g.W, g.H); err != nil {
+		return err
+	}
+	if _, err := bw.Write(g.Pix); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// ErrBadPGM is returned for malformed PGM input.
+var ErrBadPGM = errors.New("imaging: malformed PGM")
+
+// DecodePGM reads a binary PGM (P5) image.
+func DecodePGM(r io.Reader) (*Gray, error) {
+	br := bufio.NewReader(r)
+	var magic string
+	var w, h, maxVal int
+	if _, err := fmt.Fscan(br, &magic, &w, &h, &maxVal); err != nil {
+		return nil, ErrBadPGM
+	}
+	if magic != "P5" || w <= 0 || h <= 0 || maxVal != 255 || w*h > 64<<20 {
+		return nil, ErrBadPGM
+	}
+	// Exactly one whitespace byte separates the header from pixel data.
+	if _, err := br.ReadByte(); err != nil {
+		return nil, ErrBadPGM
+	}
+	img := New(w, h)
+	if _, err := io.ReadFull(br, img.Pix); err != nil {
+		return nil, ErrBadPGM
+	}
+	return img, nil
+}

@@ -1,0 +1,282 @@
+package kvstore
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestStoreStrings(t *testing.T) {
+	s := New()
+	s.Set("a", "1")
+	if v, ok := s.Get("a"); !ok || v != "1" {
+		t.Fatal("set/get")
+	}
+	if _, ok := s.Get("missing"); ok {
+		t.Fatal("missing key")
+	}
+	if !s.Del("a") || s.Del("a") {
+		t.Fatal("del semantics")
+	}
+}
+
+func TestStoreTTL(t *testing.T) {
+	s := New()
+	now := time.Unix(1000, 0)
+	s.SetClock(func() time.Time { return now })
+	s.SetEx("k", "v", 10*time.Second)
+	if _, ok := s.Get("k"); !ok {
+		t.Fatal("before expiry")
+	}
+	now = now.Add(11 * time.Second)
+	if _, ok := s.Get("k"); ok {
+		t.Fatal("after expiry")
+	}
+	// Expire on existing key.
+	s.Set("e", "v")
+	if !s.Expire("e", time.Second) {
+		t.Fatal("expire existing")
+	}
+	if s.Expire("nope", time.Second) {
+		t.Fatal("expire missing")
+	}
+	now = now.Add(2 * time.Second)
+	if _, ok := s.Get("e"); ok {
+		t.Fatal("expired key visible")
+	}
+	// Keys skips expired.
+	if len(s.Keys("")) != 0 {
+		t.Fatalf("keys = %v", s.Keys(""))
+	}
+}
+
+func TestStoreIncr(t *testing.T) {
+	s := New()
+	for want := int64(1); want <= 3; want++ {
+		got, err := s.Incr("n")
+		if err != nil || got != want {
+			t.Fatalf("incr = %d, %v", got, err)
+		}
+	}
+	s.Set("bad", "xyz")
+	if _, err := s.Incr("bad"); err == nil {
+		t.Fatal("incr non-integer should error")
+	}
+}
+
+func TestStoreHashes(t *testing.T) {
+	s := New()
+	s.HSet("h", "f1", "v1")
+	s.HSet("h", "f2", "v2")
+	if v, ok := s.HGet("h", "f1"); !ok || v != "v1" {
+		t.Fatal("hget")
+	}
+	all := s.HGetAll("h")
+	if len(all) != 2 || all["f2"] != "v2" {
+		t.Fatalf("hgetall = %v", all)
+	}
+	s.HDel("h", "f1")
+	if _, ok := s.HGet("h", "f1"); ok {
+		t.Fatal("hdel")
+	}
+}
+
+func TestStoreLists(t *testing.T) {
+	s := New()
+	s.RPush("l", "a", "b")
+	s.LPush("l", "z")
+	if n := s.LLen("l"); n != 3 {
+		t.Fatalf("llen = %d", n)
+	}
+	if got := s.LRange("l", 0, -1); len(got) != 3 || got[0] != "z" || got[2] != "b" {
+		t.Fatalf("lrange = %v", got)
+	}
+	if v, ok := s.LPop("l"); !ok || v != "z" {
+		t.Fatal("lpop")
+	}
+	if v, ok := s.RPop("l"); !ok || v != "b" {
+		t.Fatal("rpop")
+	}
+	s.RPop("l")
+	if _, ok := s.RPop("l"); ok {
+		t.Fatal("pop empty")
+	}
+	if s.LRange("nope", 0, -1) != nil {
+		t.Fatal("range of missing list")
+	}
+}
+
+func TestStoreConcurrency(t *testing.T) {
+	s := New()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				s.Incr("counter")
+				s.RPush("list", fmt.Sprintf("%d-%d", g, i))
+				s.HSet("hash", fmt.Sprintf("f%d", g), "v")
+			}
+		}(g)
+	}
+	wg.Wait()
+	if v, _ := s.Get("counter"); v != "1600" {
+		t.Fatalf("counter = %s", v)
+	}
+	if s.LLen("list") != 1600 {
+		t.Fatalf("list len = %d", s.LLen("list"))
+	}
+}
+
+func newServerClient(t *testing.T) (*Server, *Client) {
+	t.Helper()
+	srv, err := Serve(New(), "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	cl, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cl.Close() })
+	return srv, cl
+}
+
+func TestServerBasicCommands(t *testing.T) {
+	_, cl := newServerClient(t)
+	if rep, err := cl.Do("PING"); err != nil || rep.Str != "PONG" {
+		t.Fatalf("ping = %+v, %v", rep, err)
+	}
+	if err := cl.Set("k", "hello world"); err != nil {
+		t.Fatal(err)
+	}
+	v, ok, err := cl.Get("k")
+	if err != nil || !ok || v != "hello world" {
+		t.Fatalf("get = %q %v %v", v, ok, err)
+	}
+	if _, ok, _ := cl.Get("missing"); ok {
+		t.Fatal("missing should be null")
+	}
+	if rep, err := cl.Do("DEL", "k"); err != nil || rep.Int != 1 {
+		t.Fatalf("del = %+v", rep)
+	}
+}
+
+func TestServerBinarySafety(t *testing.T) {
+	_, cl := newServerClient(t)
+	// Values with CRLF and protocol bytes survive round-trip.
+	nasty := "line1\r\nline2 $5 *3 +OK"
+	if err := cl.Set("n", nasty); err != nil {
+		t.Fatal(err)
+	}
+	v, ok, err := cl.Get("n")
+	if err != nil || !ok || v != nasty {
+		t.Fatalf("binary round trip = %q", v)
+	}
+}
+
+func TestServerListsAndHashes(t *testing.T) {
+	_, cl := newServerClient(t)
+	if rep, err := cl.Do("RPUSH", "l", "a", "b", "c"); err != nil || rep.Int != 3 {
+		t.Fatalf("rpush = %+v %v", rep, err)
+	}
+	rep, err := cl.Do("LRANGE", "l", "0", "-1")
+	if err != nil || len(rep.Array) != 3 || rep.Array[0].Str != "a" {
+		t.Fatalf("lrange = %+v %v", rep, err)
+	}
+	if rep, err := cl.Do("LPOP", "l"); err != nil || rep.Str != "a" {
+		t.Fatalf("lpop = %+v", rep)
+	}
+	if _, err := cl.Do("HSET", "h", "f", "v"); err != nil {
+		t.Fatal(err)
+	}
+	if rep, err := cl.Do("HGET", "h", "f"); err != nil || rep.Str != "v" {
+		t.Fatalf("hget = %+v", rep)
+	}
+	all, err := cl.Do("HGETALL", "h")
+	if err != nil || len(all.Array) != 2 {
+		t.Fatalf("hgetall = %+v", all)
+	}
+}
+
+func TestServerIncrAndKeys(t *testing.T) {
+	_, cl := newServerClient(t)
+	for i := int64(1); i <= 3; i++ {
+		rep, err := cl.Do("INCR", "c")
+		if err != nil || rep.Int != i {
+			t.Fatalf("incr = %+v %v", rep, err)
+		}
+	}
+	cl.Set("prefix:a", "1")
+	cl.Set("prefix:b", "2")
+	cl.Set("other", "3")
+	rep, err := cl.Do("KEYS", "prefix:")
+	if err != nil || len(rep.Array) != 2 {
+		t.Fatalf("keys = %+v %v", rep, err)
+	}
+}
+
+func TestServerErrors(t *testing.T) {
+	_, cl := newServerClient(t)
+	if _, err := cl.Do("NOSUCH"); err == nil {
+		t.Fatal("unknown command should error")
+	}
+	if _, err := cl.Do("GET"); err == nil {
+		t.Fatal("arity error expected")
+	}
+	// The connection survives errors.
+	if rep, err := cl.Do("PING"); err != nil || rep.Str != "PONG" {
+		t.Fatal("connection should survive command errors")
+	}
+}
+
+func TestServerConcurrentClients(t *testing.T) {
+	srv, _ := newServerClient(t)
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cl, err := Dial(srv.Addr())
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer cl.Close()
+			for i := 0; i < 100; i++ {
+				if _, err := cl.Do("INCR", "shared"); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	cl, _ := Dial(srv.Addr())
+	defer cl.Close()
+	v, _, _ := cl.Get("shared")
+	if v != "800" {
+		t.Fatalf("shared = %s, want 800", v)
+	}
+}
+
+func TestServerSetEx(t *testing.T) {
+	_, cl := newServerClient(t)
+	if _, err := cl.Do("SETEX", "k", "100", "v"); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok, _ := cl.Get("k"); !ok || v != "v" {
+		t.Fatal("setex value")
+	}
+	if rep, err := cl.Do("EXPIRE", "k", "100"); err != nil || rep.Int != 1 {
+		t.Fatal("expire")
+	}
+}

@@ -1,0 +1,75 @@
+package kvstore
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestQuickSetGetRoundTrip(t *testing.T) {
+	s := New()
+	f := func(key, value string) bool {
+		s.Set(key, value)
+		got, ok := s.Get(key)
+		return ok && got == value
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickListFIFO(t *testing.T) {
+	// RPush then LPop preserves order for arbitrary values.
+	f := func(values []string) bool {
+		s := New()
+		s.RPush("l", values...)
+		for _, want := range values {
+			got, ok := s.LPop("l")
+			if !ok || got != want {
+				return false
+			}
+		}
+		_, ok := s.LPop("l")
+		return !ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickRESPBinaryRoundTrip(t *testing.T) {
+	// Arbitrary byte strings survive the wire protocol.
+	srv, err := Serve(New(), "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cl, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	f := func(key, value []byte) bool {
+		k := "k" + string(key) // non-empty key
+		if err := cl.Set(k, string(value)); err != nil {
+			return false
+		}
+		got, ok, err := cl.Get(k)
+		return err == nil && ok && got == string(value)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickHashRoundTrip(t *testing.T) {
+	s := New()
+	f := func(field, value string) bool {
+		s.HSet("h", field, value)
+		got, ok := s.HGet("h", field)
+		return ok && got == value
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

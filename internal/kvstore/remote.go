@@ -1,0 +1,133 @@
+package kvstore
+
+// KV is the store surface shared by the in-process Store and the RESP
+// client: the operations Tero's micro-services coordinate through (App. A).
+// The download module and pipeline depend on this interface, so the same
+// code runs with an embedded store or against a shared TCP server.
+type KV interface {
+	Set(key, value string)
+	Get(key string) (string, bool)
+	Del(key string) bool
+	HSet(key, field, value string)
+	HGet(key, field string) (string, bool)
+	HDel(key, field string)
+	HGetAll(key string) map[string]string
+	RPush(key string, values ...string) int
+	LPop(key string) (string, bool)
+	LLen(key string) int
+}
+
+// Store implements KV directly.
+var _ KV = (*Store)(nil)
+
+// RemoteStore adapts a RESP Client to the KV interface, so processes can
+// share one store over TCP exactly as the paper's containers share Redis.
+// Transport errors surface through Err (the KV interface itself is
+// error-free; a lost connection makes reads return zero values).
+type RemoteStore struct {
+	c *Client
+	// Err records the first transport error encountered.
+	Err error
+}
+
+// NewRemoteStore wraps a client.
+func NewRemoteStore(c *Client) *RemoteStore { return &RemoteStore{c: c} }
+
+// DialStore connects to a kvstore server and returns a KV over it.
+func DialStore(addr string) (*RemoteStore, error) {
+	c, err := Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewRemoteStore(c), nil
+}
+
+// Close closes the underlying connection.
+func (r *RemoteStore) Close() error { return r.c.Close() }
+
+func (r *RemoteStore) do(args ...string) (Reply, bool) {
+	rep, err := r.c.Do(args...)
+	if err != nil {
+		if r.Err == nil {
+			r.Err = err
+		}
+		return Reply{}, false
+	}
+	return rep, true
+}
+
+// Set implements KV.
+func (r *RemoteStore) Set(key, value string) { r.do("SET", key, value) }
+
+// Get implements KV.
+func (r *RemoteStore) Get(key string) (string, bool) {
+	rep, ok := r.do("GET", key)
+	if !ok || rep.Null {
+		return "", false
+	}
+	return rep.Str, true
+}
+
+// Del implements KV.
+func (r *RemoteStore) Del(key string) bool {
+	rep, ok := r.do("DEL", key)
+	return ok && rep.Int == 1
+}
+
+// HSet implements KV.
+func (r *RemoteStore) HSet(key, field, value string) { r.do("HSET", key, field, value) }
+
+// HGet implements KV.
+func (r *RemoteStore) HGet(key, field string) (string, bool) {
+	rep, ok := r.do("HGET", key, field)
+	if !ok || rep.Null {
+		return "", false
+	}
+	return rep.Str, true
+}
+
+// HDel implements KV.
+func (r *RemoteStore) HDel(key, field string) { r.do("HDEL", key, field) }
+
+// HGetAll implements KV.
+func (r *RemoteStore) HGetAll(key string) map[string]string {
+	rep, ok := r.do("HGETALL", key)
+	out := make(map[string]string)
+	if !ok {
+		return out
+	}
+	for i := 0; i+1 < len(rep.Array); i += 2 {
+		out[rep.Array[i].Str] = rep.Array[i+1].Str
+	}
+	return out
+}
+
+// RPush implements KV.
+func (r *RemoteStore) RPush(key string, values ...string) int {
+	args := append([]string{"RPUSH", key}, values...)
+	rep, ok := r.do(args...)
+	if !ok {
+		return 0
+	}
+	return int(rep.Int)
+}
+
+// LPop implements KV.
+func (r *RemoteStore) LPop(key string) (string, bool) {
+	rep, ok := r.do("LPOP", key)
+	if !ok || rep.Null {
+		return "", false
+	}
+	return rep.Str, true
+}
+
+// LLen implements KV.
+func (r *RemoteStore) LLen(key string) int {
+	rep, ok := r.do("LLEN", key)
+	if !ok {
+		return 0
+	}
+	return int(rep.Int)
+}
+
+var _ KV = (*RemoteStore)(nil)

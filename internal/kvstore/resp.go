@@ -1,0 +1,182 @@
+package kvstore
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// RESP framing (the Redis serialization protocol subset the server speaks):
+// requests are arrays of bulk strings; replies are simple strings, errors,
+// integers, bulk strings, nulls or arrays.
+
+var errProtocol = errors.New("kvstore: protocol error")
+
+// writeArray writes an array header.
+func writeArray(w *bufio.Writer, n int) error {
+	_, err := fmt.Fprintf(w, "*%d\r\n", n)
+	return err
+}
+
+// writeBulk writes one bulk string.
+func writeBulk(w *bufio.Writer, s string) error {
+	_, err := fmt.Fprintf(w, "$%d\r\n%s\r\n", len(s), s)
+	return err
+}
+
+// writeNull writes a null bulk string.
+func writeNull(w *bufio.Writer) error {
+	_, err := w.WriteString("$-1\r\n")
+	return err
+}
+
+// writeSimple writes a simple (status) string.
+func writeSimple(w *bufio.Writer, s string) error {
+	_, err := fmt.Fprintf(w, "+%s\r\n", s)
+	return err
+}
+
+// writeError writes an error reply.
+func writeError(w *bufio.Writer, msg string) error {
+	_, err := fmt.Fprintf(w, "-ERR %s\r\n", msg)
+	return err
+}
+
+// writeInt writes an integer reply.
+func writeInt(w *bufio.Writer, n int64) error {
+	_, err := fmt.Fprintf(w, ":%d\r\n", n)
+	return err
+}
+
+// readLine reads one CRLF-terminated line without the terminator.
+func readLine(r *bufio.Reader) (string, error) {
+	line, err := r.ReadString('\n')
+	if err != nil {
+		return "", err
+	}
+	if len(line) < 2 || line[len(line)-2] != '\r' {
+		return "", errProtocol
+	}
+	return line[:len(line)-2], nil
+}
+
+// readCommand reads one request: an array of bulk strings.
+func readCommand(r *bufio.Reader) ([]string, error) {
+	line, err := readLine(r)
+	if err != nil {
+		return nil, err
+	}
+	if len(line) == 0 || line[0] != '*' {
+		return nil, errProtocol
+	}
+	n, err := strconv.Atoi(line[1:])
+	if err != nil || n < 0 || n > 1024 {
+		return nil, errProtocol
+	}
+	args := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		s, err := readBulk(r)
+		if err != nil {
+			return nil, err
+		}
+		args = append(args, s)
+	}
+	return args, nil
+}
+
+// readBulk reads one bulk string.
+func readBulk(r *bufio.Reader) (string, error) {
+	line, err := readLine(r)
+	if err != nil {
+		return "", err
+	}
+	if len(line) == 0 || line[0] != '$' {
+		return "", errProtocol
+	}
+	n, err := strconv.Atoi(line[1:])
+	if err != nil || n < 0 || n > 64<<20 {
+		return "", errProtocol
+	}
+	buf := make([]byte, n+2)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return "", err
+	}
+	if buf[n] != '\r' || buf[n+1] != '\n' {
+		return "", errProtocol
+	}
+	return string(buf[:n]), nil
+}
+
+// Reply is a decoded server reply.
+type Reply struct {
+	// Kind is one of '+', '-', ':', '$', '*'.
+	Kind byte
+	Str  string
+	Int  int64
+	// Null marks a null bulk reply.
+	Null  bool
+	Array []Reply
+}
+
+// readReply decodes one reply.
+func readReply(r *bufio.Reader) (Reply, error) {
+	line, err := readLine(r)
+	if err != nil {
+		return Reply{}, err
+	}
+	if len(line) == 0 {
+		return Reply{}, errProtocol
+	}
+	switch line[0] {
+	case '+':
+		return Reply{Kind: '+', Str: line[1:]}, nil
+	case '-':
+		return Reply{Kind: '-', Str: line[1:]}, nil
+	case ':':
+		n, err := strconv.ParseInt(line[1:], 10, 64)
+		if err != nil {
+			return Reply{}, errProtocol
+		}
+		return Reply{Kind: ':', Int: n}, nil
+	case '$':
+		n, err := strconv.Atoi(line[1:])
+		if err != nil {
+			return Reply{}, errProtocol
+		}
+		if n == -1 {
+			return Reply{Kind: '$', Null: true}, nil
+		}
+		if n < 0 || n > 64<<20 {
+			return Reply{}, errProtocol
+		}
+		buf := make([]byte, n+2)
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return Reply{}, err
+		}
+		if buf[n] != '\r' || buf[n+1] != '\n' {
+			return Reply{}, errProtocol
+		}
+		return Reply{Kind: '$', Str: string(buf[:n])}, nil
+	case '*':
+		n, err := strconv.Atoi(line[1:])
+		if err != nil || n < -1 || n > 1<<20 {
+			return Reply{}, errProtocol
+		}
+		if n == -1 {
+			return Reply{Kind: '*', Null: true}, nil
+		}
+		arr := make([]Reply, 0, n)
+		for i := 0; i < n; i++ {
+			el, err := readReply(r)
+			if err != nil {
+				return Reply{}, err
+			}
+			arr = append(arr, el)
+		}
+		return Reply{Kind: '*', Array: arr}, nil
+	default:
+		return Reply{}, errProtocol
+	}
+}

@@ -1,0 +1,332 @@
+package kvstore
+
+import (
+	"bufio"
+	"errors"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Server exposes a Store over TCP with RESP framing.
+type Server struct {
+	store *Store
+	ln    net.Listener
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// Serve starts a server on addr (e.g. "127.0.0.1:0") and returns it; the
+// actual address is available via Addr.
+func Serve(store *Store, addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{store: store, ln: ln, conns: make(map[net.Conn]struct{})}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the listening address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server and closes all connections.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	err := s.ln.Close()
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.handle(conn)
+	}
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
+	r := bufio.NewReader(conn)
+	w := bufio.NewWriter(conn)
+	for {
+		args, err := readCommand(r)
+		if err != nil {
+			return
+		}
+		if err := s.dispatch(w, args); err != nil {
+			return
+		}
+		if err := w.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+// dispatch executes one command and writes the reply.
+func (s *Server) dispatch(w *bufio.Writer, args []string) error {
+	if len(args) == 0 {
+		return writeError(w, "empty command")
+	}
+	cmd := strings.ToUpper(args[0])
+	wantArgs := func(n int) bool { return len(args) == n }
+	switch cmd {
+	case "PING":
+		return writeSimple(w, "PONG")
+	case "SET":
+		if !wantArgs(3) {
+			return writeError(w, "SET needs key value")
+		}
+		s.store.Set(args[1], args[2])
+		return writeSimple(w, "OK")
+	case "SETEX":
+		if !wantArgs(4) {
+			return writeError(w, "SETEX needs key seconds value")
+		}
+		secs, err := strconv.Atoi(args[2])
+		if err != nil {
+			return writeError(w, "bad seconds")
+		}
+		s.store.SetEx(args[1], args[3], time.Duration(secs)*time.Second)
+		return writeSimple(w, "OK")
+	case "GET":
+		if !wantArgs(2) {
+			return writeError(w, "GET needs key")
+		}
+		if v, ok := s.store.Get(args[1]); ok {
+			return writeBulk(w, v)
+		}
+		return writeNull(w)
+	case "DEL":
+		if !wantArgs(2) {
+			return writeError(w, "DEL needs key")
+		}
+		if s.store.Del(args[1]) {
+			return writeInt(w, 1)
+		}
+		return writeInt(w, 0)
+	case "INCR":
+		if !wantArgs(2) {
+			return writeError(w, "INCR needs key")
+		}
+		n, err := s.store.Incr(args[1])
+		if err != nil {
+			return writeError(w, "not an integer")
+		}
+		return writeInt(w, n)
+	case "KEYS":
+		if !wantArgs(2) {
+			return writeError(w, "KEYS needs prefix")
+		}
+		keys := s.store.Keys(args[1])
+		if err := writeArray(w, len(keys)); err != nil {
+			return err
+		}
+		for _, k := range keys {
+			if err := writeBulk(w, k); err != nil {
+				return err
+			}
+		}
+		return nil
+	case "HSET":
+		if !wantArgs(4) {
+			return writeError(w, "HSET needs key field value")
+		}
+		s.store.HSet(args[1], args[2], args[3])
+		return writeInt(w, 1)
+	case "HGET":
+		if !wantArgs(3) {
+			return writeError(w, "HGET needs key field")
+		}
+		if v, ok := s.store.HGet(args[1], args[2]); ok {
+			return writeBulk(w, v)
+		}
+		return writeNull(w)
+	case "HDEL":
+		if !wantArgs(3) {
+			return writeError(w, "HDEL needs key field")
+		}
+		s.store.HDel(args[1], args[2])
+		return writeInt(w, 1)
+	case "HGETALL":
+		if !wantArgs(2) {
+			return writeError(w, "HGETALL needs key")
+		}
+		h := s.store.HGetAll(args[1])
+		if err := writeArray(w, 2*len(h)); err != nil {
+			return err
+		}
+		for f, v := range h {
+			if err := writeBulk(w, f); err != nil {
+				return err
+			}
+			if err := writeBulk(w, v); err != nil {
+				return err
+			}
+		}
+		return nil
+	case "LPUSH", "RPUSH":
+		if len(args) < 3 {
+			return writeError(w, cmd+" needs key value...")
+		}
+		var n int
+		if cmd == "LPUSH" {
+			n = s.store.LPush(args[1], args[2:]...)
+		} else {
+			n = s.store.RPush(args[1], args[2:]...)
+		}
+		return writeInt(w, int64(n))
+	case "LPOP", "RPOP":
+		if !wantArgs(2) {
+			return writeError(w, cmd+" needs key")
+		}
+		var v string
+		var ok bool
+		if cmd == "LPOP" {
+			v, ok = s.store.LPop(args[1])
+		} else {
+			v, ok = s.store.RPop(args[1])
+		}
+		if !ok {
+			return writeNull(w)
+		}
+		return writeBulk(w, v)
+	case "LLEN":
+		if !wantArgs(2) {
+			return writeError(w, "LLEN needs key")
+		}
+		return writeInt(w, int64(s.store.LLen(args[1])))
+	case "LRANGE":
+		if !wantArgs(4) {
+			return writeError(w, "LRANGE needs key start stop")
+		}
+		start, err1 := strconv.Atoi(args[2])
+		stop, err2 := strconv.Atoi(args[3])
+		if err1 != nil || err2 != nil {
+			return writeError(w, "bad range")
+		}
+		vals := s.store.LRange(args[1], start, stop)
+		if err := writeArray(w, len(vals)); err != nil {
+			return err
+		}
+		for _, v := range vals {
+			if err := writeBulk(w, v); err != nil {
+				return err
+			}
+		}
+		return nil
+	case "EXPIRE":
+		if !wantArgs(3) {
+			return writeError(w, "EXPIRE needs key seconds")
+		}
+		secs, err := strconv.Atoi(args[2])
+		if err != nil {
+			return writeError(w, "bad seconds")
+		}
+		if s.store.Expire(args[1], time.Duration(secs)*time.Second) {
+			return writeInt(w, 1)
+		}
+		return writeInt(w, 0)
+	default:
+		return writeError(w, "unknown command "+cmd)
+	}
+}
+
+// Client is a RESP client for the server. It is safe for concurrent use;
+// commands are serialized over one connection.
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+	r    *bufio.Reader
+	w    *bufio.Writer
+}
+
+// Dial connects to a kvstore server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{conn: conn, r: bufio.NewReader(conn), w: bufio.NewWriter(conn)}, nil
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// Do sends one command and returns the decoded reply.
+func (c *Client) Do(args ...string) (Reply, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := writeArray(c.w, len(args)); err != nil {
+		return Reply{}, err
+	}
+	for _, a := range args {
+		if err := writeBulk(c.w, a); err != nil {
+			return Reply{}, err
+		}
+	}
+	if err := c.w.Flush(); err != nil {
+		return Reply{}, err
+	}
+	rep, err := readReply(c.r)
+	if err != nil {
+		return Reply{}, err
+	}
+	if rep.Kind == '-' {
+		return rep, errors.New(rep.Str)
+	}
+	return rep, nil
+}
+
+// Get is a convenience wrapper for GET.
+func (c *Client) Get(key string) (string, bool, error) {
+	rep, err := c.Do("GET", key)
+	if err != nil {
+		return "", false, err
+	}
+	if rep.Null {
+		return "", false, nil
+	}
+	return rep.Str, true, nil
+}
+
+// Set is a convenience wrapper for SET.
+func (c *Client) Set(key, value string) error {
+	_, err := c.Do("SET", key, value)
+	return err
+}

@@ -1,0 +1,288 @@
+// Package kvstore implements the key-value store Tero's micro-services
+// coordinate through (App. A/B uses Redis): an in-memory store with strings,
+// hashes, lists and TTLs, plus a RESP-framed TCP server and client so
+// separate processes can share it, exactly as the paper's coordinator and
+// downloaders do.
+package kvstore
+
+import (
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Store is an in-memory key-value store safe for concurrent use.
+type Store struct {
+	mu      sync.RWMutex
+	strings map[string]string
+	hashes  map[string]map[string]string
+	lists   map[string][]string
+	expiry  map[string]time.Time
+	now     func() time.Time
+}
+
+// New returns an empty store.
+func New() *Store {
+	return &Store{
+		strings: make(map[string]string),
+		hashes:  make(map[string]map[string]string),
+		lists:   make(map[string][]string),
+		expiry:  make(map[string]time.Time),
+		now:     time.Now,
+	}
+}
+
+// SetClock overrides the store's time source (tests and simulations).
+func (s *Store) SetClock(now func() time.Time) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.now = now
+}
+
+// expired reports whether key has a passed TTL; caller holds at least RLock.
+func (s *Store) expired(key string) bool {
+	t, ok := s.expiry[key]
+	return ok && s.now().After(t)
+}
+
+// purge removes an expired key; caller holds Lock.
+func (s *Store) purge(key string) {
+	delete(s.strings, key)
+	delete(s.hashes, key)
+	delete(s.lists, key)
+	delete(s.expiry, key)
+}
+
+// Set stores a string value.
+func (s *Store) Set(key, value string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.purgeIfExpired(key)
+	s.strings[key] = value
+	delete(s.expiry, key)
+}
+
+// SetEx stores a string value with a time-to-live.
+func (s *Store) SetEx(key, value string, ttl time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.strings[key] = value
+	s.expiry[key] = s.now().Add(ttl)
+}
+
+func (s *Store) purgeIfExpired(key string) {
+	if s.expired(key) {
+		s.purge(key)
+	}
+}
+
+// Get returns the string value of key.
+func (s *Store) Get(key string) (string, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.purgeIfExpired(key)
+	v, ok := s.strings[key]
+	return v, ok
+}
+
+// Del removes a key of any type. It reports whether something was removed.
+func (s *Store) Del(key string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, a := s.strings[key]
+	_, b := s.hashes[key]
+	_, c := s.lists[key]
+	s.purge(key)
+	return a || b || c
+}
+
+// Incr atomically increments the integer stored at key and returns the new
+// value (missing keys start at 0).
+func (s *Store) Incr(key string) (int64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.purgeIfExpired(key)
+	cur := int64(0)
+	if v, ok := s.strings[key]; ok {
+		p, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			return 0, err
+		}
+		cur = p
+	}
+	cur++
+	s.strings[key] = strconv.FormatInt(cur, 10)
+	return cur, nil
+}
+
+// Keys returns all live keys with the given prefix.
+func (s *Store) Keys(prefix string) []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []string
+	add := func(k string) {
+		if s.expired(k) {
+			return
+		}
+		if strings.HasPrefix(k, prefix) {
+			out = append(out, k)
+		}
+	}
+	for k := range s.strings {
+		add(k)
+	}
+	for k := range s.hashes {
+		add(k)
+	}
+	for k := range s.lists {
+		add(k)
+	}
+	return out
+}
+
+// HSet sets a hash field.
+func (s *Store) HSet(key, field, value string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.purgeIfExpired(key)
+	h, ok := s.hashes[key]
+	if !ok {
+		h = make(map[string]string)
+		s.hashes[key] = h
+	}
+	h[field] = value
+}
+
+// HGet returns a hash field.
+func (s *Store) HGet(key, field string) (string, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.purgeIfExpired(key)
+	v, ok := s.hashes[key][field]
+	return v, ok
+}
+
+// HDel removes a hash field.
+func (s *Store) HDel(key, field string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.hashes[key], field)
+}
+
+// HGetAll returns a copy of the whole hash.
+func (s *Store) HGetAll(key string) map[string]string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.purgeIfExpired(key)
+	out := make(map[string]string, len(s.hashes[key]))
+	for f, v := range s.hashes[key] {
+		out[f] = v
+	}
+	return out
+}
+
+// LPush prepends values to a list and returns its new length.
+func (s *Store) LPush(key string, values ...string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.purgeIfExpired(key)
+	l := s.lists[key]
+	for _, v := range values {
+		l = append([]string{v}, l...)
+	}
+	s.lists[key] = l
+	return len(l)
+}
+
+// RPush appends values to a list and returns its new length.
+func (s *Store) RPush(key string, values ...string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.purgeIfExpired(key)
+	s.lists[key] = append(s.lists[key], values...)
+	return len(s.lists[key])
+}
+
+// LPop removes and returns the first element of a list.
+func (s *Store) LPop(key string) (string, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.purgeIfExpired(key)
+	l := s.lists[key]
+	if len(l) == 0 {
+		return "", false
+	}
+	v := l[0]
+	s.lists[key] = l[1:]
+	return v, true
+}
+
+// RPop removes and returns the last element of a list.
+func (s *Store) RPop(key string) (string, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.purgeIfExpired(key)
+	l := s.lists[key]
+	if len(l) == 0 {
+		return "", false
+	}
+	v := l[len(l)-1]
+	s.lists[key] = l[:len(l)-1]
+	return v, true
+}
+
+// LLen returns the length of a list.
+func (s *Store) LLen(key string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.purgeIfExpired(key)
+	return len(s.lists[key])
+}
+
+// LRange returns a copy of list elements in [start, stop] (inclusive,
+// negative indexes count from the end, Redis-style).
+func (s *Store) LRange(key string, start, stop int) []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.purgeIfExpired(key)
+	l := s.lists[key]
+	n := len(l)
+	if start < 0 {
+		start += n
+	}
+	if stop < 0 {
+		stop += n
+	}
+	if start < 0 {
+		start = 0
+	}
+	if stop >= n {
+		stop = n - 1
+	}
+	if start > stop || n == 0 {
+		return nil
+	}
+	out := make([]string, stop-start+1)
+	copy(out, l[start:stop+1])
+	return out
+}
+
+// Expire sets a TTL on an existing key; it reports whether the key exists.
+func (s *Store) Expire(key string, ttl time.Duration) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, a := s.strings[key]
+	_, b := s.hashes[key]
+	_, c := s.lists[key]
+	if !(a || b || c) {
+		return false
+	}
+	s.expiry[key] = s.now().Add(ttl)
+	return true
+}
+
+// Len returns the number of live keys.
+func (s *Store) Len() int {
+	return len(s.Keys(""))
+}

@@ -1,0 +1,187 @@
+// Package location implements Tero's location module (§3.1): it maps a
+// streamer to a {city, region, country} tuple using (1) the Twitch
+// description, (2) a Twitter profile found by username reuse and verified
+// by an explicit backlink to the Twitch account, and (3) country-level
+// Twitch tags to recover outputs the conservative heuristics discarded
+// (App. D.2).
+package location
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"time"
+
+	"tero/internal/geo"
+	"tero/internal/geoparse"
+)
+
+// TwitterProfile is a social profile as returned by the platform.
+type TwitterProfile struct {
+	Username string   `json:"username"`
+	Location string   `json:"location"`
+	Links    []string `json:"links"`
+}
+
+// SteamProfile is a Steam profile: a country-granularity location field and
+// outbound links.
+type SteamProfile struct {
+	Username string   `json:"username"`
+	Country  string   `json:"country"`
+	Links    []string `json:"links"`
+}
+
+// SocialLookup finds social profiles by username.
+type SocialLookup interface {
+	Twitter(username string) (TwitterProfile, bool)
+	Steam(username string) (SteamProfile, bool)
+}
+
+// Result is the module's output for one streamer.
+type Result struct {
+	Loc geo.Location
+	OK  bool
+	// Method records the winning source: "description", "twitter",
+	// "description-tag" or "twitter-tag" (tag recovery).
+	Method string
+}
+
+// Module is a configured location module.
+type Module struct {
+	Gaz         *geo.Gazetteer
+	twitchTools []geoparse.Tool
+	nominatim   geoparse.Tool
+	geonames    geoparse.Tool
+}
+
+// New builds a module over the world gazetteer.
+func New() *Module {
+	gaz := geo.World()
+	nom, geon := geoparse.DefaultTwitterTools(gaz)
+	return &Module{
+		Gaz:         gaz,
+		twitchTools: geoparse.DefaultTwitchTools(gaz),
+		nominatim:   nom,
+		geonames:    geon,
+	}
+}
+
+// hasBacklink reports whether the profile links to the streamer's Twitch
+// account ("we look only for explicit links left by a user themselves", §7).
+func hasBacklink(links []string, twitchLogin string) bool {
+	needle := "twitch.tv/" + strings.ToLower(twitchLogin)
+	for _, l := range links {
+		if strings.Contains(strings.ToLower(l), needle) {
+			return true
+		}
+	}
+	return false
+}
+
+// tagRecover applies the App. D.2 tag rule: accept a discarded tool output
+// if the streamer's country-level tag confirms the geocoded country.
+func (m *Module) tagRecover(outputs []geoparse.ToolOutput, countryTag string) (geo.Location, bool) {
+	if countryTag == "" {
+		return geo.Location{}, false
+	}
+	tagCountry := m.Gaz.Country(countryTag)
+	if tagCountry == nil {
+		return geo.Location{}, false
+	}
+	for _, o := range outputs {
+		for _, l := range o.Locs {
+			c := m.Gaz.Canonicalize(l)
+			if strings.EqualFold(c.Country, tagCountry.Name) {
+				// The tag only confirms the country, so only the country is
+				// trusted: a city extracted from a poetic field may be wrong
+				// even when the country happens to match.
+				return c.CountryKey(), true
+			}
+		}
+	}
+	return geo.Location{}, false
+}
+
+// Locate runs the full §3.1 procedure.
+func (m *Module) Locate(username, description, countryTag string, social SocialLookup) Result {
+	// (1) Twitch description.
+	descOutputs := geoparse.RunTools(m.twitchTools, description)
+	if res := geoparse.CombineTwitch(m.Gaz, description, descOutputs); res.OK {
+		return Result{Loc: res.Loc, OK: true, Method: "description"}
+	}
+
+	// (2) Social profile by username reuse + backlink verification.
+	if social != nil {
+		if tw, ok := social.Twitter(username); ok && hasBacklink(tw.Links, username) && tw.Location != "" {
+			res := geoparse.CombineTwitter(m.Gaz, tw.Location, m.nominatim, m.geonames, m.twitchTools)
+			if res.OK {
+				return Result{Loc: res.Loc, OK: true, Method: "twitter"}
+			}
+			// Tag recovery over the Twitter field's tool outputs.
+			fieldOutputs := geoparse.RunTools(m.twitchTools, tw.Location)
+			fieldOutputs = append(fieldOutputs,
+				geoparse.ToolOutput{Tool: m.nominatim.Name(), Locs: m.nominatim.Extract(tw.Location)},
+				geoparse.ToolOutput{Tool: m.geonames.Name(), Locs: m.geonames.Extract(tw.Location)})
+			if loc, ok := m.tagRecover(fieldOutputs, countryTag); ok {
+				return Result{Loc: loc, OK: true, Method: "twitter-tag"}
+			}
+		}
+		// Steam: same username-reuse + backlink mapping, country-level
+		// location field.
+		if sp, ok := social.Steam(username); ok && hasBacklink(sp.Links, username) && sp.Country != "" {
+			if c := m.Gaz.Country(sp.Country); c != nil {
+				return Result{Loc: c.Location(), OK: true, Method: "steam"}
+			}
+		}
+	}
+
+	// (3) Tag recovery over the description outputs.
+	if loc, ok := m.tagRecover(descOutputs, countryTag); ok {
+		return Result{Loc: loc, OK: true, Method: "description-tag"}
+	}
+	return Result{}
+}
+
+// HTTPSocial is a SocialLookup backed by the platform's social endpoints.
+type HTTPSocial struct {
+	Base string
+	HTTP *http.Client
+}
+
+// NewHTTPSocial builds a lookup client for the platform at base.
+func NewHTTPSocial(base string) *HTTPSocial {
+	return &HTTPSocial{
+		Base: strings.TrimRight(base, "/"),
+		HTTP: &http.Client{Timeout: 10 * time.Second},
+	}
+}
+
+// Twitter implements SocialLookup.
+func (h *HTTPSocial) Twitter(username string) (TwitterProfile, bool) {
+	var p TwitterProfile
+	if !h.getJSON("/twitter/"+username, &p) {
+		return TwitterProfile{}, false
+	}
+	return p, true
+}
+
+// Steam implements SocialLookup.
+func (h *HTTPSocial) Steam(username string) (SteamProfile, bool) {
+	var p SteamProfile
+	if !h.getJSON("/steam/"+username, &p) {
+		return SteamProfile{}, false
+	}
+	return p, true
+}
+
+func (h *HTTPSocial) getJSON(path string, out any) bool {
+	resp, err := h.HTTP.Get(h.Base + path)
+	if err != nil {
+		return false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return false
+	}
+	return json.NewDecoder(resp.Body).Decode(out) == nil
+}

@@ -1,0 +1,142 @@
+// Package objstore implements the S3-like object store Tero uses for
+// thumbnails and intermediate image-processing products (App. B uses a
+// Ceph-based store): named buckets of binary objects with metadata,
+// safe for concurrent use.
+package objstore
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// ErrNotFound is returned when a bucket or object does not exist.
+var ErrNotFound = errors.New("objstore: not found")
+
+// Object is a stored value with its metadata.
+type Object struct {
+	Key     string
+	Data    []byte
+	ETag    string
+	ModTime time.Time
+	Meta    map[string]string
+}
+
+// Store is an in-memory object store.
+type Store struct {
+	mu      sync.RWMutex
+	buckets map[string]map[string]*Object
+	now     func() time.Time
+}
+
+// New returns an empty store.
+func New() *Store {
+	return &Store{buckets: make(map[string]map[string]*Object), now: time.Now}
+}
+
+// SetClock overrides the store's time source.
+func (s *Store) SetClock(now func() time.Time) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.now = now
+}
+
+// CreateBucket creates a bucket (idempotent).
+func (s *Store) CreateBucket(name string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.buckets[name]; !ok {
+		s.buckets[name] = make(map[string]*Object)
+	}
+}
+
+// Put stores an object, replacing any existing one, and returns its ETag.
+// The bucket is created if needed.
+func (s *Store) Put(bucket, key string, data []byte, meta map[string]string) string {
+	sum := sha256.Sum256(data)
+	etag := hex.EncodeToString(sum[:8])
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	var metaCp map[string]string
+	if meta != nil {
+		metaCp = make(map[string]string, len(meta))
+		for k, v := range meta {
+			metaCp[k] = v
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, ok := s.buckets[bucket]
+	if !ok {
+		b = make(map[string]*Object)
+		s.buckets[bucket] = b
+	}
+	b[key] = &Object{Key: key, Data: cp, ETag: etag, ModTime: s.now(), Meta: metaCp}
+	return etag
+}
+
+// Get returns a copy of the object.
+func (s *Store) Get(bucket, key string) (*Object, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	o, ok := s.buckets[bucket][key]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	cp := *o
+	cp.Data = append([]byte(nil), o.Data...)
+	return &cp, nil
+}
+
+// Head returns the object's metadata without its data.
+func (s *Store) Head(bucket, key string) (*Object, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	o, ok := s.buckets[bucket][key]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	cp := *o
+	cp.Data = nil
+	return &cp, nil
+}
+
+// Delete removes an object.
+func (s *Store) Delete(bucket, key string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, ok := s.buckets[bucket]
+	if !ok {
+		return ErrNotFound
+	}
+	if _, ok := b[key]; !ok {
+		return ErrNotFound
+	}
+	delete(b, key)
+	return nil
+}
+
+// List returns the keys in a bucket with the given prefix, sorted.
+func (s *Store) List(bucket, prefix string) []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []string
+	for k := range s.buckets[bucket] {
+		if strings.HasPrefix(k, prefix) {
+			out = append(out, k)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Size returns the number of objects in a bucket.
+func (s *Store) Size(bucket string) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.buckets[bucket])
+}

@@ -1,0 +1,140 @@
+package ocr
+
+import (
+	"tero/internal/imaging"
+)
+
+// Tessera is the strict engine: fixed global threshold, column-projection
+// segmentation, tight match tolerance. It misses low-contrast text entirely
+// (the fixed threshold swallows it) and refuses noisy characters, which
+// yields the highest miss rate of the three, like Tesseract in Table 4.
+type Tessera struct {
+	// Thr is the fixed binarization threshold.
+	Thr uint8
+	// Tol is the maximum accepted Hamming distance.
+	Tol int
+}
+
+// NewTessera returns a Tessera engine with default parameters.
+func NewTessera() *Tessera { return &Tessera{Thr: 140, Tol: 16} }
+
+// Name implements Engine.
+func (t *Tessera) Name() string { return "tessera" }
+
+// Recognize implements Engine.
+func (t *Tessera) Recognize(img *imaging.Gray) Result {
+	bin := img.Threshold(t.Thr)
+	segs := bin.SegmentColumns(1)
+	return recognizeSegments(bin, segs, t.Tol, 0, 3)
+}
+
+// EasyScan is the lenient engine: Otsu binarization (adapts to low
+// contrast), connected-component segmentation merged into column groups,
+// and a generous match tolerance. It extracts almost everything but
+// mis-reads more characters — the EasyOCR profile of Table 4.
+type EasyScan struct {
+	Tol int
+}
+
+// NewEasyScan returns an EasyScan engine with default parameters.
+func NewEasyScan() *EasyScan { return &EasyScan{Tol: 36} }
+
+// Name implements Engine.
+func (e *EasyScan) Name() string { return "easyscan" }
+
+// Recognize implements Engine.
+func (e *EasyScan) Recognize(img *imaging.Gray) Result {
+	// Adaptive binarization with polarity detection: if the foreground is
+	// darker than the background, invert so text is always 255.
+	thr := img.OtsuThreshold()
+	bin := img.Threshold(thr)
+	if countFg(bin) > len(bin.Pix)/2 {
+		bin = img.Clone()
+		bin.Invert()
+		bin = bin.Threshold(255 - thr + 1)
+	}
+	segs := mergeOverlapping(componentColumns(bin))
+	return recognizeSegments(bin, segs, e.Tol, 0, 4)
+}
+
+// PaddleRead up-scales and smooths before binarizing, segments by column
+// projection with a wider gap, and applies a digit prior — a distinct
+// confusion profile (slightly more errors than EasyScan, fewer misses than
+// Tessera), matching PaddleOCR's row of Table 4.
+type PaddleRead struct {
+	Tol       int
+	DigitBias int
+}
+
+// NewPaddleRead returns a PaddleRead engine with default parameters.
+func NewPaddleRead() *PaddleRead { return &PaddleRead{Tol: 40, DigitBias: 0} }
+
+// Name implements Engine.
+func (p *PaddleRead) Name() string { return "paddleread" }
+
+// Recognize implements Engine.
+func (p *PaddleRead) Recognize(img *imaging.Gray) Result {
+	up := img.ScaleNearest(2)
+	thr := up.OtsuThreshold()
+	bin := up.Threshold(thr)
+	if countFg(bin) > len(bin.Pix)/2 {
+		inv := up.Clone()
+		inv.Invert()
+		up = inv
+		bin = up.Threshold(up.OtsuThreshold())
+	}
+	segs := bin.SegmentColumns(2)
+	res := recognizeSegments(bin, segs, p.Tol, p.DigitBias, 8)
+	// Report character boxes in the caller's coordinate system (the image
+	// was scaled 2× internally).
+	for i := range res.Chars {
+		b := &res.Chars[i].Box
+		b.X0 /= 2
+		b.Y0 /= 2
+		b.X1 = (b.X1 + 1) / 2
+		b.Y1 = (b.Y1 + 1) / 2
+	}
+	return res
+}
+
+func countFg(bin *imaging.Gray) int {
+	n := 0
+	for _, px := range bin.Pix {
+		if px != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// componentColumns returns one full-height column strip per connected
+// component.
+func componentColumns(bin *imaging.Gray) []imaging.Rect {
+	comps := bin.ConnectedComponents()
+	out := make([]imaging.Rect, 0, len(comps))
+	for _, c := range comps {
+		out = append(out, imaging.Rect{X0: c.Box.X0, Y0: 0, X1: c.Box.X1, Y1: bin.H})
+	}
+	return out
+}
+
+// mergeOverlapping merges column strips whose X ranges overlap (pieces of
+// the same character found as separate components).
+func mergeOverlapping(rs []imaging.Rect) []imaging.Rect {
+	if len(rs) == 0 {
+		return rs
+	}
+	// rs is sorted by X0 (component order). Merge onto a stack.
+	out := rs[:1]
+	for _, r := range rs[1:] {
+		last := &out[len(out)-1]
+		if r.X0 <= last.X1 {
+			if r.X1 > last.X1 {
+				last.X1 = r.X1
+			}
+		} else {
+			out = append(out, r)
+		}
+	}
+	return out
+}

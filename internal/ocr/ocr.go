@@ -1,0 +1,170 @@
+// Package ocr implements three independent optical-character-recognition
+// engines — Tessera, EasyScan and PaddleRead — standing in for the three
+// engines the paper uses (Tesseract, EasyOCR and PaddleOCR, §3.2). Each
+// engine has its own binarization, segmentation and matching pipeline, so
+// the three genuinely disagree on hard inputs, which is what Tero's
+// 2-of-3 voting combiner exploits.
+//
+// All engines are template matchers over the embedded 5×7 font: a candidate
+// character region is tight-cropped, resampled to the glyph grid, and
+// matched against every known glyph by Hamming distance. The engines differ
+// in how they find regions and how strictly they accept a match:
+//
+//   - Tessera uses a fixed global threshold (fails on low-contrast text)
+//     and strict matching (more misses, like Tesseract's 15.5% miss rate).
+//   - EasyScan uses Otsu binarization and lenient matching (fewer misses,
+//     more confusions).
+//   - PaddleRead up-scales and blurs before Otsu, with a digit prior
+//     (different confusion profile).
+package ocr
+
+import (
+	"sort"
+	"strings"
+
+	"tero/internal/font"
+	"tero/internal/imaging"
+)
+
+// Char is one recognized character.
+type Char struct {
+	R    rune
+	Dist int // Hamming distance to the matched template (0 = perfect)
+	Box  imaging.Rect
+}
+
+// Result is an engine's output for one image.
+type Result struct {
+	Text  string
+	Chars []Char
+}
+
+// Engine recognizes text in a grayscale image.
+type Engine interface {
+	Name() string
+	Recognize(img *imaging.Gray) Result
+}
+
+// Engines returns the three engines in the order the paper lists them.
+func Engines() []Engine {
+	return []Engine{NewTessera(), NewEasyScan(), NewPaddleRead()}
+}
+
+// CellW and CellH are the dimensions of the normalized matching grid. A
+// grid finer than the font's 5×7 reduces resampling artifacts when the
+// input text is rendered at a different scale than the templates.
+const (
+	CellW = 2 * font.GlyphW
+	CellH = 2 * font.GlyphH
+)
+
+// template is a tight-normalized glyph bitmap.
+type template struct {
+	r    rune
+	bits [CellW * CellH]bool
+	ink  int
+}
+
+// templateSet holds the normalized glyph templates, shared by all engines.
+var templateSet = buildTemplates()
+
+func buildTemplates() []template {
+	var out []template
+	runes := font.Runes()
+	sort.Slice(runes, func(i, j int) bool { return runes[i] < runes[j] })
+	for _, r := range runes {
+		if r == ' ' {
+			continue
+		}
+		img := font.RenderGlyph(r)
+		norm := normalizeCell(img)
+		if norm == nil {
+			continue
+		}
+		t := template{r: r}
+		for i, p := range norm.Pix {
+			if p != 0 {
+				t.bits[i] = true
+				t.ink++
+			}
+		}
+		out = append(out, t)
+	}
+	return out
+}
+
+// normalizeCell tight-crops the foreground of a binary image and resamples
+// it to the CellW×CellH grid. Returns nil if the image has no foreground.
+func normalizeCell(img *imaging.Gray) *imaging.Gray {
+	box := img.TightBox()
+	if box.Empty() {
+		return nil
+	}
+	tight := img.Crop(box)
+	scaled := tight.ScaleBilinear(CellW, CellH)
+	return scaled.Threshold(128)
+}
+
+// matchCell returns the best-matching rune for a normalized cell and its
+// Hamming distance. digitBias is subtracted from the distance of digit
+// templates (used by PaddleRead's digit prior).
+func matchCell(cell *imaging.Gray, digitBias int) (rune, int) {
+	bestR := rune(0)
+	bestD := 1 << 30
+	for _, t := range templateSet {
+		d := 0
+		for i, p := range cell.Pix {
+			fg := p != 0
+			if fg != t.bits[i] {
+				d++
+			}
+		}
+		eff := d
+		if t.r >= '0' && t.r <= '9' {
+			eff -= digitBias
+		}
+		if eff < bestD || (eff == bestD && isDigit(t.r) && !isDigit(bestR)) {
+			bestD = eff
+			bestR = t.r
+		}
+	}
+	return bestR, bestD
+}
+
+func isDigit(r rune) bool { return r >= '0' && r <= '9' }
+
+// recognizeSegments matches each segment of a binary image and assembles a
+// Result, rejecting characters whose match distance exceeds tol.
+func recognizeSegments(bin *imaging.Gray, segs []imaging.Rect, tol, digitBias int, minArea int) Result {
+	var res Result
+	var sb strings.Builder
+	for _, s := range segs {
+		sub := bin.Crop(s)
+		box := sub.TightBox()
+		if box.Empty() {
+			continue
+		}
+		area := 0
+		for _, p := range sub.Pix {
+			if p != 0 {
+				area++
+			}
+		}
+		if area < minArea {
+			continue // specks of noise
+		}
+		cell := normalizeCell(sub)
+		if cell == nil {
+			continue
+		}
+		r, d := matchCell(cell, digitBias)
+		if d > tol {
+			continue // unrecognized character: engine stays silent
+		}
+		sb.WriteRune(r)
+		res.Chars = append(res.Chars, Char{R: r, Dist: d, Box: imaging.Rect{
+			X0: s.X0 + box.X0, Y0: s.Y0 + box.Y0, X1: s.X0 + box.X1, Y1: s.Y0 + box.Y1}})
+	}
+	res.Text = sb.String()
+	return res
+}

@@ -1,0 +1,340 @@
+// Package pipeline wires the full Tero system end-to-end against a running
+// platform, the way the paper's micro-service deployment works (App. B):
+// the download module fills the object store with thumbnails; image-
+// processing workers pull thumbnails, extract latency, push measurements to
+// the document store and delete the thumbnail (§7: intermediate data is
+// deleted as soon as it is processed); the location module locates
+// streamers via the API and social endpoints; and the data-analysis module
+// builds streams and runs the §3.3 pipeline.
+//
+// Streamer identities are pseudonymized with a consistent hash before
+// storage (§7): the pipeline needs to link measurements of one streamer,
+// not to remember who the streamer is.
+package pipeline
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"sort"
+	"strconv"
+	"time"
+
+	"tero/internal/core"
+	"tero/internal/docstore"
+	"tero/internal/download"
+	"tero/internal/games"
+	"tero/internal/geo"
+	"tero/internal/imageproc"
+	"tero/internal/imaging"
+	"tero/internal/kvstore"
+	"tero/internal/location"
+	"tero/internal/objstore"
+
+	"bytes"
+)
+
+// Pipeline is a fully wired Tero instance.
+type Pipeline struct {
+	KV      kvstore.KV
+	Objects *objstore.Store
+	Docs    *docstore.Store
+
+	Coordinator *download.Coordinator
+	Downloaders []*download.Downloader
+	Extractor   *imageproc.Extractor
+	Locator     *location.Module
+	Social      location.SocialLookup
+	API         *download.APIClient
+
+	// Salt for the consistent streamer-ID pseudonymization.
+	Salt string
+
+	// Stats.
+	Processed, Extracted, Zero, Missed int
+	Located, Unlocated                 int
+}
+
+// New wires a pipeline against the platform at baseURL.
+func New(baseURL string, downloaders int) *Pipeline {
+	kv := kvstore.New()
+	objects := objstore.New()
+	docs := docstore.New()
+	api := download.NewAPIClient(baseURL)
+	p := &Pipeline{
+		KV:          kv,
+		Objects:     objects,
+		Docs:        docs,
+		Coordinator: download.NewCoordinator(kv, api),
+		Extractor:   imageproc.New(),
+		Locator:     location.New(),
+		Social:      location.NewHTTPSocial(baseURL),
+		API:         api,
+		Salt:        "tero-reproduction",
+	}
+	if downloaders < 1 {
+		downloaders = 1
+	}
+	for i := 0; i < downloaders; i++ {
+		p.Downloaders = append(p.Downloaders,
+			download.NewDownloader("dl"+strconv.Itoa(i), kv, objects))
+	}
+	p.Docs.C("measurements").EnsureIndex("streamer")
+	return p
+}
+
+// Anonymize maps a platform streamer ID to the stable pseudonymous ID used
+// in all stored data (§7).
+func (p *Pipeline) Anonymize(id string) string {
+	sum := sha256.Sum256([]byte(p.Salt + "|" + id))
+	return "anon-" + hex.EncodeToString(sum[:8])
+}
+
+// Tick runs one poll round of the download module at virtual time now.
+func (p *Pipeline) Tick(now time.Time, pollCoordinator bool) error {
+	if pollCoordinator {
+		if err := p.Coordinator.PollOnce(); err != nil {
+			return err
+		}
+	}
+	for _, d := range p.Downloaders {
+		if err := d.PollOnce(now); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ProcessThumbnails drains the thumbnail bucket: extract latency, store the
+// measurement, delete the thumbnail. Returns the number processed.
+func (p *Pipeline) ProcessThumbnails() int {
+	keys := p.Objects.List(download.ThumbBucket, "")
+	meas := p.Docs.C("measurements")
+	n := 0
+	for _, key := range keys {
+		obj, err := p.Objects.Get(download.ThumbBucket, key)
+		if err != nil {
+			continue
+		}
+		game := games.ByName(obj.Meta["game"])
+		img, err := imaging.DecodePGM(bytes.NewReader(obj.Data))
+		if game != nil && err == nil {
+			ex := p.Extractor.Extract(img, game)
+			p.Processed++
+			switch {
+			case ex.OK:
+				p.Extracted++
+				doc := docstore.Doc{
+					"streamer": p.Anonymize(obj.Meta["streamer"]),
+					"login":    obj.Meta["login"], // kept transiently for location lookup
+					"game":     game.Name,
+					"at":       obj.Meta["at"],
+					"ms":       float64(ex.Value),
+				}
+				if ex.HasAlt {
+					doc["alt"] = float64(ex.Alt)
+					doc["hasAlt"] = true
+				}
+				meas.Insert(doc)
+			case ex.Zero:
+				p.Zero++
+			default:
+				p.Missed++
+			}
+			// Remember which platform ID maps to the pseudonym until the
+			// location lookup has run, then forget (see LocateStreamers).
+			p.KV.HSet("pending-location", obj.Meta["streamer"], obj.Meta["login"])
+		}
+		// §7: delete the thumbnail as soon as it is processed.
+		p.Objects.Delete(download.ThumbBucket, key)
+		n++
+	}
+	return n
+}
+
+// relocateEvery is how often a streamer's profiles are re-examined: a
+// streamer may advertise a new location after moving (§3.1.1), in which
+// case the pipeline keeps both — each {streamer, location} pair acts as a
+// distinct end-point in analysis.
+const relocateEvery = 24 * time.Hour
+
+// LocateStreamers runs the location module for every streamer with pending
+// measurements, maintaining a {pseudonym -> location history} and
+// forgetting the real ID. `now` is the pipeline's virtual time.
+func (p *Pipeline) LocateStreamers(now time.Time) int {
+	pending := p.KV.HGetAll("pending-location")
+	located := 0
+	for realID, login := range pending {
+		anon := p.Anonymize(realID)
+		if last, ok := p.KV.Get("locat:" + anon); ok {
+			if t, err := time.Parse(time.RFC3339, last); err == nil &&
+				now.Sub(t) < relocateEvery {
+				p.KV.HDel("pending-location", realID)
+				continue
+			}
+		}
+		_, desc, err := p.API.UserDescription(realID)
+		if err != nil {
+			continue
+		}
+		tag, _ := p.KV.HGet("tags", realID)
+		res := p.Locator.Locate(login, desc, tag, p.Social)
+		p.KV.Set("locat:"+anon, now.UTC().Format(time.RFC3339))
+		if res.OK {
+			// Record in the history only if the location changed (§3.1.1:
+			// occasionally a streamer advertises a new location — keep both).
+			prev, _ := p.KV.Get("loc:" + anon)
+			if enc := encodeLocation(res.Loc); enc != prev {
+				p.KV.HSet("lochist:"+anon, now.UTC().Format(time.RFC3339), enc)
+				p.KV.Set("loc:"+anon, enc)
+			}
+			located++
+			p.Located++
+		} else if _, tried := p.KV.Get("loc:" + anon); !tried {
+			p.KV.Set("loc:"+anon, "") // tried, unknown
+			p.Unlocated++
+		}
+		p.KV.HDel("pending-location", realID)
+	}
+	return located
+}
+
+// LocationAt returns the streamer's recorded location as of time t: the
+// latest history entry not after t, else the earliest known one.
+func (p *Pipeline) LocationAt(anonID string, t time.Time) (geo.Location, bool) {
+	hist := p.KV.HGetAll("lochist:" + anonID)
+	if len(hist) == 0 {
+		return p.LocationOf(anonID)
+	}
+	var bestAt, earliestAt time.Time
+	var best, earliest string
+	for stamp, enc := range hist {
+		at, err := time.Parse(time.RFC3339, stamp)
+		if err != nil {
+			continue
+		}
+		if earliest == "" || at.Before(earliestAt) {
+			earliestAt, earliest = at, enc
+		}
+		if !at.After(t) && (best == "" || at.After(bestAt)) {
+			bestAt, best = at, enc
+		}
+	}
+	if best == "" {
+		best = earliest
+	}
+	if best == "" {
+		return geo.Location{}, false
+	}
+	return decodeLocation(best), true
+}
+
+func encodeLocation(l geo.Location) string {
+	return l.City + "|" + l.Region + "|" + l.Country
+}
+
+func decodeLocation(s string) geo.Location {
+	var parts [3]string
+	field := 0
+	start := 0
+	for i := 0; i < len(s) && field < 2; i++ {
+		if s[i] == '|' {
+			parts[field] = s[start:i]
+			field++
+			start = i + 1
+		}
+	}
+	parts[field] = s[start:]
+	return geo.Location{City: parts[0], Region: parts[1], Country: parts[2]}
+}
+
+// LocationOf returns the stored location for a pseudonymized streamer.
+func (p *Pipeline) LocationOf(anonID string) (geo.Location, bool) {
+	v, ok := p.KV.Get("loc:" + anonID)
+	if !ok || v == "" {
+		return geo.Location{}, false
+	}
+	return decodeLocation(v), true
+}
+
+// streamGap is the silence that ends a stream: the streamer went offline
+// (thumbnails stop) — comfortably above the 5-minute cadence plus jitter
+// and skipped thumbnails.
+const streamGap = 35 * time.Minute
+
+// BuildStreams groups stored measurements into streams (§3.3.1): per
+// {streamer, game}, chronologically ordered, split where the measurement
+// gap exceeds streamGap. Only streamers with a known location get one.
+func (p *Pipeline) BuildStreams() []core.Stream {
+	meas := p.Docs.C("measurements")
+	type key struct{ streamer, game string }
+	byKey := make(map[key][]core.Point)
+	for _, d := range meas.Find(nil) {
+		at, err := time.Parse(time.RFC3339, d["at"].(string))
+		if err != nil {
+			continue
+		}
+		pt := core.Point{T: at, Ms: d["ms"].(float64)}
+		if alt, ok := d["alt"].(float64); ok {
+			pt.Alt, pt.HasAlt = alt, true
+		}
+		k := key{d["streamer"].(string), d["game"].(string)}
+		byKey[k] = append(byKey[k], pt)
+	}
+	keys := make([]key, 0, len(byKey))
+	for k := range byKey {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].streamer != keys[j].streamer {
+			return keys[i].streamer < keys[j].streamer
+		}
+		return keys[i].game < keys[j].game
+	})
+
+	var out []core.Stream
+	for _, k := range keys {
+		pts := byKey[k]
+		sort.Slice(pts, func(i, j int) bool { return pts[i].T.Before(pts[j].T) })
+		// Location can change between streams but not within one (§3.3.1):
+		// resolve it at each stream's first point.
+		locFor := func(t time.Time) geo.Location {
+			loc, _ := p.LocationAt(k.streamer, t)
+			return loc
+		}
+		cur := core.Stream{Streamer: k.streamer, Game: k.game, Location: locFor(pts[0].T)}
+		for i, pt := range pts {
+			if i > 0 && pt.T.Sub(pts[i-1].T) > streamGap {
+				if len(cur.Points) > 0 {
+					out = append(out, cur)
+				}
+				cur = core.Stream{Streamer: k.streamer, Game: k.game, Location: locFor(pt.T)}
+			}
+			cur.Points = append(cur.Points, pt)
+		}
+		if len(cur.Points) > 0 {
+			out = append(out, cur)
+		}
+	}
+	return out
+}
+
+// Analyze runs the data-analysis module over all built streams, one
+// analysis per {streamer, game}.
+func (p *Pipeline) Analyze(params core.Params) []*core.Analysis {
+	streams := p.BuildStreams()
+	type key struct{ streamer, game string }
+	grouped := make(map[key][]core.Stream)
+	var order []key
+	for _, s := range streams {
+		k := key{s.Streamer, s.Game}
+		if _, ok := grouped[k]; !ok {
+			order = append(order, k)
+		}
+		grouped[k] = append(grouped[k], s)
+	}
+	var out []*core.Analysis
+	for _, k := range order {
+		out = append(out, core.Analyze(grouped[k], params))
+	}
+	return out
+}

@@ -1,0 +1,200 @@
+package pipeline
+
+import (
+	"testing"
+	"time"
+
+	"tero/internal/core"
+	"tero/internal/twitchsim"
+	"tero/internal/worldsim"
+)
+
+// runWorld drives platform + pipeline for `hours` of virtual time starting
+// at the given virtual offset.
+func runWorld(t *testing.T, streamers int, offset time.Duration, hours float64) (*worldsim.World, *Pipeline) {
+	t.Helper()
+	cfg := worldsim.DefaultConfig(23)
+	cfg.Streamers = streamers
+	cfg.Days = 1
+	cfg.LocatableFrac = 0.8 // dense locations so assertions have data
+	world := worldsim.New(cfg)
+	platform := twitchsim.New(world)
+	t.Cleanup(platform.Close)
+
+	p := New(platform.URL(), 3)
+	platform.Advance(offset)
+	ticks := int(hours * 30) // 2-minute ticks
+	for i := 0; i < ticks; i++ {
+		if err := p.Tick(platform.Now(), i%3 == 0); err != nil {
+			t.Fatalf("tick %d: %v", i, err)
+		}
+		platform.Advance(2 * time.Minute)
+	}
+	p.ProcessThumbnails()
+	p.LocateStreamers(platform.Now())
+	return world, p
+}
+
+func TestEndToEndPipeline(t *testing.T) {
+	world, p := runWorld(t, 120, 23*time.Hour, 6)
+
+	if p.Processed == 0 {
+		t.Fatal("no thumbnails processed")
+	}
+	if p.Extracted == 0 {
+		t.Fatal("no latency measurements extracted")
+	}
+	// Extraction rate: most visible measurements extracted, some missed
+	// (§4.2.2 reports ~28% missed).
+	missRate := float64(p.Missed) / float64(p.Processed)
+	if missRate > 0.6 {
+		t.Fatalf("miss rate %.2f too high", missRate)
+	}
+	// Thumbnails deleted after processing (§7).
+	if p.Objects.Size("thumbs") != 0 {
+		t.Fatalf("%d thumbnails retained", p.Objects.Size("thumbs"))
+	}
+	// Measurements stored under pseudonyms, never raw platform IDs.
+	for _, d := range p.Docs.C("measurements").Find(nil) {
+		id := d["streamer"].(string)
+		if len(id) < 5 || id[:5] != "anon-" {
+			t.Fatalf("raw ID leaked: %q", id)
+		}
+	}
+	_ = world
+}
+
+func TestPipelineStreamsAndAnalysis(t *testing.T) {
+	_, p := runWorld(t, 120, 23*time.Hour, 6)
+	streams := p.BuildStreams()
+	if len(streams) == 0 {
+		t.Fatal("no streams built")
+	}
+	for _, s := range streams {
+		for i := 1; i < len(s.Points); i++ {
+			if !s.Points[i].T.After(s.Points[i-1].T) {
+				t.Fatal("points not strictly ordered")
+			}
+			if gap := s.Points[i].T.Sub(s.Points[i-1].T); gap > streamGap {
+				t.Fatalf("stream not split at %v gap", gap)
+			}
+		}
+	}
+	analyses := p.Analyze(core.DefaultParams())
+	if len(analyses) == 0 {
+		t.Fatal("no analyses")
+	}
+	kept := 0
+	for _, a := range analyses {
+		if !a.Discarded {
+			kept++
+		}
+	}
+	if kept == 0 {
+		t.Fatal("every analysis discarded")
+	}
+}
+
+func TestPipelineLocationsMatchGroundTruth(t *testing.T) {
+	world, p := runWorld(t, 150, 23*time.Hour, 4)
+	if p.Located == 0 {
+		t.Fatal("nothing located")
+	}
+	wrong, checked := 0, 0
+	for _, st := range world.Streamers {
+		loc, ok := p.LocationOf(p.Anonymize(st.ID))
+		if !ok {
+			continue
+		}
+		checked++
+		if !loc.Compatible(st.Place.Location()) {
+			wrong++
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no located streamers to check")
+	}
+	if float64(wrong) > 0.1*float64(checked) {
+		t.Fatalf("wrong locations: %d/%d", wrong, checked)
+	}
+}
+
+func TestAnonymizeStable(t *testing.T) {
+	p := &Pipeline{Salt: "s"}
+	a := p.Anonymize("tw0000001")
+	b := p.Anonymize("tw0000001")
+	c := p.Anonymize("tw0000002")
+	if a != b {
+		t.Fatal("anonymization not stable")
+	}
+	if a == c {
+		t.Fatal("collision")
+	}
+	if a[:5] != "anon-" {
+		t.Fatalf("format: %s", a)
+	}
+}
+
+func TestLocationCodec(t *testing.T) {
+	for _, l := range []struct{ city, region, country string }{
+		{"Chicago", "Illinois", "United States"},
+		{"", "Ontario", "Canada"},
+		{"", "", "France"},
+		{"", "", ""},
+	} {
+		in := decodeLocation(encodeLocation(decodeLocation(l.city + "|" + l.region + "|" + l.country)))
+		if in.City != l.city || in.Region != l.region || in.Country != l.country {
+			t.Fatalf("roundtrip failed: %+v", in)
+		}
+	}
+}
+
+func TestMoverLocationHistory(t *testing.T) {
+	// §3.1.1: a streamer who moves and updates their profile gets a second
+	// location in the pipeline's history, and LocationAt resolves the
+	// location valid at a given time. Relocation rounds are driven
+	// directly (no thumbnail download needed to exercise this logic).
+	cfg := worldsim.DefaultConfig(31)
+	cfg.Streamers = 400
+	cfg.Days = 4
+	cfg.LocatableFrac = 1.0
+	cfg.MoverFrac = 0.5
+	world := worldsim.New(cfg)
+	platform := twitchsim.New(world)
+	platform.SetAPIRate(5000, 5000) // this test drives thousands of lookups
+	t.Cleanup(platform.Close)
+
+	p := New(platform.URL(), 1)
+	for day := 0; day <= cfg.Days; day++ {
+		for _, st := range world.Streamers {
+			p.KV.HSet("pending-location", st.ID, st.Username)
+		}
+		p.LocateStreamers(platform.Now())
+		platform.Advance(24*time.Hour + time.Minute)
+	}
+
+	multi := 0
+	for _, st := range world.Streamers {
+		anon := p.Anonymize(st.ID)
+		hist := p.KV.HGetAll("lochist:" + anon)
+		if len(hist) < 2 {
+			continue
+		}
+		multi++
+		if st.MovedTo == nil {
+			t.Errorf("non-mover %s has %d locations", st.ID, len(hist))
+		}
+		early, ok1 := p.LocationAt(anon, cfg.Start)
+		late, ok2 := p.LocationAt(anon, platform.Now())
+		if !ok1 || !ok2 {
+			t.Fatal("history lookup failed")
+		}
+		if early == late {
+			t.Fatalf("history has %d entries but lookups agree: %v", len(hist), early)
+		}
+	}
+	if multi == 0 {
+		t.Fatal("no streamer accumulated multiple locations")
+	}
+	t.Logf("streamers with multiple locations: %d", multi)
+}

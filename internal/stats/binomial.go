@@ -1,0 +1,61 @@
+package stats
+
+import "math"
+
+// logChoose returns log(n choose k) using log-gamma, stable for large n.
+func logChoose(n, k int) float64 {
+	if k < 0 || k > n {
+		return math.Inf(-1)
+	}
+	lgN, _ := math.Lgamma(float64(n) + 1)
+	lgK, _ := math.Lgamma(float64(k) + 1)
+	lgNK, _ := math.Lgamma(float64(n-k) + 1)
+	return lgN - lgK - lgNK
+}
+
+// BinomialPMF returns Pr[X = k] for X ~ Binomial(n, p).
+func BinomialPMF(n, k int, p float64) float64 {
+	if k < 0 || k > n {
+		return 0
+	}
+	if p <= 0 {
+		if k == 0 {
+			return 1
+		}
+		return 0
+	}
+	if p >= 1 {
+		if k == n {
+			return 1
+		}
+		return 0
+	}
+	return math.Exp(logChoose(n, k) + float64(k)*math.Log(p) + float64(n-k)*math.Log(1-p))
+}
+
+// BinomialTail returns Pr[X >= k] for X ~ Binomial(n, p), the quantity used
+// by the shared-anomaly statistical test (App. F, Eq. 3): the probability
+// that at least D out of N streamers experienced a spike independently.
+func BinomialTail(n, k int, p float64) float64 {
+	if k <= 0 {
+		return 1
+	}
+	if k > n {
+		return 0
+	}
+	s := 0.0
+	for i := k; i <= n; i++ {
+		s += BinomialPMF(n, i, p)
+	}
+	if s > 1 {
+		s = 1
+	}
+	return s
+}
+
+// SignificanceCondition reports whether a {location, game} tuple has enough
+// data for the shared-anomaly test to be statistically meaningful, per
+// App. F Eq. 2: #measurements * p * (1-p) > 10.
+func SignificanceCondition(measurements int, p float64) bool {
+	return float64(measurements)*p*(1-p) > 10
+}

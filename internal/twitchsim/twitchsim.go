@@ -1,0 +1,370 @@
+// Package twitchsim serves a worldsim.World over HTTP with the semantics
+// Tero's download module depends on (App. A): a rate-limited, paginated
+// developer API listing live streams, a CDN endpoint where each live
+// streamer's latest thumbnail is overwritten every ~5 minutes (miss the
+// window and the thumbnail is gone), an offline redirect, and social-media
+// profile endpoints (Twitter/Steam) for the location module.
+//
+// Time is virtual: the platform holds a clock that the test driver
+// advances; all HTTP exchanges are real TCP/HTTP.
+package twitchsim
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"tero/internal/worldsim"
+)
+
+// Platform is the simulated streaming + social platform.
+type Platform struct {
+	World *worldsim.World
+
+	mu       sync.Mutex
+	now      time.Time
+	sessions map[string][]*worldsim.GenStream // streamer ID -> sessions
+	srv      *httptest.Server
+
+	// Rate limiting for the developer API: a refilling token bucket.
+	apiTokens    float64
+	apiRatePerS  float64
+	apiBurst     float64
+	lastRefillAt time.Time
+
+	renderOpt worldsim.RenderOptions
+
+	// Requests counters (observability in tests).
+	APIRequests, CDNRequests, Throttled int
+}
+
+// New creates a platform over a world, with the virtual clock at the
+// world's start time.
+func New(w *worldsim.World) *Platform {
+	p := &Platform{
+		World:        w,
+		now:          w.Cfg.Start,
+		sessions:     make(map[string][]*worldsim.GenStream),
+		apiRatePerS:  13, // ≈800 requests/minute, Twitch-like
+		apiBurst:     30,
+		apiTokens:    30,
+		lastRefillAt: time.Now(),
+		renderOpt:    worldsim.DefaultRenderOptions(),
+	}
+	for _, st := range w.Streamers {
+		p.sessions[st.ID] = w.Sessions(st)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/helix/streams", p.handleStreams)
+	mux.HandleFunc("/helix/users", p.handleUsers)
+	mux.HandleFunc("/thumb/", p.handleThumb)
+	mux.HandleFunc("/offline.pgm", p.handleOffline)
+	mux.HandleFunc("/twitter/", p.handleTwitter)
+	mux.HandleFunc("/steam/", p.handleSteam)
+	mux.HandleFunc("/admin/advance", p.handleAdvance)
+	mux.HandleFunc("/admin/now", p.handleNow)
+	p.srv = httptest.NewServer(mux)
+	return p
+}
+
+// URL returns the platform base URL.
+func (p *Platform) URL() string { return p.srv.URL }
+
+// Close shuts the HTTP server down.
+func (p *Platform) Close() { p.srv.Close() }
+
+// Now returns the virtual time.
+func (p *Platform) Now() time.Time {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.now
+}
+
+// Advance moves the virtual clock forward.
+func (p *Platform) Advance(d time.Duration) {
+	p.mu.Lock()
+	p.now = p.now.Add(d)
+	p.mu.Unlock()
+}
+
+// SetRenderOptions overrides thumbnail corruption settings.
+func (p *Platform) SetRenderOptions(o worldsim.RenderOptions) { p.renderOpt = o }
+
+// SetAPIRate overrides the developer-API rate limit (requests/second and
+// burst) — tests that hammer the API legitimately use this.
+func (p *Platform) SetAPIRate(perSecond, burst float64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.apiRatePerS = perSecond
+	p.apiBurst = burst
+	p.apiTokens = burst
+}
+
+// liveSession returns the session covering virtual time t, if any, plus the
+// index of the latest thumbnail point at or before t.
+func (p *Platform) liveSession(id string, t time.Time) (*worldsim.GenStream, int) {
+	for _, gs := range p.sessions[id] {
+		n := len(gs.Times)
+		if n == 0 {
+			continue
+		}
+		// A session is live from its first point until ~5 minutes past its
+		// last thumbnail.
+		if t.Before(gs.Times[0]) || t.After(gs.Times[n-1].Add(5*time.Minute)) {
+			continue
+		}
+		idx := sort.Search(n, func(i int) bool { return gs.Times[i].After(t) }) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		return gs, idx
+	}
+	return nil, 0
+}
+
+// allowAPI consumes one API token (real-time token bucket).
+func (p *Platform) allowAPI() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	now := time.Now()
+	p.apiTokens += p.apiRatePerS * now.Sub(p.lastRefillAt).Seconds()
+	if p.apiTokens > p.apiBurst {
+		p.apiTokens = p.apiBurst
+	}
+	p.lastRefillAt = now
+	if p.apiTokens < 1 {
+		p.Throttled++
+		return false
+	}
+	p.apiTokens--
+	p.APIRequests++
+	return true
+}
+
+// StreamInfo is one row of the Get Streams response.
+type StreamInfo struct {
+	UserID       string   `json:"user_id"`
+	UserLogin    string   `json:"user_login"`
+	GameName     string   `json:"game_name"`
+	ThumbnailURL string   `json:"thumbnail_url"`
+	StartedAt    string   `json:"started_at"`
+	Tags         []string `json:"tags,omitempty"`
+}
+
+// streamsResponse is the paginated API envelope.
+type streamsResponse struct {
+	Data       []StreamInfo `json:"data"`
+	Pagination struct {
+		Cursor string `json:"cursor,omitempty"`
+	} `json:"pagination"`
+}
+
+func (p *Platform) handleStreams(w http.ResponseWriter, r *http.Request) {
+	if !p.allowAPI() {
+		w.Header().Set("Ratelimit-Reset", strconv.FormatInt(time.Now().Add(time.Second).Unix(), 10))
+		http.Error(w, `{"error":"Too Many Requests"}`, http.StatusTooManyRequests)
+		return
+	}
+	first, _ := strconv.Atoi(r.URL.Query().Get("first"))
+	if first <= 0 || first > 100 {
+		first = 20
+	}
+	after, _ := strconv.Atoi(r.URL.Query().Get("after"))
+	now := p.Now()
+
+	// Collect live streams in stable ID order.
+	var live []StreamInfo
+	for _, st := range p.World.Streamers {
+		gs, _ := p.liveSession(st.ID, now)
+		if gs == nil {
+			continue
+		}
+		info := StreamInfo{
+			UserID:       st.ID,
+			UserLogin:    st.Username,
+			GameName:     gs.Game.Name,
+			ThumbnailURL: p.srv.URL + "/thumb/" + st.ID + ".pgm",
+			StartedAt:    gs.Times[0].UTC().Format(time.RFC3339),
+		}
+		if st.Profile.CountryTag != "" {
+			info.Tags = []string{st.Profile.CountryTag}
+		}
+		live = append(live, info)
+	}
+	var resp streamsResponse
+	end := after + first
+	if after < len(live) {
+		if end > len(live) {
+			end = len(live)
+		}
+		resp.Data = live[after:end]
+	}
+	if end < len(live) {
+		resp.Pagination.Cursor = strconv.Itoa(end)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(resp)
+}
+
+// userResponse is the Get Users envelope.
+type userResponse struct {
+	Data []struct {
+		ID          string `json:"id"`
+		Login       string `json:"login"`
+		Description string `json:"description"`
+	} `json:"data"`
+}
+
+func (p *Platform) handleUsers(w http.ResponseWriter, r *http.Request) {
+	if !p.allowAPI() {
+		http.Error(w, `{"error":"Too Many Requests"}`, http.StatusTooManyRequests)
+		return
+	}
+	var resp userResponse
+	q := r.URL.Query()
+	now := p.Now()
+	lookup := func(match func(*worldsim.Streamer) bool) {
+		for _, st := range p.World.Streamers {
+			if match(st) {
+				resp.Data = append(resp.Data, struct {
+					ID          string `json:"id"`
+					Login       string `json:"login"`
+					Description string `json:"description"`
+				}{st.ID, st.Username, st.ProfileAt(now).Description})
+				return
+			}
+		}
+	}
+	if id := q.Get("id"); id != "" {
+		lookup(func(st *worldsim.Streamer) bool { return st.ID == id })
+	} else if login := q.Get("login"); login != "" {
+		lookup(func(st *worldsim.Streamer) bool { return st.Username == login })
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(resp)
+}
+
+func (p *Platform) handleThumb(w http.ResponseWriter, r *http.Request) {
+	p.mu.Lock()
+	p.CDNRequests++
+	p.mu.Unlock()
+	id := strings.TrimSuffix(strings.TrimPrefix(r.URL.Path, "/thumb/"), ".pgm")
+	now := p.Now()
+	gs, idx := p.liveSession(id, now)
+	if gs == nil {
+		// Streamer offline: redirect to the generic offline thumbnail.
+		http.Redirect(w, r, "/offline.pgm", http.StatusFound)
+		return
+	}
+	// Next-thumbnail time (HEAD uses this to schedule the next download).
+	var next time.Time
+	if idx+1 < len(gs.Times) {
+		next = gs.Times[idx+1]
+	} else {
+		next = gs.Times[idx].Add(5 * time.Minute)
+	}
+	w.Header().Set("X-Next-Thumbnail", next.UTC().Format(time.RFC3339))
+	w.Header().Set("X-Thumbnail-Seq", strconv.Itoa(idx))
+	w.Header().Set("Content-Type", "image/x-portable-graymap")
+	if r.Method == http.MethodHead {
+		return
+	}
+	// Render deterministically: seed by streamer and index so a re-GET of
+	// the same thumbnail is byte-identical.
+	img, _ := worldsim.RenderDeterministic(gs, idx, p.renderOpt)
+	var buf bytes.Buffer
+	if err := img.EncodePGM(&buf); err != nil {
+		http.Error(w, "render error", http.StatusInternalServerError)
+		return
+	}
+	w.Write(buf.Bytes())
+}
+
+func (p *Platform) handleOffline(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "image/x-portable-graymap")
+	fmt.Fprint(w, "P5\n1 1\n255\n\x00")
+}
+
+// twitterResponse is the social profile envelope.
+type twitterResponse struct {
+	Username string `json:"username"`
+	Location string `json:"location"`
+	// Links are the profile's outbound links (the backlink check looks for
+	// the streamer's Twitch URL here).
+	Links []string `json:"links"`
+}
+
+func (p *Platform) handleTwitter(w http.ResponseWriter, r *http.Request) {
+	username := strings.TrimPrefix(r.URL.Path, "/twitter/")
+	now := p.Now()
+	for _, st := range p.World.Streamers {
+		prof := st.ProfileAt(now)
+		if !prof.HasTwitter || prof.TwitterUsername != username {
+			continue
+		}
+		resp := twitterResponse{Username: username}
+		if prof.Impersonator {
+			// The handle belongs to someone else who still links to the
+			// streamer (fan account) — the mapping-error mode.
+			resp.Location = prof.ImpersonatorLocation
+			resp.Links = []string{"twitch.tv/" + st.Username}
+		} else {
+			resp.Location = prof.TwitterLocation
+			if prof.TwitterBacklink {
+				resp.Links = []string{"twitch.tv/" + st.Username}
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(resp)
+		return
+	}
+	http.NotFound(w, r)
+}
+
+// steamResponse is the Steam profile envelope: a backlink for mapping and
+// an optional country-granularity location field.
+type steamResponse struct {
+	Username string   `json:"username"`
+	Country  string   `json:"country,omitempty"`
+	Links    []string `json:"links"`
+}
+
+func (p *Platform) handleSteam(w http.ResponseWriter, r *http.Request) {
+	username := strings.TrimPrefix(r.URL.Path, "/steam/")
+	now := p.Now()
+	for _, st := range p.World.Streamers {
+		prof := st.ProfileAt(now)
+		if !prof.HasSteam || prof.SteamUsername != username {
+			continue
+		}
+		resp := steamResponse{Username: username, Country: prof.SteamCountry}
+		if prof.SteamBacklink {
+			resp.Links = []string{"twitch.tv/" + st.Username}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(resp)
+		return
+	}
+	http.NotFound(w, r)
+}
+
+func (p *Platform) handleAdvance(w http.ResponseWriter, r *http.Request) {
+	d, err := time.ParseDuration(r.URL.Query().Get("by"))
+	if err != nil || d < 0 {
+		http.Error(w, "bad duration", http.StatusBadRequest)
+		return
+	}
+	p.Advance(d)
+	fmt.Fprint(w, p.Now().UTC().Format(time.RFC3339))
+}
+
+func (p *Platform) handleNow(w http.ResponseWriter, r *http.Request) {
+	fmt.Fprint(w, p.Now().UTC().Format(time.RFC3339))
+}

@@ -1,0 +1,289 @@
+package twitchsim
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"testing"
+	"time"
+
+	"tero/internal/imaging"
+	"tero/internal/worldsim"
+)
+
+func testPlatform(t *testing.T, streamers int) (*Platform, *worldsim.World) {
+	t.Helper()
+	cfg := worldsim.DefaultConfig(21)
+	cfg.Streamers = streamers
+	cfg.Days = 1
+	world := worldsim.New(cfg)
+	p := New(world)
+	t.Cleanup(p.Close)
+	return p, world
+}
+
+func getJSON(t *testing.T, url string, out any) *http.Response {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decode %s: %v", url, err)
+		}
+	}
+	return resp
+}
+
+func TestStreamsAPIPagination(t *testing.T) {
+	p, _ := testPlatform(t, 200)
+	// Go to a busy hour.
+	p.Advance(25 * time.Hour)
+
+	var all []StreamInfo
+	cursor := ""
+	pages := 0
+	for {
+		url := p.URL() + "/helix/streams?first=10"
+		if cursor != "" {
+			url += "&after=" + cursor
+		}
+		var resp struct {
+			Data       []StreamInfo `json:"data"`
+			Pagination struct {
+				Cursor string `json:"cursor"`
+			} `json:"pagination"`
+		}
+		getJSON(t, url, &resp)
+		all = append(all, resp.Data...)
+		pages++
+		if resp.Pagination.Cursor == "" {
+			break
+		}
+		cursor = resp.Pagination.Cursor
+		if pages > 100 {
+			t.Fatal("pagination never terminates")
+		}
+	}
+	if len(all) == 0 {
+		t.Skip("no live streams at this hour")
+	}
+	// No duplicates across pages.
+	seen := map[string]bool{}
+	for _, s := range all {
+		if seen[s.UserID] {
+			t.Fatalf("duplicate %s across pages", s.UserID)
+		}
+		seen[s.UserID] = true
+		if s.ThumbnailURL == "" || s.GameName == "" {
+			t.Fatalf("incomplete row %+v", s)
+		}
+	}
+}
+
+func TestThumbnailLifecycle(t *testing.T) {
+	p, world := testPlatform(t, 150)
+	p.Advance(25 * time.Hour)
+
+	// Find a live streamer via the API.
+	var resp struct {
+		Data []StreamInfo `json:"data"`
+	}
+	getJSON(t, p.URL()+"/helix/streams?first=100", &resp)
+	if len(resp.Data) == 0 {
+		t.Skip("nobody live")
+	}
+	url := resp.Data[0].ThumbnailURL
+
+	// HEAD exposes the next-thumbnail time and sequence.
+	req, _ := http.NewRequest(http.MethodHead, url, nil)
+	head, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	head.Body.Close()
+	if head.StatusCode != http.StatusOK {
+		t.Fatalf("HEAD status %d", head.StatusCode)
+	}
+	next, err := time.Parse(time.RFC3339, head.Header.Get("X-Next-Thumbnail"))
+	if err != nil {
+		t.Fatalf("bad X-Next-Thumbnail: %v", err)
+	}
+	if !next.After(p.Now()) {
+		t.Fatal("next thumbnail should be in the future")
+	}
+
+	// GET decodes as a thumbnail-sized PGM and is byte-stable on re-GET
+	// (the CDN overwrites in place, never mutates a published thumbnail).
+	read := func() []byte {
+		g, err := http.Get(url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer g.Body.Close()
+		body, _ := io.ReadAll(g.Body)
+		return body
+	}
+	b1 := read()
+	b2 := read()
+	if !bytes.Equal(b1, b2) {
+		t.Fatal("thumbnail not deterministic across GETs")
+	}
+	img, err := imaging.DecodePGM(bytes.NewReader(b1))
+	if err != nil || img.W != 320 || img.H != 180 {
+		t.Fatalf("bad thumbnail: %v (%dx%d)", err, img.W, img.H)
+	}
+
+	// After the streamer's whole world ends, the URL redirects to offline.
+	p.Advance(72 * time.Hour)
+	noRedirect := &http.Client{CheckRedirect: func(*http.Request, []*http.Request) error {
+		return http.ErrUseLastResponse
+	}}
+	r2, err := noRedirect.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2.Body.Close()
+	if r2.StatusCode != http.StatusFound {
+		t.Fatalf("offline status %d, want 302", r2.StatusCode)
+	}
+	_ = world
+}
+
+func TestRateLimiting(t *testing.T) {
+	p, _ := testPlatform(t, 30)
+	// Exhaust the burst budget.
+	throttled := false
+	for i := 0; i < 100; i++ {
+		resp, err := http.Get(p.URL() + "/helix/streams")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusTooManyRequests {
+			throttled = true
+			break
+		}
+	}
+	if !throttled {
+		t.Fatal("API never throttled under hammering")
+	}
+	if p.Throttled == 0 {
+		t.Fatal("throttle counter not incremented")
+	}
+}
+
+func TestUsersEndpoint(t *testing.T) {
+	p, world := testPlatform(t, 20)
+	st := world.Streamers[0]
+	var resp struct {
+		Data []struct {
+			ID          string `json:"id"`
+			Login       string `json:"login"`
+			Description string `json:"description"`
+		} `json:"data"`
+	}
+	getJSON(t, p.URL()+"/helix/users?id="+st.ID, &resp)
+	if len(resp.Data) != 1 || resp.Data[0].Login != st.Username {
+		t.Fatalf("users by id = %+v", resp.Data)
+	}
+	getJSON(t, p.URL()+"/helix/users?login="+st.Username, &resp)
+	if len(resp.Data) != 1 || resp.Data[0].ID != st.ID {
+		t.Fatalf("users by login = %+v", resp.Data)
+	}
+	if resp.Data[0].Description != st.Profile.Description {
+		t.Fatal("description mismatch")
+	}
+}
+
+func TestSocialEndpoints(t *testing.T) {
+	p, world := testPlatform(t, 400)
+	var withTwitter, withImpersonator *worldsim.Streamer
+	for _, st := range world.Streamers {
+		if st.Profile.HasTwitter && st.Profile.TwitterUsername == st.Username &&
+			st.Profile.TwitterBacklink && !st.Profile.Impersonator && withTwitter == nil {
+			withTwitter = st
+		}
+		if st.Profile.Impersonator && st.Profile.ImpersonatorLocation != "" && withImpersonator == nil {
+			withImpersonator = st
+		}
+	}
+	if withTwitter == nil {
+		t.Fatal("no twitter streamer in world")
+	}
+	var tw struct {
+		Username string   `json:"username"`
+		Location string   `json:"location"`
+		Links    []string `json:"links"`
+	}
+	getJSON(t, p.URL()+"/twitter/"+withTwitter.Profile.TwitterUsername, &tw)
+	if len(tw.Links) == 0 {
+		t.Fatal("backlink missing")
+	}
+	if withImpersonator != nil {
+		getJSON(t, p.URL()+"/twitter/"+withImpersonator.Profile.TwitterUsername, &tw)
+		if tw.Location != withImpersonator.Profile.ImpersonatorLocation {
+			t.Fatal("impersonator location not served")
+		}
+		if len(tw.Links) == 0 {
+			t.Fatal("impersonator should still link to the streamer")
+		}
+	}
+	// Missing profile.
+	resp, _ := http.Get(p.URL() + "/twitter/ghost")
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("missing profile status %d", resp.StatusCode)
+	}
+}
+
+func TestAdminClock(t *testing.T) {
+	p, world := testPlatform(t, 10)
+	before := p.Now()
+	resp, err := http.Get(p.URL() + "/admin/advance?by=30m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := p.Now().Sub(before); got != 30*time.Minute {
+		t.Fatalf("advanced %v", got)
+	}
+	if p.Now() != world.Cfg.Start.Add(30*time.Minute) {
+		t.Fatal("clock base")
+	}
+	// Bad duration is rejected.
+	resp, _ = http.Get(p.URL() + "/admin/advance?by=banana")
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad duration status %d", resp.StatusCode)
+	}
+}
+
+func TestTagsServed(t *testing.T) {
+	p, world := testPlatform(t, 400)
+	p.Advance(25 * time.Hour)
+	var resp struct {
+		Data []StreamInfo `json:"data"`
+	}
+	getJSON(t, p.URL()+"/helix/streams?first=100", &resp)
+	// At least one live streamer with a country tag should surface it.
+	tagged := 0
+	for _, row := range resp.Data {
+		st := world.ByID(row.UserID)
+		if st == nil {
+			t.Fatalf("unknown streamer %s", row.UserID)
+		}
+		if st.Profile.CountryTag != "" {
+			if len(row.Tags) == 0 || row.Tags[0] != st.Profile.CountryTag {
+				t.Fatalf("tag not served for %s", st.ID)
+			}
+			tagged++
+		} else if len(row.Tags) != 0 {
+			t.Fatal("phantom tag")
+		}
+	}
+	t.Logf("live=%d tagged=%d", len(resp.Data), tagged)
+}

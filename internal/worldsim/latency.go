@@ -1,0 +1,192 @@
+package worldsim
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+
+	"tero/internal/games"
+	"tero/internal/geo"
+)
+
+// Latency model: the RTT a streamer sees on a given server is
+//
+//	distance term  — corrected distance × ~15 µs/km (fiber detour included)
+//	region term    — infrastructure quality of the streamer's region
+//	access term    — the streamer's residential access (per-streamer)
+//	server term    — fixed processing overhead
+//	diurnal term   — daytime network load at the streamer's longitude
+//	jitter         — per-point noise
+//
+// The region term is what creates the paper's headline finding: locations
+// in the same distance doughnut differing by tens of ms (Figs. 10-11).
+
+const (
+	msPerKM     = 0.015
+	serverProc  = 3.0
+	diurnalAmpl = 4.0
+)
+
+// regionExtra curates the infrastructure quality (additional ms) of the
+// regions and countries featured in the paper's figures; everything else
+// gets a deterministic hash-derived value in [0, 12).
+var regionExtra = map[string]float64{
+	// US states around Chicago (Fig. 10): same doughnut, very different.
+	"District of Columbia|United States": 32,
+	"Georgia|United States":              13,
+	"Kentucky|United States":             9,
+	"Minnesota|United States":            5,
+	"Missouri|United States":             1,
+	"North Carolina|United States":       24,
+	"Ontario|Canada":                     2,
+	"Pennsylvania|United States":         14,
+	"Tennessee|United States":            12,
+	"Virginia|United States":             17,
+	"Massachusetts|United States":        10,
+	"New Jersey|United States":           8,
+	"Oklahoma|United States":             13,
+	"Texas|United States":                3,
+	"Illinois|United States":             2,
+	"Hawaii|United States":               8,
+	"California|United States":           6,
+	// EU countries around Amsterdam (Fig. 11).
+	"|Poland":         21,
+	"|Italy":          9,
+	"|Switzerland":    1,
+	"|Denmark":        4,
+	"|Austria":        9,
+	"|France":         4,
+	"|Germany":        6,
+	"|United Kingdom": 7,
+	"|Spain":          9,
+	"|Belgium":        13,
+	"|Netherlands":    2,
+	// Fig. 9 extremes.
+	"|South Korea":  1,
+	"|Japan":        2,
+	"|Chile":        4,
+	"|Bolivia":      34,
+	"|Greece":       24,
+	"|Saudi Arabia": 11,
+	"|Turkey":       19,
+	"|Brazil":       10,
+	"|Ecuador":      3,
+	// Fig. 12 neighbourhoods.
+	"|El Salvador": 14,
+	"|Jamaica":     12,
+	"|Costa Rica":  8,
+	"|Nicaragua":   18,
+	"|Honduras":    20,
+	"|Mexico":      10,
+	"|Colombia":    12,
+}
+
+// RegionExtraMs returns the infrastructure term for a place.
+func RegionExtraMs(p *geo.Place) float64 {
+	region, country := p.Region, p.Country
+	if p.Kind == geo.KindRegion {
+		region = p.Name
+	}
+	if p.Kind == geo.KindCountry {
+		country = p.Name
+	}
+	if v, ok := regionExtra[region+"|"+country]; ok {
+		return v
+	}
+	if v, ok := regionExtra["|"+country]; ok {
+		return v
+	}
+	return float64(hashUint(region+"|"+country)%12000) / 1000
+}
+
+// localHour approximates the local hour of day from longitude.
+func localHour(t time.Time, lon float64) float64 {
+	utc := float64(t.UTC().Hour()) + float64(t.UTC().Minute())/60
+	return math.Mod(utc+lon/15+24, 24)
+}
+
+// diurnalMs is the network-load term: higher during the local day
+// (§4.1: "gaming latency is higher during the day simply because the
+// network is more loaded").
+func diurnalMs(t time.Time, lon float64) float64 {
+	h := localHour(t, lon)
+	// Peaks around 15:00 local, troughs at 03:00.
+	return diurnalAmpl * 0.5 * (1 + math.Sin((h-9)/24*2*math.Pi))
+}
+
+// BaseLatencyMs returns the noise-free latency of a streamer at a place on
+// a server (no diurnal or jitter terms).
+func (w *World) BaseLatencyMs(st *Streamer, place *geo.Place, g *games.Game, srv *games.Server) float64 {
+	sp := g.ServerPlace(srv, w.Gaz)
+	if sp == nil || place == nil {
+		return 60 + st.AccessExtra
+	}
+	d := geo.CorrectedDistanceKM(place, sp)
+	return d*msPerKM + RegionExtraMs(place) + st.AccessExtra + serverProc
+}
+
+// LatencyAt returns one sampled latency (ms, >= 1) at time t.
+func (w *World) LatencyAt(st *Streamer, g *games.Game, srv *games.Server, t time.Time, rng *rand.Rand) float64 {
+	place := st.PlaceAt(t)
+	ms := w.BaseLatencyMs(st, place, g, srv) + diurnalMs(t, place.Lon) + rng.NormFloat64()*st.JitterStd
+	// A shared event is an overloaded game server or connection: affected
+	// streamers see intermittent latency spikes (transient queueing), not
+	// a constant shift — that is what the App. F test detects as
+	// overlapping spikes.
+	if w.Cfg.SharedEvent.active(g.Slug, t) && rng.Float64() < 0.2 {
+		ms += w.Cfg.SharedEvent.ExtraMs * (0.8 + 0.4*rng.Float64())
+	}
+	if ms < 1 {
+		ms = 1
+	}
+	return ms
+}
+
+// PrimaryServer returns the streamer's expected server for a game at time t.
+func (w *World) PrimaryServer(st *Streamer, g *games.Game, t time.Time) *games.Server {
+	return g.PrimaryServer(st.PlaceAt(t), w.Gaz)
+}
+
+// AlternateServer returns the server a player switches to: like the UK
+// League players hopping from EUW to NA to play with a different crowd
+// (§1), the alternative is a server in another region — close enough to be
+// playable, but with a clearly different latency (≥ 2×LatGap), otherwise
+// the switch would be motiveless and unobservable.
+func (w *World) AlternateServer(st *Streamer, g *games.Game, t time.Time, rng *rand.Rand) *games.Server {
+	primary := w.PrimaryServer(st, g, t)
+	if primary == nil || len(g.Servers) < 2 {
+		return nil
+	}
+	place := st.PlaceAt(t)
+	primaryMs := w.BaseLatencyMs(st, place, g, primary)
+	type cand struct {
+		s  *games.Server
+		ms float64
+	}
+	var cands []cand
+	for i := range g.Servers {
+		s := &g.Servers[i]
+		if s == primary {
+			continue
+		}
+		ms := w.BaseLatencyMs(st, place, g, s)
+		if math.Abs(ms-primaryMs) < 30 {
+			continue // indistinguishable switch: no reason to make it
+		}
+		if ms > primaryMs+160 {
+			continue // unplayable
+		}
+		cands = append(cands, cand{s, ms})
+	}
+	if len(cands) == 0 {
+		return nil
+	}
+	// The closest clearly-different server wins most of the time, with some
+	// crowd-driven randomness.
+	sort.Slice(cands, func(i, j int) bool { return cands[i].ms < cands[j].ms })
+	if rng.Float64() < 0.25 && len(cands) > 1 {
+		return cands[1+rng.Intn(len(cands)-1)].s
+	}
+	return cands[0].s
+}

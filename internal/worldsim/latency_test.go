@@ -1,0 +1,189 @@
+package worldsim
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"tero/internal/games"
+)
+
+func TestDiurnalCycle(t *testing.T) {
+	// The diurnal term peaks in the local afternoon and troughs at night.
+	day := time.Date(2022, 6, 1, 0, 0, 0, 0, time.UTC)
+	lon := 0.0
+	afternoon := diurnalMs(day.Add(15*time.Hour), lon)
+	night := diurnalMs(day.Add(3*time.Hour), lon)
+	if afternoon <= night {
+		t.Fatalf("afternoon %.2f <= night %.2f", afternoon, night)
+	}
+	if night < 0 || afternoon > diurnalAmpl+1e-9 {
+		t.Fatalf("diurnal out of range: %v, %v", night, afternoon)
+	}
+	// Longitude shifts the local clock: 15:00 UTC in California (lon -120)
+	// is early morning, so the term must be small there.
+	calAfternoonUTC := diurnalMs(day.Add(15*time.Hour), -120)
+	if calAfternoonUTC >= afternoon {
+		t.Fatal("longitude shift not applied")
+	}
+}
+
+func TestLocalHourWrapAround(t *testing.T) {
+	tm := time.Date(2022, 6, 1, 23, 0, 0, 0, time.UTC)
+	h := localHour(tm, 30) // +2h
+	if h < 0.9 || h > 1.1 {
+		t.Fatalf("wrapped hour = %v, want ≈ 1", h)
+	}
+}
+
+func TestRegionExtraCuratedAndHashed(t *testing.T) {
+	gaz := testWorld(t, 1).Gaz
+	dc := gaz.Region("District of Columbia", "United States")
+	if RegionExtraMs(dc) != 32 {
+		t.Fatalf("DC extra = %v", RegionExtraMs(dc))
+	}
+	ch := gaz.Country("Switzerland")
+	if RegionExtraMs(ch) != 1 {
+		t.Fatalf("CH extra = %v", RegionExtraMs(ch))
+	}
+	// Uncurated places get a deterministic value in [0, 12).
+	ug := gaz.Region("Quebec", "Canada")
+	v1 := RegionExtraMs(ug)
+	v2 := RegionExtraMs(ug)
+	if v1 != v2 || v1 < 0 || v1 >= 12 {
+		t.Fatalf("hashed extra = %v, %v", v1, v2)
+	}
+}
+
+func TestSharedEventInjectsSpikes(t *testing.T) {
+	cfg := DefaultConfig(5)
+	cfg.Streamers = 60
+	cfg.Days = 4
+	cfg.SharedEvent = &SharedEvent{
+		GameSlug: "lol",
+		Start:    cfg.Start.Add(24 * time.Hour),
+		Duration: 48 * time.Hour,
+		ExtraMs:  60,
+	}
+	w := New(cfg)
+	lol := games.ByName("lol")
+	var st *Streamer
+	for _, cand := range w.Streamers {
+		if !cand.Problem {
+			st = cand
+			break
+		}
+	}
+	if st == nil {
+		t.Fatal("no healthy streamer")
+	}
+	srv := lol.PrimaryServer(st.Place, w.Gaz)
+	rng := rand.New(rand.NewSource(1))
+
+	inEvent, outEvent := 0, 0
+	const trials = 2000
+	for i := 0; i < trials; i++ {
+		tin := cfg.SharedEvent.Start.Add(time.Duration(i%1400) * time.Minute)
+		tout := cfg.Start.Add(time.Duration(i%1200) * time.Minute) // before the event
+		base := w.BaseLatencyMs(st, st.Place, lol, srv)
+		if w.LatencyAt(st, lol, srv, tin, rng) > base+30 {
+			inEvent++
+		}
+		if w.LatencyAt(st, lol, srv, tout, rng) > base+30 {
+			outEvent++
+		}
+	}
+	if inEvent < trials/10 {
+		t.Fatalf("event injected too few spikes: %d/%d", inEvent, trials)
+	}
+	if outEvent > trials/100 {
+		t.Fatalf("spikes outside event window: %d/%d", outEvent, trials)
+	}
+	// A different game is unaffected.
+	cod := games.ByName("cod")
+	codSrv := cod.PrimaryServer(st.Place, w.Gaz)
+	affected := 0
+	for i := 0; i < trials; i++ {
+		tin := cfg.SharedEvent.Start.Add(time.Duration(i) * time.Minute)
+		base := w.BaseLatencyMs(st, st.Place, cod, codSrv)
+		if w.LatencyAt(st, cod, codSrv, tin, rng) > base+30 {
+			affected++
+		}
+	}
+	if affected > trials/100 {
+		t.Fatalf("unaffected game saw %d spikes", affected)
+	}
+}
+
+func TestAlternateServerClearlyDifferent(t *testing.T) {
+	w := testWorld(t, 50)
+	lol := games.ByName("lol")
+	rng := rand.New(rand.NewSource(2))
+	checked := 0
+	for _, st := range w.Streamers {
+		primary := w.PrimaryServer(st, lol, w.Cfg.Start)
+		alt := w.AlternateServer(st, lol, w.Cfg.Start, rng)
+		if primary == nil || alt == nil {
+			continue
+		}
+		checked++
+		if alt == primary {
+			t.Fatal("alternate equals primary")
+		}
+		pMs := w.BaseLatencyMs(st, st.Place, lol, primary)
+		aMs := w.BaseLatencyMs(st, st.Place, lol, alt)
+		diff := aMs - pMs
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff < 30 {
+			t.Fatalf("alternate only %.1f ms away from primary", diff)
+		}
+		if aMs > pMs+160 {
+			t.Fatalf("alternate unplayable: %.1f vs %.1f", aMs, pMs)
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no alternates found at all")
+	}
+}
+
+func TestRenderDeterministicStability(t *testing.T) {
+	w := testWorld(t, 10)
+	var gs *GenStream
+	for _, st := range w.Streamers {
+		ss := w.Sessions(st)
+		if len(ss) > 0 && len(ss[0].TrueMs) > 0 {
+			gs = ss[0]
+			break
+		}
+	}
+	if gs == nil {
+		t.Skip("no sessions")
+	}
+	opt := DefaultRenderOptions()
+	a, ta := RenderDeterministic(gs, 0, opt)
+	b, tb := RenderDeterministic(gs, 0, opt)
+	if ta != tb {
+		t.Fatal("truth differs across renders")
+	}
+	for i := range a.Pix {
+		if a.Pix[i] != b.Pix[i] {
+			t.Fatal("pixels differ across renders")
+		}
+	}
+	// Different indexes give different images (almost surely).
+	if len(gs.TrueMs) > 1 {
+		c, _ := RenderDeterministic(gs, 1, opt)
+		same := true
+		for i := range a.Pix {
+			if a.Pix[i] != c.Pix[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("different thumbnails identical")
+		}
+	}
+}

@@ -1,0 +1,138 @@
+package worldsim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"tero/internal/font"
+	"tero/internal/games"
+	"tero/internal/imaging"
+)
+
+// RenderOptions are the thumbnail-corruption probabilities, tuned so the
+// image-processing error rates land in Table 4's neighbourhood.
+type RenderOptions struct {
+	// LowContrastProb: latency font color too close to the background
+	// (Fig. 6b) — the dominant cause of missed measurements.
+	LowContrastProb float64
+	// OcclusionProb: leading digit(s) hidden by a menu or pointer
+	// (Fig. 6c) — the dominant cause of wrong (digit-dropped) values.
+	OcclusionProb float64
+	// ClockProb: the display shows the wall-clock time instead of the
+	// latency (Fig. 6d, "the trickiest error we encountered").
+	ClockProb float64
+	// NoiseProb: compression artifacts over the scene (salt and pepper).
+	NoiseProb float64
+	NoiseAmp  float64
+}
+
+// DefaultRenderOptions returns the calibrated corruption mix.
+func DefaultRenderOptions() RenderOptions {
+	return RenderOptions{
+		LowContrastProb: 0.26,
+		OcclusionProb:   0.035,
+		ClockProb:       0.003,
+		NoiseProb:       0.35,
+		NoiseAmp:        0.012,
+	}
+}
+
+// RenderTruth records what a rendered thumbnail actually shows, for
+// error-rate accounting.
+type RenderTruth struct {
+	// ShownMs is the latency drawn (-1 if replaced by a clock; 0 for the
+	// lobby placeholder).
+	ShownMs int
+	// LowContrast, Occluded, Clock mark applied corruptions.
+	LowContrast bool
+	Occluded    bool
+	Clock       bool
+}
+
+// RenderThumbnail draws one synthetic gaming thumbnail for a session point:
+// a textured game scene with the game's latency display, corrupted per the
+// options. The returned truth states what is visible.
+func RenderThumbnail(gs *GenStream, idx int, opt RenderOptions, rng *rand.Rand) (*imaging.Gray, RenderTruth) {
+	g := gs.Game
+	img := imaging.NewFilled(games.ThumbW, games.ThumbH, uint8(18+rng.Intn(30)))
+
+	// Scene texture: random rectangles (terrain, UI panels), kept away
+	// from the latency display area.
+	crop := g.UI.CropRect(6)
+	for i := 0; i < 14; i++ {
+		w := 20 + rng.Intn(90)
+		h := 12 + rng.Intn(60)
+		x := rng.Intn(games.ThumbW)
+		y := rng.Intn(games.ThumbH)
+		r := imaging.Rect{X0: x, Y0: y, X1: x + w, Y1: y + h}
+		if rectsOverlap(r, crop) {
+			continue
+		}
+		img.FillRect(r, uint8(30+rng.Intn(160)))
+	}
+
+	truth := RenderTruth{ShownMs: int(gs.TrueMs[idx])}
+	if gs.ZeroIdx[idx] {
+		truth.ShownMs = 0
+	}
+
+	// Display colors.
+	bgLevel := img.At(crop.X0+crop.Width()/2, crop.Y0+crop.Height()/2)
+	fg := uint8(225 + rng.Intn(30))
+	if rng.Float64() < opt.LowContrastProb {
+		truth.LowContrast = true
+		delta := 9 + rng.Intn(11)
+		v := int(bgLevel) + delta
+		if v > 255 {
+			v = int(bgLevel) - delta
+		}
+		if v < 0 {
+			v = 0
+		}
+		fg = uint8(v)
+	}
+
+	// The latency text (or a clock instead).
+	text := g.UI.Format(truth.ShownMs)
+	if rng.Float64() < opt.ClockProb {
+		truth.Clock = true
+		text = fmt.Sprintf("%d:%02d", 1+rng.Intn(12), rng.Intn(60))
+	}
+	wpx := font.TextWidth(text, g.UI.Scale)
+	hpx := font.TextHeight(g.UI.Scale)
+	x, y := g.UI.TextOrigin(wpx, hpx)
+	font.Draw(img, x, y, text, g.UI.Scale, fg)
+
+	// Occlusion: a menu panel covering the leading digit(s).
+	if !truth.Clock && rng.Float64() < opt.OcclusionProb {
+		truth.Occluded = true
+		cover := font.AdvanceX * g.UI.Scale
+		if rng.Float64() < 0.3 {
+			cover *= 2
+		}
+		img.FillRect(imaging.Rect{
+			X0: x - 2, Y0: y - 2,
+			X1: x + cover - 1, Y1: y + hpx + 2,
+		}, uint8(25+rng.Intn(40)))
+	}
+
+	// Scene noise.
+	if rng.Float64() < opt.NoiseProb {
+		img = img.SaltPepper(opt.NoiseAmp*rng.Float64(), rng.Float64)
+	}
+	return img, truth
+}
+
+// RenderDeterministic renders the thumbnail for a session point with
+// randomness derived from the streamer and point index, so repeated renders
+// of the same thumbnail are byte-identical (the CDN overwrites thumbnails
+// in place but never changes a published one).
+func RenderDeterministic(gs *GenStream, idx int, opt RenderOptions) (*imaging.Gray, RenderTruth) {
+	seed := int64(hashUint(gs.Streamer.ID))<<16 ^ gs.Start.Unix() ^ int64(idx)*7919
+	rng := rand.New(rand.NewSource(seed))
+	return RenderThumbnail(gs, idx, opt, rng)
+}
+
+func rectsOverlap(a, b imaging.Rect) bool {
+	return a.X0 < b.X1 && b.X0 < a.X1 && a.Y0 < b.Y1 && b.Y0 < a.Y1
+}

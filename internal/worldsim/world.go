@@ -1,0 +1,413 @@
+// Package worldsim generates the synthetic ground-truth world that stands
+// in for the live Twitch ecosystem: streamers with true locations drawn
+// from a streaming-popularity-weighted geography, per-{streamer, game}
+// latency processes derived from corrected distance to the primary server
+// plus regional infrastructure disparities, session schedules with the
+// 5-minute thumbnail cadence, latency spikes, spike-driven server and game
+// changes (the §6 behaviour model), social profiles (Twitch descriptions,
+// Twitter/Steam accounts with backlinks), and thumbnail rendering with the
+// corruption modes of Fig. 6 (low contrast, occlusion, clock overlays).
+//
+// Everything is deterministic given the Seed; every quantity the paper can
+// only estimate (true location, true latency, which extraction is wrong)
+// is known exactly here, so error rates are measurable.
+package worldsim
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+
+	"tero/internal/games"
+	"tero/internal/geo"
+)
+
+// Config parameterizes world generation.
+type Config struct {
+	Seed      int64
+	Streamers int
+	// Start and Days bound the observation period.
+	Start time.Time
+	Days  int
+	// LocatableFrac is the fraction of streamers whose profiles carry any
+	// location signal at all (the paper locates only 2.77%; most profiles
+	// simply say nothing about location).
+	LocatableFrac float64
+	// ProblemFrac is the fraction of streamers with chronically unstable
+	// connections (only unstable segments; discarded by §3.3.1).
+	ProblemFrac float64
+	// MoverFrac is the fraction of streamers who change location once
+	// during the period (§3.1.1).
+	MoverFrac float64
+	// SharedEvent, when set, injects a shared-infrastructure problem: all
+	// streamers of one game see extra latency during a window (the Nov-16
+	// game-release overload of §4.2.3).
+	SharedEvent *SharedEvent
+	// CadenceSec is the thumbnail cadence in seconds (Twitch: 300). The
+	// paper's §2.2 names denser per-streamer data as a future direction;
+	// lowering this simulates extracting latency from the video stream
+	// itself instead of thumbnails.
+	CadenceSec float64
+}
+
+// SharedEvent is a global latency event affecting one game.
+type SharedEvent struct {
+	GameSlug string
+	Start    time.Time
+	Duration time.Duration
+	ExtraMs  float64
+}
+
+// active reports whether the event applies to game g at time t.
+func (e *SharedEvent) active(slug string, t time.Time) bool {
+	return e != nil && e.GameSlug == slug &&
+		!t.Before(e.Start) && t.Before(e.Start.Add(e.Duration))
+}
+
+// DefaultConfig returns a laptop-scale world.
+func DefaultConfig(seed int64) Config {
+	return Config{
+		Seed:          seed,
+		Streamers:     2000,
+		Start:         time.Date(2022, 6, 1, 0, 0, 0, 0, time.UTC),
+		Days:          7,
+		LocatableFrac: 0.35,
+		ProblemFrac:   0.02,
+		MoverFrac:     0.01,
+		CadenceSec:    300,
+	}
+}
+
+// Streamer is one synthetic streamer with full ground truth.
+type Streamer struct {
+	ID       string
+	Username string
+	// Place is the true location (city- or region-level gazetteer entry).
+	Place *geo.Place
+	// MovedTo is non-nil for movers: the place after MoveAt.
+	MovedTo *geo.Place
+	MoveAt  time.Time
+	// Games the streamer plays, primary first.
+	Games []*games.Game
+	// AccessExtra is the residential access latency contribution in ms.
+	AccessExtra float64
+	// JitterStd is the per-point latency noise.
+	JitterStd float64
+	// SpikeRatePerHour is the rate of latency spikes.
+	SpikeRatePerHour float64
+	// Problem marks chronically unstable connections.
+	Problem bool
+	// Profile is the streamer's social surface.
+	Profile Profile
+	// ProfileAfterMove is the refreshed profile a mover publishes after
+	// relocating (§3.1.1: "the streamer was indeed advertising a new
+	// location"); nil for non-movers.
+	ProfileAfterMove *Profile
+	// rngSeed derives per-streamer deterministic randomness.
+	rngSeed int64
+}
+
+// PlaceAt returns the true place at time t (movers change once).
+func (s *Streamer) PlaceAt(t time.Time) *geo.Place {
+	if s.MovedTo != nil && t.After(s.MoveAt) {
+		return s.MovedTo
+	}
+	return s.Place
+}
+
+// ProfileAt returns the profile visible at time t: movers advertise their
+// new location once they have moved.
+func (s *Streamer) ProfileAt(t time.Time) Profile {
+	if s.ProfileAfterMove != nil && t.After(s.MoveAt) {
+		return *s.ProfileAfterMove
+	}
+	return s.Profile
+}
+
+// Profile is what the streamer exposes publicly.
+type Profile struct {
+	// Description is the Twitch description (may embed location).
+	Description string
+	// DescriptionHasLocation marks ground truth for Table 3 accounting.
+	DescriptionHasLocation bool
+	// CountryTag is the Twitch country-level tag ("" = none).
+	CountryTag string
+	// Twitter/Steam presence.
+	HasTwitter               bool
+	TwitterUsername          string
+	TwitterBacklink          bool // profile links back to the Twitch account
+	TwitterLocation          string
+	TwitterLocationHasSignal bool
+	HasSteam                 bool
+	SteamUsername            string
+	SteamBacklink            bool
+	// SteamCountry is the Steam profile's country field (Steam exposes
+	// location at country granularity); empty when unset.
+	SteamCountry string
+	// Impersonator: a different person holds the same Twitter username
+	// (with a backlink!) and a different location — the mapping error mode.
+	Impersonator         bool
+	ImpersonatorLocation string
+	ImpersonatorPlace    *geo.Place
+}
+
+// World is the generated population.
+type World struct {
+	Cfg       Config
+	Gaz       *geo.Gazetteer
+	Streamers []*Streamer
+	byID      map[string]*Streamer
+}
+
+// ByID returns a streamer by ID.
+func (w *World) ByID(id string) *Streamer { return w.byID[id] }
+
+// gameWeights matches the paper's mix (LoL dominates, Among Us/Lost Ark
+// niche — Table 5 observation counts).
+var gameWeights = map[string]float64{
+	"lol": 0.30, "cod": 0.17, "genshin": 0.07, "tft": 0.045,
+	"dota2": 0.06, "amongus": 0.015, "lostark": 0.012, "apex": 0.12,
+	"valorant": 0.21,
+}
+
+// PlaceAlloc pins a number of streamers to a named gazetteer place,
+// used by experiments that need guaranteed coverage of specific locations
+// (e.g. 50 League-of-Legends streamers per Fig. 9 location).
+type PlaceAlloc struct {
+	// PlaceName is resolved against the gazetteer (city or region name).
+	PlaceName string
+	Country   string
+	Count     int
+	// GameSlug, when set, pins the streamers' primary game.
+	GameSlug string
+}
+
+// New generates a world with the population sampled from the global
+// streaming-popularity distribution.
+func New(cfg Config) *World { return NewCustom(cfg, nil) }
+
+// NewCustom generates a world; the first len(allocs) groups of streamers
+// are pinned to the given places (and optionally games), and the remainder
+// of cfg.Streamers is sampled from the global distribution.
+func NewCustom(cfg Config, allocs []PlaceAlloc) *World {
+	gaz := geo.World()
+	w := &World{Cfg: cfg, Gaz: gaz, byID: make(map[string]*Streamer)}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	places, cum := placeDistribution(gaz)
+	total := cum[len(cum)-1]
+
+	// Expand allocations into a pinned list.
+	type pin struct {
+		place *geo.Place
+		game  *games.Game
+	}
+	var pins []pin
+	for _, a := range allocs {
+		var p *geo.Place
+		if a.Country != "" {
+			if p = gaz.City(a.PlaceName, a.Country); p == nil {
+				p = gaz.Region(a.PlaceName, a.Country)
+			}
+		}
+		if p == nil {
+			p = gaz.LookupOne(a.PlaceName)
+		}
+		if p == nil {
+			continue
+		}
+		var g *games.Game
+		if a.GameSlug != "" {
+			g = games.ByName(a.GameSlug)
+		}
+		for k := 0; k < a.Count; k++ {
+			pins = append(pins, pin{place: p, game: g})
+		}
+	}
+	n := cfg.Streamers
+	if len(pins) > n {
+		n = len(pins)
+	}
+
+	for i := 0; i < n; i++ {
+		st := &Streamer{
+			ID:      fmt.Sprintf("tw%07d", i+1),
+			rngSeed: cfg.Seed*1_000_003 + int64(i),
+		}
+		st.Username = username(rng, i)
+		st.Place = pickPlace(rng, places, cum, total)
+		st.Games = pickGames(rng)
+		if i < len(pins) {
+			st.Place = pins[i].place
+			if pins[i].game != nil {
+				st.Games = append([]*games.Game{pins[i].game}, st.Games...)
+				// Deduplicate if the pinned game was also drawn.
+				seen := map[*games.Game]bool{}
+				var uniq []*games.Game
+				for _, g := range st.Games {
+					if !seen[g] {
+						seen[g] = true
+						uniq = append(uniq, g)
+					}
+				}
+				st.Games = uniq
+			}
+		}
+		st.AccessExtra = accessExtra(rng, st.Place)
+		st.JitterStd = 0.8 + rng.Float64()*1.2
+		st.SpikeRatePerHour = spikeRate(rng)
+		if rng.Float64() < cfg.ProblemFrac {
+			st.Problem = true
+			st.JitterStd = 25 + rng.Float64()*20
+			st.SpikeRatePerHour = 6
+		}
+		if rng.Float64() < cfg.MoverFrac {
+			st.MovedTo = pickPlace(rng, places, cum, total)
+			st.MoveAt = cfg.Start.Add(time.Duration(float64(cfg.Days)*24*rng.Float64()*0.6+float64(cfg.Days)*24*0.2) * time.Hour)
+		}
+		st.Profile = makeProfile(rng, st, cfg.LocatableFrac, places, cum, total)
+		if st.MovedTo != nil {
+			// The mover republishes their profile from the new place; reuse
+			// the same generator with the place swapped.
+			moved := *st
+			moved.Place = st.MovedTo
+			after := makeProfile(rng, &moved, cfg.LocatableFrac, places, cum, total)
+			// Identity fields stay: same handle, same backlink habits.
+			after.HasTwitter = st.Profile.HasTwitter
+			after.TwitterUsername = st.Profile.TwitterUsername
+			after.TwitterBacklink = st.Profile.TwitterBacklink
+			st.ProfileAfterMove = &after
+		}
+		w.Streamers = append(w.Streamers, st)
+		w.byID[st.ID] = st
+	}
+	return w
+}
+
+// placeDistribution builds the sampling distribution over city and region
+// places, weighted by population × the country's streaming popularity.
+func placeDistribution(gaz *geo.Gazetteer) ([]*geo.Place, []float64) {
+	var places []*geo.Place
+	for _, p := range gaz.All(geo.KindCity) {
+		places = append(places, p)
+	}
+	for _, p := range gaz.All(geo.KindRegion) {
+		places = append(places, p)
+	}
+	sort.Slice(places, func(i, j int) bool { return places[i].Name < places[j].Name })
+	cum := make([]float64, len(places))
+	sum := 0.0
+	for i, p := range places {
+		weight := float64(p.Pop) / 1e6
+		if c := gaz.Country(p.Country); c != nil {
+			weight *= c.TwitchWeight
+		}
+		if weight < 0 {
+			weight = 0
+		}
+		sum += weight
+		cum[i] = sum
+	}
+	return places, cum
+}
+
+func pickPlace(rng *rand.Rand, places []*geo.Place, cum []float64, total float64) *geo.Place {
+	x := rng.Float64() * total
+	i := sort.SearchFloat64s(cum, x)
+	if i >= len(places) {
+		i = len(places) - 1
+	}
+	return places[i]
+}
+
+func pickGames(rng *rand.Rand) []*games.Game {
+	var primary *games.Game
+	x := rng.Float64()
+	acc := 0.0
+	for _, g := range games.All {
+		acc += gameWeights[g.Slug]
+		if x < acc {
+			primary = g
+			break
+		}
+	}
+	if primary == nil {
+		primary = games.All[0]
+	}
+	out := []*games.Game{primary}
+	// Some streamers rotate between 2-3 games (enables game changes).
+	extra := 0
+	if r := rng.Float64(); r < 0.35 {
+		extra = 1
+	} else if r < 0.45 {
+		extra = 2
+	}
+	for len(out) < 1+extra {
+		g := games.All[rng.Intn(len(games.All))]
+		dup := false
+		for _, have := range out {
+			if have == g {
+				dup = true
+			}
+		}
+		if !dup {
+			out = append(out, g)
+		}
+	}
+	return out
+}
+
+// hashUint returns a deterministic hash of a string.
+func hashUint(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return h.Sum64()
+}
+
+// username builds usernames, most of them brandable and reused across
+// platforms (§3.1).
+var nameAdj = []string{"shadow", "turbo", "pixel", "neon", "crazy", "silent",
+	"mega", "hyper", "lucky", "frost", "ember", "cosmic", "retro", "salty"}
+var nameNoun = []string{"wolf", "gamer", "fox", "mage", "sniper", "panda",
+	"viper", "ninja", "queen", "rogue", "titan", "ghost", "falcon", "otter"}
+
+func username(rng *rand.Rand, i int) string {
+	return fmt.Sprintf("%s%s%03d", nameAdj[rng.Intn(len(nameAdj))],
+		nameNoun[rng.Intn(len(nameNoun))], i%1000)
+}
+
+func spikeRate(rng *rand.Rand) float64 {
+	// Heterogeneous: most streamers spike rarely, a tail spikes often.
+	r := rng.Float64()
+	switch {
+	case r < 0.6:
+		return 0.05 + rng.Float64()*0.15
+	case r < 0.9:
+		return 0.2 + rng.Float64()*0.5
+	default:
+		return 0.8 + rng.Float64()*1.2
+	}
+}
+
+// accessExtra draws the residential access contribution; variance depends
+// on the country (Italy's wide 25th-75th gap in Fig. 11b comes from here).
+func accessExtra(rng *rand.Rand, p *geo.Place) float64 {
+	base := 4 + rng.Float64()*6 // 4-10 ms typical
+	spread := countrySpread[p.Country]
+	if spread == 0 {
+		spread = 4
+	}
+	return base + math.Abs(rng.NormFloat64())*spread
+}
+
+// countrySpread is the per-country residential-access variance (ms).
+var countrySpread = map[string]float64{
+	"Italy":   12,
+	"France":  2,
+	"Germany": 4, "United States": 5, "Poland": 8, "Brazil": 8,
+	"Bolivia": 12, "Greece": 8, "Turkey": 7, "Saudi Arabia": 8,
+	"Switzerland": 2, "Netherlands": 2, "South Korea": 1.5, "Japan": 2,
+}
