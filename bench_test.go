@@ -14,6 +14,7 @@ import (
 // and reports rows produced (so regressions in coverage are visible).
 func runExp(b *testing.B, id string, scale float64) {
 	b.Helper()
+	b.ReportAllocs()
 	opts := experiments.Options{Seed: 1, Scale: scale}
 	rows := 0
 	for i := 0; i < b.N; i++ {

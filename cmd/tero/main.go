@@ -25,6 +25,8 @@ func main() {
 		streamers = flag.Int("streamers", 300, "synthetic streamer population")
 		days      = flag.Int("days", 2, "observation days (virtual)")
 		workers   = flag.Int("downloaders", 4, "parallel downloaders")
+		conc      = flag.Int("concurrency", 0,
+			"pipeline worker parallelism (0 = GOMAXPROCS, 1 = serial)")
 	)
 	flag.Parse()
 
@@ -41,6 +43,7 @@ func main() {
 	fmt.Printf("platform serving at %s\n", platform.URL())
 
 	p := pipeline.New(platform.URL(), *workers)
+	p.Concurrency = *conc
 	totalTicks := cfg.Days * 24 * 30
 	start := time.Now()
 	for i := 0; i < totalTicks; i++ {

@@ -5,7 +5,7 @@
 // Usage:
 //
 //	teroexp -list
-//	teroexp [-seed N] [-scale F] <experiment-id> [<experiment-id>...]
+//	teroexp [-seed N] [-scale F] [-workers N] <experiment-id> [<experiment-id>...]
 //	teroexp all
 package main
 
@@ -23,6 +23,8 @@ func main() {
 		list  = flag.Bool("list", false, "list available experiments")
 		seed  = flag.Int64("seed", 1, "world seed")
 		scale = flag.Float64("scale", 1, "workload scale factor (1 = default size)")
+		workers = flag.Int("workers", 0,
+			"experiment worker parallelism (0 = GOMAXPROCS, 1 = serial)")
 	)
 	flag.Parse()
 
@@ -34,7 +36,7 @@ func main() {
 	}
 	args := flag.Args()
 	if len(args) == 0 {
-		fmt.Fprintln(os.Stderr, "usage: teroexp [-seed N] [-scale F] <experiment-id>... | all | -list")
+		fmt.Fprintln(os.Stderr, "usage: teroexp [-seed N] [-scale F] [-workers N] <experiment-id>... | all | -list")
 		os.Exit(2)
 	}
 	if len(args) == 1 && args[0] == "all" {
@@ -43,7 +45,7 @@ func main() {
 			args = append(args, e[0])
 		}
 	}
-	opts := experiments.Options{Seed: *seed, Scale: *scale}
+	opts := experiments.Options{Seed: *seed, Scale: *scale, Concurrency: *workers}
 	exit := 0
 	for _, id := range args {
 		start := time.Now()

@@ -157,6 +157,35 @@ func (c *Collection) FindEq(field string, value any) []Doc {
 	return c.Find(func(d Doc) bool { return d[field] == value })
 }
 
+// Distinct returns the distinct string values of a field across all
+// documents, sorted. With an index on the field it reads the index keys
+// directly instead of scanning every document; non-string values are
+// ignored either way.
+func (c *Collection) Distinct(field string) []string {
+	c.mu.RLock()
+	seen := make(map[string]bool)
+	if idx, ok := c.indexes[field]; ok {
+		for v, ids := range idx {
+			if s, isStr := v.(string); isStr && len(ids) > 0 {
+				seen[s] = true
+			}
+		}
+	} else {
+		for _, d := range c.docs {
+			if s, isStr := d[field].(string); isStr {
+				seen[s] = true
+			}
+		}
+	}
+	c.mu.RUnlock()
+	out := make([]string, 0, len(seen))
+	for s := range seen {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
 // Update merges fields into the document with the given ID.
 func (c *Collection) Update(id string, fields Doc) bool {
 	c.mu.Lock()

@@ -5,6 +5,33 @@ import (
 	"testing"
 )
 
+func TestDistinct(t *testing.T) {
+	s := New()
+	c := s.C("m")
+	c.EnsureIndex("streamer")
+	c.Insert(Doc{"streamer": "b", "ms": 1})
+	c.Insert(Doc{"streamer": "a", "ms": 2})
+	idDel := c.Insert(Doc{"streamer": "c", "ms": 3})
+	c.Insert(Doc{"streamer": "a", "ms": 4})
+	c.Insert(Doc{"ms": 5})          // field absent
+	c.Insert(Doc{"streamer": 7})    // non-string value ignored
+	c.Delete(idDel)                 // deleted docs drop out of the index
+	got := c.Distinct("streamer")
+	if len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("Distinct via index = %v", got)
+	}
+	// Unindexed field: falls back to a scan with the same semantics.
+	if gotGame := c.Distinct("ms"); len(gotGame) != 0 {
+		t.Fatalf("non-string Distinct = %v", gotGame)
+	}
+	c2 := s.C("unindexed")
+	c2.Insert(Doc{"g": "y"})
+	c2.Insert(Doc{"g": "x"})
+	if got := c2.Distinct("g"); len(got) != 2 || got[0] != "x" || got[1] != "y" {
+		t.Fatalf("Distinct via scan = %v", got)
+	}
+}
+
 func TestInsertAndGet(t *testing.T) {
 	s := New()
 	c := s.C("measurements")

@@ -4,6 +4,12 @@
 // CDN before they are overwritten. Coordinator and downloaders share state
 // exclusively through the key-value store, which also provides crash
 // recovery.
+//
+// Distinct Downloaders may poll concurrently (the pipeline fans them out on
+// its worker pool): they coordinate only through the key-value store's
+// atomic list/hash operations, and claiming is a single LPop, so a queue
+// entry is adopted by exactly one downloader. A single Downloader is not
+// safe for concurrent PollOnce calls (it owns its assignment map).
 package download
 
 import (
@@ -11,6 +17,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
@@ -349,7 +356,7 @@ func (d *Downloader) fetch(id string, tr *tracked, now time.Time) error {
 }
 
 func seqGap(prev, cur string) (p, c int, ok bool) {
-	_, err1 := fmt.Sscanf(prev, "%d", &p)
-	_, err2 := fmt.Sscanf(cur, "%d", &c)
+	p, err1 := strconv.Atoi(prev)
+	c, err2 := strconv.Atoi(cur)
 	return p, c, err1 == nil && err2 == nil
 }

@@ -1,0 +1,31 @@
+package experiments
+
+import "testing"
+
+// TestConcurrencyDeterminism pins the concurrency guarantee at the
+// experiment level: the rendered output tables are byte-identical whether
+// the stages run serially or on 8 workers. volume exercises the full
+// HTTP pipeline (parallel Tick, extraction, location, analysis); tab4 the
+// batched OCR fan-out; fig4 the testbed sweep fan-out.
+func TestConcurrencyDeterminism(t *testing.T) {
+	for _, id := range []string{"volume", "tab4", "fig4"} {
+		serial := Options{Seed: 5, Scale: 0.15, Concurrency: 1}
+		parallel := serial
+		parallel.Concurrency = 8
+		t1, err := Run(id, serial)
+		if err != nil {
+			t.Fatalf("%s serial: %v", id, err)
+		}
+		t2, err := Run(id, parallel)
+		if err != nil {
+			t.Fatalf("%s parallel: %v", id, err)
+		}
+		a, b := render(t1), render(t2)
+		if a == "" {
+			t.Fatalf("%s produced no output", id)
+		}
+		if a != b {
+			t.Errorf("%s diverges between 1 and 8 workers:\n--- serial ---\n%s\n--- 8 workers ---\n%s", id, a, b)
+		}
+	}
+}

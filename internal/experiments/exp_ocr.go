@@ -6,7 +6,9 @@ import (
 	"strings"
 
 	"tero/internal/core"
+	"tero/internal/games"
 	"tero/internal/imageproc"
+	"tero/internal/imaging"
 	"tero/internal/ocr"
 	"tero/internal/stats"
 	"tero/internal/worldsim"
@@ -45,6 +47,78 @@ func runTab4(o Options) ([]*Table, error) {
 	var teroDigitDropWrong int
 	rendered := 0
 
+	// Rendering consumes the shared rng and must stay serial; the OCR work
+	// dominates and is embarrassingly parallel. Thumbnails are rendered in
+	// batches, each batch fans out to the worker pool, and the counters are
+	// merged in render order — totals identical to the serial loop.
+	type job struct {
+		img   *imaging.Gray
+		game  *games.Game
+		want  string
+		shown int
+	}
+	type outcome struct {
+		missed, wrong          []bool // per engine
+		tMissed, tWrong, tDrop bool
+	}
+	const batchSize = 64
+	workers := o.workers()
+	jobs := make([]job, 0, batchSize)
+	outs := make([]outcome, batchSize)
+	flush := func() {
+		parallelFor(workers, len(jobs), func(i int) {
+			j := jobs[i]
+			out := outcome{
+				missed: make([]bool, len(engines)),
+				wrong:  make([]bool, len(engines)),
+			}
+			crop := j.img.Crop(j.game.UI.CropRect(4))
+			for e, eng := range engines {
+				got := digitsOnly(eng.Recognize(crop).Text)
+				switch {
+				case got == "":
+					out.missed[e] = true
+				case got != j.want:
+					out.wrong[e] = true
+				}
+			}
+			imaging.Recycle(crop)
+			ex := extractor.Extract(j.img, j.game)
+			imaging.Recycle(j.img)
+			switch {
+			case !ex.OK:
+				out.tMissed = true
+			case ex.Value != j.shown:
+				out.tWrong = true
+				out.tDrop = isDigitDrop(j.shown, ex.Value)
+			}
+			outs[i] = out
+		})
+		for i := range jobs {
+			out := &outs[i]
+			for e := range engines {
+				perEngine[e].visible++
+				switch {
+				case out.missed[e]:
+					perEngine[e].missed++
+				case out.wrong[e]:
+					perEngine[e].wrong++
+				}
+			}
+			tero.visible++
+			switch {
+			case out.tMissed:
+				tero.missed++
+			case out.tWrong:
+				tero.wrong++
+				if out.tDrop {
+					teroDigitDropWrong++
+				}
+			}
+		}
+		jobs = jobs[:0]
+	}
+
 sampling:
 	for _, st := range world.Streamers {
 		for _, gs := range world.Sessions(st) {
@@ -61,34 +135,22 @@ sampling:
 				// considers only those; clock overlays and lobby zeros are
 				// no-measurement cases we skip here).
 				if truth.Clock || truth.ShownMs <= 0 {
+					imaging.Recycle(img)
 					continue
 				}
-				want := fmt.Sprintf("%d", truth.ShownMs)
-				crop := img.Crop(gs.Game.UI.CropRect(4))
-				for e, eng := range engines {
-					got := digitsOnly(eng.Recognize(crop).Text)
-					perEngine[e].visible++
-					switch {
-					case got == "":
-						perEngine[e].missed++
-					case got != want:
-						perEngine[e].wrong++
-					}
-				}
-				ex := extractor.Extract(img, gs.Game)
-				tero.visible++
-				switch {
-				case !ex.OK:
-					tero.missed++
-				case ex.Value != truth.ShownMs:
-					tero.wrong++
-					if isDigitDrop(truth.ShownMs, ex.Value) {
-						teroDigitDropWrong++
-					}
+				jobs = append(jobs, job{
+					img:   img,
+					game:  gs.Game,
+					want:  fmt.Sprintf("%d", truth.ShownMs),
+					shown: truth.ShownMs,
+				})
+				if len(jobs) == batchSize {
+					flush()
 				}
 			}
 		}
 	}
+	flush()
 
 	t := &Table{
 		Title:  "Table 4: miss and error rates of OCR engines and their combination",

@@ -61,34 +61,48 @@ func runFig4(o Options) ([]*Table, error) {
 			p50, p75, p95 float64
 			drops         int
 		}
-		var results []result
-		var controlMeans []float64
-		for _, cfg := range sweep {
-			var diffs []float64
-			var maxMs float64
-			drops := 0
+		// Each sweep point's repetitions are an independent simulation (the
+		// rng is seeded per run), so the sweep fans out to the worker pool;
+		// per-point outputs land in an indexed slice and are merged in sweep
+		// order, keeping every float in the same sequence as a serial run.
+		type sweepOut struct {
+			diffs   []float64
+			maxMs   float64
+			drops   int
+			control []float64
+		}
+		outs := make([]sweepOut, len(sweep))
+		parallelFor(o.workers(), len(sweep), func(si int) {
+			cfg := sweep[si]
+			out := &outs[si]
 			for rep := 0; rep < reps; rep++ {
 				tc := netsim.DefaultTestbedConfig(g.name, g.baseOneWay,
 					cfg.bw, cfg.queue, timeScale, o.Seed+int64(rep))
 				res := netsim.RunTestbed(tc)
-				diffs = append(diffs, steadyDiffs(res)...)
-				if res.MaxBottleneckMs > maxMs {
-					maxMs = res.MaxBottleneckMs
+				out.diffs = append(out.diffs, steadyDiffs(res)...)
+				if res.MaxBottleneckMs > out.maxMs {
+					out.maxMs = res.MaxBottleneckMs
 				}
-				drops += res.Drops
+				out.drops += res.Drops
 				for _, s := range res.Samples {
 					if s.At > tc.Startup/2 && s.At < tc.Startup {
-						controlMeans = append(controlMeans, s.ControlMs)
+						out.control = append(out.control, s.ControlMs)
 					}
 				}
 			}
-			if len(diffs) == 0 {
+		})
+		var results []result
+		var controlMeans []float64
+		for si, cfg := range sweep {
+			out := &outs[si]
+			controlMeans = append(controlMeans, out.control...)
+			if len(out.diffs) == 0 {
 				continue
 			}
 			results = append(results, result{
-				maxMs: maxMs, bw: cfg.bw, queue: cfg.queue,
-				p50: stats.Percentile(diffs, 50), p75: stats.Percentile(diffs, 75),
-				p95: stats.Percentile(diffs, 95), drops: drops,
+				maxMs: out.maxMs, bw: cfg.bw, queue: cfg.queue,
+				p50: stats.Percentile(out.diffs, 50), p75: stats.Percentile(out.diffs, 75),
+				p95: stats.Percentile(out.diffs, 95), drops: out.drops,
 			})
 		}
 		// The paper sorts experiments by the worst network latency created.

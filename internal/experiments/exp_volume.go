@@ -25,8 +25,14 @@ func runVolume(o Options) ([]*Table, error) {
 	world := worldsim.New(cfg)
 	platform := twitchsim.New(world)
 	defer platform.Close()
+	// The experiment measures what the pipeline makes of the data, not the
+	// platform's simulated API quota: the default rate limit turns the run
+	// into mostly real-time 429-retry sleeps (~95% of wall clock) without
+	// changing a single row. Raise it so the run is CPU-bound.
+	platform.SetAPIRate(5000, 5000)
 
 	p := pipeline.New(platform.URL(), 4)
+	p.Concurrency = o.workers()
 
 	// Drive the virtual clock across the whole observation period in
 	// 2-minute ticks, processing thumbnails as they accumulate.

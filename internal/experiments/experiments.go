@@ -7,8 +7,11 @@ package experiments
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 )
 
 // Options tunes experiment scale.
@@ -18,10 +21,54 @@ type Options struct {
 	// Scale multiplies default workload sizes (1.0 = default; benchmarks
 	// use less, full runs more).
 	Scale float64
+	// Concurrency is the worker parallelism of the CPU-heavy experiment
+	// stages (extraction, testbed sweeps) and of the pipeline experiments
+	// drive. 0 means GOMAXPROCS; 1 runs fully serially. Results are
+	// identical at every setting.
+	Concurrency int
 }
 
 // DefaultOptions returns the standard configuration.
 func DefaultOptions() Options { return Options{Seed: 1, Scale: 1} }
+
+// workers resolves the effective worker count.
+func (o Options) workers() int {
+	if o.Concurrency > 0 {
+		return o.Concurrency
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// parallelFor runs fn(i) for i in [0, n) on up to `workers` goroutines and
+// waits for completion. fn must restrict itself to index-disjoint writes;
+// any ordered side effects belong in a serial merge after the call.
+func parallelFor(workers, n int, fn func(i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for k := 0; k < workers; k++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
 
 func (o Options) scaled(n int) int {
 	if o.Scale <= 0 {

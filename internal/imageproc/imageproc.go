@@ -38,7 +38,11 @@ type Extraction struct {
 	Zero bool
 }
 
-// Extractor is a configured image-processing module.
+// Extractor is a configured image-processing module. It is safe for
+// concurrent use once configured: Extract keeps all per-call state on the
+// stack and the engines themselves are stateless (the pipeline's worker
+// pool runs many extractions against one Extractor). Reconfiguring the
+// fields while extractions are in flight is not supported.
 type Extractor struct {
 	Engines []ocr.Engine
 	// Pad is the padding around the game UI crop.
@@ -62,7 +66,9 @@ func New() *Extractor {
 	}
 }
 
-// Extract runs the full four-step pipeline on a thumbnail.
+// Extract runs the full four-step pipeline on a thumbnail. The crop and the
+// pre-processed intermediates are scratch images recycled back to the
+// imaging pool before returning.
 func (e *Extractor) Extract(thumb *imaging.Gray, game *games.Game) Extraction {
 	crop := thumb.Crop(game.UI.CropRect(e.Pad))
 	if crop.W == 0 || crop.H == 0 {
@@ -73,11 +79,17 @@ func (e *Extractor) Extract(thumb *imaging.Gray, game *games.Game) Extraction {
 	if scale < 1 {
 		scale = 1
 	}
-	if ex, ok := e.voteOn(e.preprocess(crop), game, scale); ok {
-		return ex
+	pre := e.preprocess(crop)
+	ex, ok := e.voteOn(pre, game, scale)
+	if pre != crop {
+		imaging.Recycle(pre)
 	}
-	// Step 4: reprocess without pre-processing.
-	if ex, ok := e.voteOn(crop, game, 1); ok {
+	if !ok {
+		// Step 4: reprocess without pre-processing.
+		ex, ok = e.voteOn(crop, game, 1)
+	}
+	imaging.Recycle(crop)
+	if ok {
 		return ex
 	}
 	return Extraction{}
@@ -89,14 +101,22 @@ func (e *Extractor) Extract(thumb *imaging.Gray, game *games.Game) Extraction {
 // err identically, destroying the error diversity the 2-of-3 vote needs.
 func (e *Extractor) preprocess(crop *imaging.Gray) *imaging.Gray {
 	img := crop
+	// step replaces the working image, recycling the superseded
+	// intermediate (never the caller's crop).
+	step := func(next *imaging.Gray) {
+		if img != crop {
+			imaging.Recycle(img)
+		}
+		img = next
+	}
 	if e.Upscale > 1 {
-		img = img.ScaleNearest(e.Upscale)
+		step(img.ScaleNearest(e.Upscale))
 	}
 	if e.BlurSigma > 0 {
-		img = img.GaussianBlur(e.BlurSigma)
+		step(img.GaussianBlur(e.BlurSigma))
 	}
 	if e.CloseIter > 0 {
-		img = img.Close(e.CloseIter)
+		step(img.Close(e.CloseIter))
 	}
 	return img
 }

@@ -13,12 +13,13 @@ type Gray struct {
 	Pix  []uint8
 }
 
-// New returns a black image of the given size.
+// New returns a black image of the given size. Storage may come from the
+// package's scratch pool (see Recycle); a fresh image is always zeroed.
 func New(w, h int) *Gray {
 	if w < 0 || h < 0 {
 		panic(fmt.Sprintf("imaging: invalid size %dx%d", w, h))
 	}
-	return &Gray{W: w, H: h, Pix: make([]uint8, w*h)}
+	return newPooled(w, h)
 }
 
 // NewFilled returns an image of the given size filled with level v.

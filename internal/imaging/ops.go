@@ -64,8 +64,10 @@ func (g *Gray) GaussianBlur(sigma float64) *Gray {
 	for i := range kernel {
 		kernel[i] /= sum
 	}
-	// Horizontal pass.
-	tmp := make([]float64, g.W*g.H)
+	// Horizontal pass. The intermediate rows are pure scratch: pooled, and
+	// fully overwritten before the vertical pass reads them.
+	tmp := getF64(g.W * g.H)
+	defer putF64(tmp)
 	for y := 0; y < g.H; y++ {
 		for x := 0; x < g.W; x++ {
 			acc := 0.0
@@ -204,11 +206,17 @@ func (g *Gray) morph(dilate bool) *Gray {
 // the "dilating and eroding ... to merge disjoint regions" step of App. E.
 func (g *Gray) Close(n int) *Gray {
 	out := g
-	for i := 0; i < n; i++ {
-		out = out.Dilate()
+	step := func(next *Gray) {
+		if out != g {
+			Recycle(out)
+		}
+		out = next
 	}
 	for i := 0; i < n; i++ {
-		out = out.Erode()
+		step(out.Dilate())
+	}
+	for i := 0; i < n; i++ {
+		step(out.Erode())
 	}
 	return out
 }

@@ -1,0 +1,64 @@
+package imaging
+
+import "sync"
+
+// The extraction hot path (crop → up-scale → blur → threshold → per-segment
+// cells, times three OCR engines) creates many short-lived images per
+// thumbnail. A scratch pool lets concurrent extraction workers reuse pixel
+// buffers instead of hammering the allocator: New draws from the pool when a
+// recycled buffer is large enough, and Recycle returns an image once the
+// caller can guarantee no references to it remain.
+var grayPool sync.Pool // holds *Gray with capacity-retained Pix
+
+// newPooled returns a zeroed w×h image, reusing pooled storage when a
+// recycled buffer of sufficient capacity is available. New delegates here,
+// so every imaging operation transparently benefits from recycling.
+func newPooled(w, h int) *Gray {
+	n := w * h
+	if v := grayPool.Get(); v != nil {
+		g := v.(*Gray)
+		if cap(g.Pix) >= n {
+			g.W, g.H = w, h
+			g.Pix = g.Pix[:n]
+			clear(g.Pix)
+			return g
+		}
+		// Too small for this request: let it be collected.
+	}
+	return &Gray{W: w, H: h, Pix: make([]uint8, n)}
+}
+
+// Recycle returns an image's storage to the scratch pool. The caller must
+// guarantee that no references to the image or its Pix slice remain; the
+// image is cleared to a 0×0 husk so accidental reuse fails loudly rather
+// than silently reading recycled pixels. Recycling is optional — images that
+// escape to long-lived structures are simply left to the garbage collector.
+// Safe for concurrent use.
+func Recycle(g *Gray) {
+	if g == nil || g.Pix == nil {
+		return
+	}
+	g.W, g.H = 0, 0
+	g.Pix = g.Pix[:0]
+	grayPool.Put(g)
+}
+
+// f64Pool recycles the float64 scratch rows used by the separable Gaussian
+// blur (the single largest per-extraction transient allocation).
+var f64Pool sync.Pool // holds *[]float64
+
+// getF64 returns a length-n float64 scratch slice. Contents are undefined:
+// callers must fully overwrite it before reading.
+func getF64(n int) []float64 {
+	if v := f64Pool.Get(); v != nil {
+		s := *(v.(*[]float64))
+		if cap(s) >= n {
+			return s[:n]
+		}
+	}
+	return make([]float64, n)
+}
+
+func putF64(s []float64) {
+	f64Pool.Put(&s)
+}

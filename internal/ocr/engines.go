@@ -25,7 +25,9 @@ func (t *Tessera) Name() string { return "tessera" }
 func (t *Tessera) Recognize(img *imaging.Gray) Result {
 	bin := img.Threshold(t.Thr)
 	segs := bin.SegmentColumns(1)
-	return recognizeSegments(bin, segs, t.Tol, 0, 3)
+	res := recognizeSegments(bin, segs, t.Tol, 0, 3)
+	imaging.Recycle(bin)
+	return res
 }
 
 // EasyScan is the lenient engine: Otsu binarization (adapts to low
@@ -49,12 +51,16 @@ func (e *EasyScan) Recognize(img *imaging.Gray) Result {
 	thr := img.OtsuThreshold()
 	bin := img.Threshold(thr)
 	if countFg(bin) > len(bin.Pix)/2 {
-		bin = img.Clone()
-		bin.Invert()
-		bin = bin.Threshold(255 - thr + 1)
+		imaging.Recycle(bin)
+		inv := img.Clone()
+		inv.Invert()
+		bin = inv.Threshold(255 - thr + 1)
+		imaging.Recycle(inv)
 	}
 	segs := mergeOverlapping(componentColumns(bin))
-	return recognizeSegments(bin, segs, e.Tol, 0, 4)
+	res := recognizeSegments(bin, segs, e.Tol, 0, 4)
+	imaging.Recycle(bin)
+	return res
 }
 
 // PaddleRead up-scales and smooths before binarizing, segments by column
@@ -78,13 +84,17 @@ func (p *PaddleRead) Recognize(img *imaging.Gray) Result {
 	thr := up.OtsuThreshold()
 	bin := up.Threshold(thr)
 	if countFg(bin) > len(bin.Pix)/2 {
+		imaging.Recycle(bin)
 		inv := up.Clone()
 		inv.Invert()
+		imaging.Recycle(up)
 		up = inv
 		bin = up.Threshold(up.OtsuThreshold())
 	}
 	segs := bin.SegmentColumns(2)
 	res := recognizeSegments(bin, segs, p.Tol, p.DigitBias, 8)
+	imaging.Recycle(bin)
+	imaging.Recycle(up)
 	// Report character boxes in the caller's coordinate system (the image
 	// was scaled 2× internally).
 	for i := range res.Chars {

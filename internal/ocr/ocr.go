@@ -16,6 +16,11 @@
 //     more confusions).
 //   - PaddleRead up-scales and blurs before Otsu, with a digit prior
 //     (different confusion profile).
+//
+// All engines are safe for concurrent use: recognition keeps no per-call
+// state on the engine, and the shared glyph template table is built once at
+// package initialization and only ever read afterwards. The concurrent
+// image-processing workers of the pipeline rely on this.
 package ocr
 
 import (
@@ -95,6 +100,7 @@ func buildTemplates() []template {
 
 // normalizeCell tight-crops the foreground of a binary image and resamples
 // it to the CellW×CellH grid. Returns nil if the image has no foreground.
+// The returned cell is freshly allocated; intermediates are recycled.
 func normalizeCell(img *imaging.Gray) *imaging.Gray {
 	box := img.TightBox()
 	if box.Empty() {
@@ -102,7 +108,10 @@ func normalizeCell(img *imaging.Gray) *imaging.Gray {
 	}
 	tight := img.Crop(box)
 	scaled := tight.ScaleBilinear(CellW, CellH)
-	return scaled.Threshold(128)
+	imaging.Recycle(tight)
+	cell := scaled.Threshold(128)
+	imaging.Recycle(scaled)
+	return cell
 }
 
 // matchCell returns the best-matching rune for a normalized cell and its
@@ -142,6 +151,7 @@ func recognizeSegments(bin *imaging.Gray, segs []imaging.Rect, tol, digitBias in
 		sub := bin.Crop(s)
 		box := sub.TightBox()
 		if box.Empty() {
+			imaging.Recycle(sub)
 			continue
 		}
 		area := 0
@@ -151,13 +161,16 @@ func recognizeSegments(bin *imaging.Gray, segs []imaging.Rect, tol, digitBias in
 			}
 		}
 		if area < minArea {
+			imaging.Recycle(sub)
 			continue // specks of noise
 		}
 		cell := normalizeCell(sub)
+		imaging.Recycle(sub)
 		if cell == nil {
 			continue
 		}
 		r, d := matchCell(cell, digitBias)
+		imaging.Recycle(cell)
 		if d > tol {
 			continue // unrecognized character: engine stays silent
 		}

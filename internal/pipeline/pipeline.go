@@ -7,16 +7,29 @@
 // streamers via the API and social endpoints; and the data-analysis module
 // builds streams and runs the §3.3 pipeline.
 //
+// Like the paper's deployment, the expensive stages run on a pool of
+// workers (Concurrency): thumbnail extraction, downloader polling, location
+// lookups and per-{streamer, game} analysis all fan out. Determinism is
+// preserved by splitting each stage into a pure parallel part and a serial
+// merge that applies side effects (document inserts, key-value writes,
+// stat counters) in the same canonical order as a serial run — output is
+// bit-identical at any concurrency level.
+//
 // Streamer identities are pseudonymized with a consistent hash before
 // storage (§7): the pipeline needs to link measurements of one streamer,
 // not to remember who the streamer is.
 package pipeline
 
 import (
+	"bytes"
 	"crypto/sha256"
 	"encoding/hex"
+	"runtime"
 	"sort"
 	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"tero/internal/core"
@@ -29,8 +42,6 @@ import (
 	"tero/internal/kvstore"
 	"tero/internal/location"
 	"tero/internal/objstore"
-
-	"bytes"
 )
 
 // Pipeline is a fully wired Tero instance.
@@ -45,6 +56,11 @@ type Pipeline struct {
 	Locator     *location.Module
 	Social      location.SocialLookup
 	API         *download.APIClient
+
+	// Concurrency is the worker parallelism of the extraction, download,
+	// location and analysis stages. 0 means GOMAXPROCS; 1 reproduces the
+	// fully serial pipeline. Output is identical at every setting.
+	Concurrency int
 
 	// Salt for the consistent streamer-ID pseudonymization.
 	Salt string
@@ -82,6 +98,49 @@ func New(baseURL string, downloaders int) *Pipeline {
 	return p
 }
 
+// workers resolves the effective worker count.
+func (p *Pipeline) workers() int {
+	if p.Concurrency > 0 {
+		return p.Concurrency
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// forEach runs fn(i) for i in [0, n) on the pipeline's worker pool and
+// blocks until all calls return. With one worker (or n == 1) it degrades to
+// a plain loop on the calling goroutine. fn must confine itself to
+// index-disjoint writes (or internally synchronized stores) — this is the
+// parallel half of every stage; ordered side effects belong in the caller's
+// merge step.
+func (p *Pipeline) forEach(n int, fn func(i int)) {
+	w := p.workers()
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for k := 0; k < w; k++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
 // Anonymize maps a platform streamer ID to the stable pseudonymous ID used
 // in all stored data (§7).
 func (p *Pipeline) Anonymize(id string) string {
@@ -90,59 +149,94 @@ func (p *Pipeline) Anonymize(id string) string {
 }
 
 // Tick runs one poll round of the download module at virtual time now.
+// Downloaders poll in parallel (they share state only through the key-value
+// and object stores, both safe for concurrent use); the join is
+// errgroup-style — every downloader finishes its round, then the first
+// error in downloader order is returned, so the error surfaced does not
+// depend on goroutine scheduling.
 func (p *Pipeline) Tick(now time.Time, pollCoordinator bool) error {
 	if pollCoordinator {
 		if err := p.Coordinator.PollOnce(); err != nil {
 			return err
 		}
 	}
-	for _, d := range p.Downloaders {
-		if err := d.PollOnce(now); err != nil {
+	errs := make([]error, len(p.Downloaders))
+	p.forEach(len(p.Downloaders), func(i int) {
+		errs[i] = p.Downloaders[i].PollOnce(now)
+	})
+	for _, err := range errs {
+		if err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
+// thumbResult is the pure outcome of extracting one thumbnail, computed by
+// a worker; all side effects are deferred to the merge step.
+type thumbResult struct {
+	found                     bool // object read succeeded
+	ok                        bool // decoded and game recognized
+	ex                        imageproc.Extraction
+	streamer, login, game, at string
+	atUnix                    int64
+	atOK                      bool
+}
+
 // ProcessThumbnails drains the thumbnail bucket: extract latency, store the
 // measurement, delete the thumbnail. Returns the number processed.
+//
+// Extraction (PGM decode → OCR → vote) fans out to the worker pool; the
+// results are then merged in thumbnail-key order, so document IDs, counters
+// and pending-location entries are identical to a serial run.
 func (p *Pipeline) ProcessThumbnails() int {
 	keys := p.Objects.List(download.ThumbBucket, "")
+	if len(keys) == 0 {
+		return 0
+	}
+	results := make([]thumbResult, len(keys))
+	p.forEach(len(keys), func(i int) {
+		results[i] = p.extractOne(keys[i])
+	})
+
+	// Deterministic merge in key order.
 	meas := p.Docs.C("measurements")
 	n := 0
-	for _, key := range keys {
-		obj, err := p.Objects.Get(download.ThumbBucket, key)
-		if err != nil {
+	for i, key := range keys {
+		r := &results[i]
+		if !r.found {
 			continue
 		}
-		game := games.ByName(obj.Meta["game"])
-		img, err := imaging.DecodePGM(bytes.NewReader(obj.Data))
-		if game != nil && err == nil {
-			ex := p.Extractor.Extract(img, game)
+		if r.ok {
 			p.Processed++
 			switch {
-			case ex.OK:
+			case r.ex.OK:
 				p.Extracted++
 				doc := docstore.Doc{
-					"streamer": p.Anonymize(obj.Meta["streamer"]),
-					"login":    obj.Meta["login"], // kept transiently for location lookup
-					"game":     game.Name,
-					"at":       obj.Meta["at"],
-					"ms":       float64(ex.Value),
+					"streamer": p.Anonymize(r.streamer),
+					"login":    r.login, // kept transiently for location lookup
+					"game":     r.game,
+					"at":       r.at,
+					"ms":       float64(r.ex.Value),
 				}
-				if ex.HasAlt {
-					doc["alt"] = float64(ex.Alt)
+				if r.atOK {
+					// Parsed once here so the analysis hot loop never
+					// re-parses RFC3339 strings (see BuildStreams).
+					doc["atUnix"] = r.atUnix
+				}
+				if r.ex.HasAlt {
+					doc["alt"] = float64(r.ex.Alt)
 					doc["hasAlt"] = true
 				}
 				meas.Insert(doc)
-			case ex.Zero:
+			case r.ex.Zero:
 				p.Zero++
 			default:
 				p.Missed++
 			}
 			// Remember which platform ID maps to the pseudonym until the
 			// location lookup has run, then forget (see LocateStreamers).
-			p.KV.HSet("pending-location", obj.Meta["streamer"], obj.Meta["login"])
+			p.KV.HSet("pending-location", r.streamer, r.login)
 		}
 		// §7: delete the thumbnail as soon as it is processed.
 		p.Objects.Delete(download.ThumbBucket, key)
@@ -151,51 +245,132 @@ func (p *Pipeline) ProcessThumbnails() int {
 	return n
 }
 
+// extractOne runs the pure extraction for one thumbnail key: object read,
+// PGM decode, OCR pipeline. No pipeline state is mutated.
+func (p *Pipeline) extractOne(key string) thumbResult {
+	obj, err := p.Objects.Get(download.ThumbBucket, key)
+	if err != nil {
+		return thumbResult{}
+	}
+	game := games.ByName(obj.Meta["game"])
+	img, err := imaging.DecodePGM(bytes.NewReader(obj.Data))
+	if game == nil || err != nil {
+		imaging.Recycle(img) // nil-safe
+		return thumbResult{found: true}
+	}
+	r := thumbResult{
+		found:    true,
+		ok:       true,
+		ex:       p.Extractor.Extract(img, game),
+		streamer: obj.Meta["streamer"],
+		login:    obj.Meta["login"],
+		game:     game.Name,
+		at:       obj.Meta["at"],
+	}
+	imaging.Recycle(img)
+	if t, err := time.Parse(time.RFC3339, r.at); err == nil {
+		r.atUnix, r.atOK = t.Unix(), true
+	}
+	return r
+}
+
 // relocateEvery is how often a streamer's profiles are re-examined: a
 // streamer may advertise a new location after moving (§3.1.1), in which
 // case the pipeline keeps both — each {streamer, location} pair acts as a
 // distinct end-point in analysis.
 const relocateEvery = 24 * time.Hour
 
+// Outcomes of one locateOne call, merged serially into the counters.
+const (
+	locNone      = iota // skipped (recent, or API error — stays pending)
+	locLocated          // location found
+	locUnlocated        // first failed attempt recorded
+)
+
 // LocateStreamers runs the location module for every streamer with pending
 // measurements, maintaining a {pseudonym -> location history} and
 // forgetting the real ID. `now` is the pipeline's virtual time.
+//
+// Lookups fan out to the worker pool: each streamer's API and social
+// requests touch only that streamer's keys, so the parallel half is
+// conflict-free, and the counters are merged in sorted-streamer order.
 func (p *Pipeline) LocateStreamers(now time.Time) int {
 	pending := p.KV.HGetAll("pending-location")
+	ids := make([]string, 0, len(pending))
+	for realID := range pending {
+		ids = append(ids, realID)
+	}
+	sort.Strings(ids)
+
+	// The platform API enforces its rate limit in real time, so N workers
+	// sharing it multiply each request's expected 429-retry wait by N:
+	// scale the per-request retry budget accordingly (capped fan-out — the
+	// lookups are I/O-bound, more workers only add contention).
+	w := p.workers()
+	if w > 8 {
+		w = 8
+	}
+	if w > 1 && p.API != nil {
+		if base := p.API.MaxRetries; base > 0 && base < 20*w {
+			p.API.MaxRetries = 20 * w
+		}
+	}
+
+	outcomes := make([]int, len(ids))
+	save := p.Concurrency
+	p.Concurrency = w
+	p.forEach(len(ids), func(i int) {
+		outcomes[i] = p.locateOne(ids[i], pending[ids[i]], now)
+	})
+	p.Concurrency = save
+
 	located := 0
-	for realID, login := range pending {
-		anon := p.Anonymize(realID)
-		if last, ok := p.KV.Get("locat:" + anon); ok {
-			if t, err := time.Parse(time.RFC3339, last); err == nil &&
-				now.Sub(t) < relocateEvery {
-				p.KV.HDel("pending-location", realID)
-				continue
-			}
-		}
-		_, desc, err := p.API.UserDescription(realID)
-		if err != nil {
-			continue
-		}
-		tag, _ := p.KV.HGet("tags", realID)
-		res := p.Locator.Locate(login, desc, tag, p.Social)
-		p.KV.Set("locat:"+anon, now.UTC().Format(time.RFC3339))
-		if res.OK {
-			// Record in the history only if the location changed (§3.1.1:
-			// occasionally a streamer advertises a new location — keep both).
-			prev, _ := p.KV.Get("loc:" + anon)
-			if enc := encodeLocation(res.Loc); enc != prev {
-				p.KV.HSet("lochist:"+anon, now.UTC().Format(time.RFC3339), enc)
-				p.KV.Set("loc:"+anon, enc)
-			}
+	for _, o := range outcomes {
+		switch o {
+		case locLocated:
 			located++
 			p.Located++
-		} else if _, tried := p.KV.Get("loc:" + anon); !tried {
-			p.KV.Set("loc:"+anon, "") // tried, unknown
+		case locUnlocated:
 			p.Unlocated++
 		}
-		p.KV.HDel("pending-location", realID)
 	}
 	return located
+}
+
+// locateOne runs the serial location procedure for a single streamer. All
+// key-value writes are under keys derived from this streamer alone.
+func (p *Pipeline) locateOne(realID, login string, now time.Time) int {
+	anon := p.Anonymize(realID)
+	if last, ok := p.KV.Get("locat:" + anon); ok {
+		if t, err := time.Parse(time.RFC3339, last); err == nil &&
+			now.Sub(t) < relocateEvery {
+			p.KV.HDel("pending-location", realID)
+			return locNone
+		}
+	}
+	_, desc, err := p.API.UserDescription(realID)
+	if err != nil {
+		return locNone // stays pending for the next round
+	}
+	tag, _ := p.KV.HGet("tags", realID)
+	res := p.Locator.Locate(login, desc, tag, p.Social)
+	p.KV.Set("locat:"+anon, now.UTC().Format(time.RFC3339))
+	outcome := locNone
+	if res.OK {
+		// Record in the history only if the location changed (§3.1.1:
+		// occasionally a streamer advertises a new location — keep both).
+		prev, _ := p.KV.Get("loc:" + anon)
+		if enc := encodeLocation(res.Loc); enc != prev {
+			p.KV.HSet("lochist:"+anon, now.UTC().Format(time.RFC3339), enc)
+			p.KV.Set("loc:"+anon, enc)
+		}
+		outcome = locLocated
+	} else if _, tried := p.KV.Get("loc:" + anon); !tried {
+		p.KV.Set("loc:"+anon, "") // tried, unknown
+		outcome = locUnlocated
+	}
+	p.KV.HDel("pending-location", realID)
+	return outcome
 }
 
 // LocationAt returns the streamer's recorded location as of time t: the
@@ -228,22 +403,46 @@ func (p *Pipeline) LocationAt(anonID string, t time.Time) (geo.Location, bool) {
 	return decodeLocation(best), true
 }
 
+// escapeLocField makes a location field safe to join with the '|'
+// separator: backslash-escape the separator and the escape itself, so a
+// city like "Foo|Bar" round-trips instead of silently shifting fields.
+func escapeLocField(s string) string {
+	if !strings.ContainsAny(s, `|\`) {
+		return s
+	}
+	var sb strings.Builder
+	for i := 0; i < len(s); i++ {
+		if s[i] == '|' || s[i] == '\\' {
+			sb.WriteByte('\\')
+		}
+		sb.WriteByte(s[i])
+	}
+	return sb.String()
+}
+
 func encodeLocation(l geo.Location) string {
-	return l.City + "|" + l.Region + "|" + l.Country
+	return escapeLocField(l.City) + "|" + escapeLocField(l.Region) + "|" +
+		escapeLocField(l.Country)
 }
 
 func decodeLocation(s string) geo.Location {
 	var parts [3]string
 	field := 0
-	start := 0
-	for i := 0; i < len(s) && field < 2; i++ {
-		if s[i] == '|' {
-			parts[field] = s[start:i]
+	var cur []byte
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; {
+		case c == '\\' && i+1 < len(s):
+			i++
+			cur = append(cur, s[i])
+		case c == '|' && field < 2:
+			parts[field] = string(cur)
+			cur = cur[:0]
 			field++
-			start = i + 1
+		default:
+			cur = append(cur, c)
 		}
 	}
-	parts[field] = s[start:]
+	parts[field] = string(cur)
 	return geo.Location{City: parts[0], Region: parts[1], Country: parts[2]}
 }
 
@@ -261,65 +460,81 @@ func (p *Pipeline) LocationOf(anonID string) (geo.Location, bool) {
 // and skipped thumbnails.
 const streamGap = 35 * time.Minute
 
+// pointOf converts a stored measurement document into a core.Point. The
+// timestamp comes from the epoch field written at insert time; documents
+// from older stores fall back to parsing the RFC3339 string.
+func pointOf(d docstore.Doc) (core.Point, bool) {
+	var pt core.Point
+	if unix, ok := d["atUnix"].(int64); ok {
+		pt.T = time.Unix(unix, 0).UTC()
+	} else {
+		at, err := time.Parse(time.RFC3339, d["at"].(string))
+		if err != nil {
+			return core.Point{}, false
+		}
+		pt.T = at
+	}
+	pt.Ms = d["ms"].(float64)
+	if alt, ok := d["alt"].(float64); ok {
+		pt.Alt, pt.HasAlt = alt, true
+	}
+	return pt, true
+}
+
 // BuildStreams groups stored measurements into streams (§3.3.1): per
 // {streamer, game}, chronologically ordered, split where the measurement
 // gap exceeds streamGap. Only streamers with a known location get one.
+// Measurements are fetched per streamer through the collection's streamer
+// index rather than a full-collection scan.
 func (p *Pipeline) BuildStreams() []core.Stream {
 	meas := p.Docs.C("measurements")
-	type key struct{ streamer, game string }
-	byKey := make(map[key][]core.Point)
-	for _, d := range meas.Find(nil) {
-		at, err := time.Parse(time.RFC3339, d["at"].(string))
-		if err != nil {
-			continue
-		}
-		pt := core.Point{T: at, Ms: d["ms"].(float64)}
-		if alt, ok := d["alt"].(float64); ok {
-			pt.Alt, pt.HasAlt = alt, true
-		}
-		k := key{d["streamer"].(string), d["game"].(string)}
-		byKey[k] = append(byKey[k], pt)
-	}
-	keys := make([]key, 0, len(byKey))
-	for k := range byKey {
-		keys = append(keys, k)
-	}
-	sort.Slice(keys, func(i, j int) bool {
-		if keys[i].streamer != keys[j].streamer {
-			return keys[i].streamer < keys[j].streamer
-		}
-		return keys[i].game < keys[j].game
-	})
-
 	var out []core.Stream
-	for _, k := range keys {
-		pts := byKey[k]
-		sort.Slice(pts, func(i, j int) bool { return pts[i].T.Before(pts[j].T) })
-		// Location can change between streams but not within one (§3.3.1):
-		// resolve it at each stream's first point.
-		locFor := func(t time.Time) geo.Location {
-			loc, _ := p.LocationAt(k.streamer, t)
-			return loc
-		}
-		cur := core.Stream{Streamer: k.streamer, Game: k.game, Location: locFor(pts[0].T)}
-		for i, pt := range pts {
-			if i > 0 && pt.T.Sub(pts[i-1].T) > streamGap {
-				if len(cur.Points) > 0 {
-					out = append(out, cur)
-				}
-				cur = core.Stream{Streamer: k.streamer, Game: k.game, Location: locFor(pt.T)}
+	for _, streamer := range meas.Distinct("streamer") {
+		byGame := make(map[string][]core.Point)
+		for _, d := range meas.FindEq("streamer", streamer) {
+			pt, ok := pointOf(d)
+			if !ok {
+				continue
 			}
-			cur.Points = append(cur.Points, pt)
+			game := d["game"].(string)
+			byGame[game] = append(byGame[game], pt)
 		}
-		if len(cur.Points) > 0 {
-			out = append(out, cur)
+		games := make([]string, 0, len(byGame))
+		for g := range byGame {
+			games = append(games, g)
+		}
+		sort.Strings(games)
+		for _, game := range games {
+			pts := byGame[game]
+			sort.Slice(pts, func(i, j int) bool { return pts[i].T.Before(pts[j].T) })
+			// Location can change between streams but not within one
+			// (§3.3.1): resolve it at each stream's first point.
+			locFor := func(t time.Time) geo.Location {
+				loc, _ := p.LocationAt(streamer, t)
+				return loc
+			}
+			cur := core.Stream{Streamer: streamer, Game: game, Location: locFor(pts[0].T)}
+			for i, pt := range pts {
+				if i > 0 && pt.T.Sub(pts[i-1].T) > streamGap {
+					if len(cur.Points) > 0 {
+						out = append(out, cur)
+					}
+					cur = core.Stream{Streamer: streamer, Game: game, Location: locFor(pt.T)}
+				}
+				cur.Points = append(cur.Points, pt)
+			}
+			if len(cur.Points) > 0 {
+				out = append(out, cur)
+			}
 		}
 	}
 	return out
 }
 
 // Analyze runs the data-analysis module over all built streams, one
-// analysis per {streamer, game}.
+// analysis per {streamer, game}. The per-group analyses are independent
+// (core.Analyze deep-copies its input), so they run on the worker pool;
+// results keep first-appearance group order.
 func (p *Pipeline) Analyze(params core.Params) []*core.Analysis {
 	streams := p.BuildStreams()
 	type key struct{ streamer, game string }
@@ -332,9 +547,9 @@ func (p *Pipeline) Analyze(params core.Params) []*core.Analysis {
 		}
 		grouped[k] = append(grouped[k], s)
 	}
-	var out []*core.Analysis
-	for _, k := range order {
-		out = append(out, core.Analyze(grouped[k], params))
-	}
+	out := make([]*core.Analysis, len(order))
+	p.forEach(len(order), func(i int) {
+		out[i] = core.Analyze(grouped[order[i]], params)
+	})
 	return out
 }

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"tero/internal/core"
+	"tero/internal/geo"
 	"tero/internal/twitchsim"
 	"tero/internal/worldsim"
 )
@@ -145,6 +146,23 @@ func TestLocationCodec(t *testing.T) {
 		in := decodeLocation(encodeLocation(decodeLocation(l.city + "|" + l.region + "|" + l.country)))
 		if in.City != l.city || in.Region != l.region || in.Country != l.country {
 			t.Fatalf("roundtrip failed: %+v", in)
+		}
+	}
+}
+
+func TestLocationCodecEscaping(t *testing.T) {
+	// Fields containing the separator or the escape character must survive
+	// a round-trip instead of silently shifting into the wrong field.
+	for _, l := range []geo.Location{
+		{City: "Foo|Bar", Region: "R", Country: "C"},
+		{City: "a|b|c", Region: "", Country: "x|"},
+		{City: `back\slash`, Region: `\|`, Country: `trailing\`},
+		{City: "|", Region: "|", Country: "|"},
+		{City: "plain", Region: "no specials", Country: "here"},
+	} {
+		got := decodeLocation(encodeLocation(l))
+		if got != l {
+			t.Fatalf("escaped roundtrip: got %+v want %+v", got, l)
 		}
 	}
 }

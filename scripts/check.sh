@@ -1,0 +1,20 @@
+#!/bin/sh
+# Repository health check: vet, build, race-enabled tests, and a one-shot
+# pipeline benchmark smoke. Run from anywhere inside the repo.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== go vet ./... =="
+go vet ./...
+
+echo "== go build ./... =="
+go build ./...
+
+echo "== go test -race ./... =="
+go test -race ./...
+
+echo "== benchmark smoke (VolumePipeline, 1 iteration) =="
+go test -run '^$' -bench '^BenchmarkVolumePipeline$' -benchtime 1x .
+
+echo "OK"
