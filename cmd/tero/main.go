@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"tero/internal/core"
+	"tero/internal/obs"
 	"tero/internal/pipeline"
 	"tero/internal/stats"
 	"tero/internal/twitchsim"
@@ -27,8 +28,31 @@ func main() {
 		workers   = flag.Int("downloaders", 4, "parallel downloaders")
 		conc      = flag.Int("concurrency", 0,
 			"pipeline worker parallelism (0 = GOMAXPROCS, 1 = serial)")
+		debugAddr = flag.String("debug-addr", "",
+			"serve /metrics and /debug/pprof/ on this address (e.g. localhost:6060 or :0)")
+		metrics = flag.Bool("metrics", false,
+			"print an end-of-run metrics report")
+		logLevel = flag.String("log", "info",
+			"log level: trace, debug, info, warn, error, off")
 	)
 	flag.Parse()
+
+	if lv, ok := obs.ParseLevel(*logLevel); ok {
+		obs.SetLogLevel(lv)
+	} else {
+		fmt.Fprintf(os.Stderr, "unknown -log level %q\n", *logLevel)
+		os.Exit(2)
+	}
+	if *debugAddr != "" {
+		dbg, err := obs.ServeDebug(*debugAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "debug server: %v\n", err)
+			os.Exit(1)
+		}
+		defer dbg.Close()
+		fmt.Printf("debug server listening on http://%s (metrics at /metrics, pprof at /debug/pprof/)\n",
+			dbg.Addr)
+	}
 
 	cfg := worldsim.DefaultConfig(*seed)
 	cfg.Streamers = *streamers
@@ -100,5 +124,12 @@ func main() {
 	}
 	if len(rows) == 0 {
 		fmt.Println("  (none with enough data; increase -streamers or -days)")
+	}
+
+	if *metrics {
+		fmt.Println("\n== metrics ==")
+		if err := obs.Default.WriteText(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "metrics: %v\n", err)
+		}
 	}
 }

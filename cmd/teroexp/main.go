@@ -16,17 +16,41 @@ import (
 	"time"
 
 	"tero/internal/experiments"
+	"tero/internal/obs"
 )
 
 func main() {
 	var (
-		list  = flag.Bool("list", false, "list available experiments")
-		seed  = flag.Int64("seed", 1, "world seed")
-		scale = flag.Float64("scale", 1, "workload scale factor (1 = default size)")
+		list    = flag.Bool("list", false, "list available experiments")
+		seed    = flag.Int64("seed", 1, "world seed")
+		scale   = flag.Float64("scale", 1, "workload scale factor (1 = default size)")
 		workers = flag.Int("workers", 0,
 			"experiment worker parallelism (0 = GOMAXPROCS, 1 = serial)")
+		debugAddr = flag.String("debug-addr", "",
+			"serve /metrics and /debug/pprof/ on this address (e.g. localhost:6060 or :0)")
+		metrics = flag.Bool("metrics", false,
+			"append an end-of-run metrics report after the experiment tables")
+		logLevel = flag.String("log", "info",
+			"log level: trace, debug, info, warn, error, off")
 	)
 	flag.Parse()
+
+	if lv, ok := obs.ParseLevel(*logLevel); ok {
+		obs.SetLogLevel(lv)
+	} else {
+		fmt.Fprintf(os.Stderr, "unknown -log level %q\n", *logLevel)
+		os.Exit(2)
+	}
+	if *debugAddr != "" {
+		dbg, err := obs.ServeDebug(*debugAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "debug server: %v\n", err)
+			os.Exit(1)
+		}
+		defer dbg.Close()
+		fmt.Printf("debug server listening on http://%s (metrics at /metrics, pprof at /debug/pprof/)\n",
+			dbg.Addr)
+	}
 
 	if *list {
 		for _, e := range experiments.List() {
@@ -59,6 +83,14 @@ func main() {
 			fmt.Println(t)
 		}
 		fmt.Printf("[%s completed in %s]\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+	// The report is appended after all experiment output, so the tables
+	// themselves stay byte-identical with or without -metrics.
+	if *metrics {
+		fmt.Println("== metrics ==")
+		if err := obs.Default.WriteText(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "metrics: %v\n", err)
+		}
 	}
 	os.Exit(exit)
 }

@@ -8,6 +8,20 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+
+	"tero/internal/obs"
+)
+
+// Op counters: one per store operation, mirroring what a MongoDB profiler
+// would report for the paper's deployment.
+var (
+	mInsert   = obs.C(obs.Lbl("docstore_ops_total", "op", "insert"))
+	mGet      = obs.C(obs.Lbl("docstore_ops_total", "op", "get"))
+	mFind     = obs.C(obs.Lbl("docstore_ops_total", "op", "find"))
+	mFindEq   = obs.C(obs.Lbl("docstore_ops_total", "op", "findeq"))
+	mDistinct = obs.C(obs.Lbl("docstore_ops_total", "op", "distinct"))
+	mUpdate   = obs.C(obs.Lbl("docstore_ops_total", "op", "update"))
+	mDelete   = obs.C(obs.Lbl("docstore_ops_total", "op", "delete"))
 )
 
 // Doc is one document: a field→value map. The "_id" field is assigned on
@@ -91,6 +105,7 @@ func (c *Collection) EnsureIndex(field string) {
 
 // Insert stores a document and returns its assigned ID.
 func (c *Collection) Insert(d Doc) string {
+	mInsert.Inc()
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.nextID++
@@ -108,6 +123,7 @@ func (c *Collection) Insert(d Doc) string {
 
 // Get returns the document with the given ID.
 func (c *Collection) Get(id string) (Doc, bool) {
+	mGet.Inc()
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	d, ok := c.docs[id]
@@ -120,6 +136,7 @@ func (c *Collection) Get(id string) (Doc, bool) {
 // Find returns copies of all documents matching the filter (nil filter
 // matches all), in insertion-ID order.
 func (c *Collection) Find(filter func(Doc) bool) []Doc {
+	mFind.Inc()
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	ids := make([]string, 0, len(c.docs))
@@ -140,6 +157,7 @@ func (c *Collection) Find(filter func(Doc) bool) []Doc {
 // FindEq returns documents whose field equals value, using an index when
 // one exists.
 func (c *Collection) FindEq(field string, value any) []Doc {
+	mFindEq.Inc()
 	c.mu.RLock()
 	if idx, ok := c.indexes[field]; ok {
 		ids := append([]string(nil), idx[value]...)
@@ -162,6 +180,7 @@ func (c *Collection) FindEq(field string, value any) []Doc {
 // directly instead of scanning every document; non-string values are
 // ignored either way.
 func (c *Collection) Distinct(field string) []string {
+	mDistinct.Inc()
 	c.mu.RLock()
 	seen := make(map[string]bool)
 	if idx, ok := c.indexes[field]; ok {
@@ -188,6 +207,7 @@ func (c *Collection) Distinct(field string) []string {
 
 // Update merges fields into the document with the given ID.
 func (c *Collection) Update(id string, fields Doc) bool {
+	mUpdate.Inc()
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	d, ok := c.docs[id]
@@ -213,6 +233,7 @@ func (c *Collection) Update(id string, fields Doc) bool {
 
 // Delete removes a document.
 func (c *Collection) Delete(id string) bool {
+	mDelete.Inc()
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	d, ok := c.docs[id]

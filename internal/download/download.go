@@ -16,6 +16,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"strconv"
 	"strings"
@@ -23,6 +24,28 @@ import (
 
 	"tero/internal/kvstore"
 	"tero/internal/objstore"
+	"tero/internal/obs"
+)
+
+// Observability: API request/429/retry counters, thumbnail fetch outcome
+// counters (downloaded / unchanged / missed / offline) and poll-cycle
+// latency feed the obs.Default registry.
+var (
+	dlog = obs.L("download")
+
+	mAPIRequests     = obs.C("download_api_requests_total")
+	mAPI429          = obs.C("download_api_429_total")
+	mAPIRetries      = obs.C("download_api_retries_total")
+	mAPIExhausted    = obs.C("download_api_retry_exhausted_total")
+	mThumbDownloads  = obs.C("download_thumbs_total")
+	mThumbUnchanged  = obs.C("download_thumb_unchanged_total")
+	mThumbMisses     = obs.C("download_thumb_miss_total")
+	mOffline         = obs.C("download_offline_total")
+	mDownloaderPolls = obs.C("download_poll_cycles_total")
+	mCoordPolls      = obs.C("download_coordinator_polls_total")
+	mNewlyLive       = obs.C("download_newly_live_total")
+	mQueueDepth      = obs.G("download_queue_depth")
+	mActive          = obs.G("download_active_streamers")
 )
 
 // Key-value store layout.
@@ -59,19 +82,48 @@ type APIClient struct {
 	HTTP *http.Client
 	// MaxRetries bounds 429 retries per request.
 	MaxRetries int
-	// RetryWait is the pause after a 429 (the coordinator "issues these
-	// queries in a way that respects the rate limit").
+	// RetryWait is the base pause after a 429 (the coordinator "issues
+	// these queries in a way that respects the rate limit"). Successive
+	// retries back off exponentially from here.
 	RetryWait time.Duration
+	// MaxRetryWait caps the exponential backoff; 0 means 8×RetryWait.
+	MaxRetryWait time.Duration
 }
 
 // NewAPIClient returns a client for the platform at base.
 func NewAPIClient(base string) *APIClient {
 	return &APIClient{
-		Base:       strings.TrimRight(base, "/"),
-		HTTP:       &http.Client{Timeout: 10 * time.Second},
-		MaxRetries: 20,
-		RetryWait:  100 * time.Millisecond,
+		Base:         strings.TrimRight(base, "/"),
+		HTTP:         &http.Client{Timeout: 10 * time.Second},
+		MaxRetries:   20,
+		RetryWait:    100 * time.Millisecond,
+		MaxRetryWait: 800 * time.Millisecond,
 	}
+}
+
+// retryBackoff returns the pause before retry `attempt` (0-based): an
+// exponential backoff from RetryWait capped at MaxRetryWait, with ±50%
+// jitter so a fleet of workers released by the same 429 burst does not
+// re-stampede the rate limiter in lockstep.
+func (c *APIClient) retryBackoff(attempt int) time.Duration {
+	base := c.RetryWait
+	if base <= 0 {
+		base = 100 * time.Millisecond
+	}
+	max := c.MaxRetryWait
+	if max <= 0 {
+		max = 8 * base
+	}
+	wait := base
+	for i := 0; i < attempt && wait < max; i++ {
+		wait *= 2
+	}
+	if wait > max {
+		wait = max
+	}
+	// Jitter in [wait/2, wait*3/2). math/rand's global source is
+	// concurrency-safe; jitter affects only real-time sleeps, never data.
+	return wait/2 + time.Duration(rand.Int63n(int64(wait)+1))
 }
 
 // streamRow mirrors the platform's Get Streams row.
@@ -90,19 +142,26 @@ type streamsPage struct {
 	} `json:"pagination"`
 }
 
-// getJSON fetches a URL with 429 retries.
+// getJSON fetches a URL with bounded, jittered exponential 429 backoff.
 func (c *APIClient) getJSON(url string, out any) error {
 	for attempt := 0; ; attempt++ {
+		mAPIRequests.Inc()
 		resp, err := c.HTTP.Get(url)
 		if err != nil {
 			return err
 		}
 		if resp.StatusCode == http.StatusTooManyRequests {
 			resp.Body.Close()
+			mAPI429.Inc()
 			if attempt >= c.MaxRetries {
+				mAPIExhausted.Inc()
+				dlog.Warn("rate limited, retries exhausted", "url", url, "retries", attempt)
 				return fmt.Errorf("download: rate limited after %d retries", attempt)
 			}
-			time.Sleep(c.RetryWait)
+			wait := c.retryBackoff(attempt)
+			mAPIRetries.Inc()
+			dlog.Trace("rate limited, backing off", "attempt", attempt, "wait", wait)
+			time.Sleep(wait)
 			continue
 		}
 		if resp.StatusCode != http.StatusOK {
@@ -174,6 +233,7 @@ func NewCoordinator(kv kvstore.KV, api *APIClient) *Coordinator {
 // PollOnce queries the API once, enqueues newly live streamers, and
 // processes offline notices from downloaders.
 func (c *Coordinator) PollOnce() error {
+	mCoordPolls.Inc()
 	// Offline notices first: free the streamer for future re-detection.
 	for {
 		id, ok := c.KV.LPop(keyOffline)
@@ -186,8 +246,10 @@ func (c *Coordinator) PollOnce() error {
 
 	rows, err := c.API.LiveStreams()
 	if err != nil {
+		dlog.Warn("coordinator poll failed", "err", err)
 		return err
 	}
+	newly := 0
 	for _, row := range rows {
 		if _, active := c.KV.HGet(keyActive, row.UserID); active {
 			continue
@@ -206,6 +268,13 @@ func (c *Coordinator) PollOnce() error {
 			c.KV.HSet("tags", row.UserID, row.Tags[0])
 		}
 		c.NewlyLive++
+		newly++
+	}
+	mNewlyLive.Add(int64(newly))
+	mQueueDepth.Set(float64(c.KV.LLen(keyQueue)))
+	mActive.Set(float64(len(c.KV.HGetAll(keyActive))))
+	if newly > 0 {
+		dlog.Debug("coordinator poll", "live_rows", len(rows), "newly_live", newly)
 	}
 	return nil
 }
@@ -259,6 +328,7 @@ func (d *Downloader) Assigned() int { return len(d.assigned) }
 // idle — claims new streamers from the queue (the idle-based load balancing
 // of App. A).
 func (d *Downloader) PollOnce(now time.Time) error {
+	mDownloaderPolls.Inc()
 	due := 0
 	for id, tr := range d.assigned {
 		if tr.next.After(now) {
@@ -303,6 +373,8 @@ func (d *Downloader) fetch(id string, tr *tracked, now time.Time) error {
 		// Offline: drop and notify the coordinator.
 		delete(d.assigned, id)
 		d.KV.RPush(keyOffline, id)
+		mOffline.Inc()
+		dlog.Debug("streamer offline", "downloader", d.ID, "streamer", id)
 		return nil
 	}
 	if resp.StatusCode != http.StatusOK {
@@ -315,7 +387,9 @@ func (d *Downloader) fetch(id string, tr *tracked, now time.Time) error {
 		tr.next = now.Add(5 * time.Minute)
 	}
 	if seq == tr.lastSeq {
-		return nil // already have this one
+		// Refresh hit: the CDN still serves the thumbnail we already have.
+		mThumbUnchanged.Inc()
+		return nil
 	}
 	// GET the thumbnail body.
 	getResp, err := d.HTTP.Get(tr.a.URL)
@@ -326,6 +400,7 @@ func (d *Downloader) fetch(id string, tr *tracked, now time.Time) error {
 	if getResp.StatusCode == http.StatusFound {
 		delete(d.assigned, id)
 		d.KV.RPush(keyOffline, id)
+		mOffline.Inc()
 		return nil
 	}
 	if getResp.StatusCode != http.StatusOK {
@@ -339,7 +414,11 @@ func (d *Downloader) fetch(id string, tr *tracked, now time.Time) error {
 	}
 	if tr.lastSeq != "" {
 		if prev, cur, ok := seqGap(tr.lastSeq, seq); ok && cur > prev+1 {
-			d.Misses += cur - prev - 1
+			gap := cur - prev - 1
+			d.Misses += gap
+			mThumbMisses.Add(int64(gap))
+			dlog.Debug("thumbnail window missed", "downloader", d.ID,
+				"streamer", id, "skipped", gap)
 		}
 	}
 	tr.lastSeq = seq
@@ -352,6 +431,7 @@ func (d *Downloader) fetch(id string, tr *tracked, now time.Time) error {
 		"at":       now.UTC().Format(time.RFC3339),
 	})
 	d.Downloads++
+	mThumbDownloads.Inc()
 	return nil
 }
 

@@ -20,8 +20,13 @@ import (
 
 	"tero/internal/games"
 	"tero/internal/imaging"
+	"tero/internal/obs"
 	"tero/internal/ocr"
 )
+
+// distBuckets bins per-character Hamming distances (0 = perfect template
+// match); the histogram doubles as a per-engine confidence profile.
+var distBuckets = obs.LinearBuckets(0, 2, 12)
 
 // Extraction is the output of the image-processing module for one thumbnail.
 type Extraction struct {
@@ -188,8 +193,16 @@ func (e *Extractor) voteOn(img *imaging.Gray, game *games.Game, scale int) (Extr
 	values := make([]int, 0, len(e.Engines))
 	for _, eng := range e.Engines {
 		res := e.positionalFilter(eng.Recognize(img), game, img.W, scale)
+		obs.C(obs.Lbl("ocr_engine_reads_total", "engine", eng.Name())).Inc()
 		if v, ok := CleanupResult(res, game); ok {
 			values = append(values, v)
+			obs.C(obs.Lbl("ocr_engine_accepted_total", "engine", eng.Name())).Inc()
+			// Confidence: the match distance of each character the engine
+			// committed to (lower = closer to the font template).
+			h := obs.H(obs.Lbl("ocr_engine_char_dist", "engine", eng.Name()), distBuckets)
+			for _, c := range res.Chars {
+				h.Observe(float64(c.Dist))
+			}
 		}
 	}
 	// Find a majority value.

@@ -1,0 +1,76 @@
+package obs
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// DebugServer is the optional debug HTTP endpoint: /metrics renders the
+// Default registry as text, /debug/pprof/ serves the standard profiling
+// handlers, and / lists both. It runs on its own mux so enabling profiling
+// never touches http.DefaultServeMux.
+type DebugServer struct {
+	// Addr is the resolved listen address (useful with ":0").
+	Addr string
+
+	ln  net.Listener
+	srv *http.Server
+}
+
+// ServeDebug starts a debug server on addr (e.g. "localhost:6060" or ":0")
+// and returns once it is listening. Callers should Close it on shutdown.
+func ServeDebug(addr string) (*DebugServer, error) {
+	return ServeDebugRegistry(addr, Default)
+}
+
+// ServeDebugRegistry is ServeDebug against an explicit registry.
+func ServeDebugRegistry(addr string, reg *Registry) (*DebugServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: debug listen %s: %w", addr, err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprint(w, "tero debug server\n  /metrics\n  /debug/pprof/\n")
+	})
+	mux.Handle("/metrics", MetricsHandler(reg))
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	d := &DebugServer{
+		Addr: ln.Addr().String(),
+		ln:   ln,
+		srv:  &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second},
+	}
+	go d.srv.Serve(ln) //nolint:errcheck — Serve returns ErrServerClosed on Close
+	L("obs").Info("debug server listening", "addr", d.Addr)
+	return d, nil
+}
+
+// URL returns the server's base URL.
+func (d *DebugServer) URL() string { return "http://" + d.Addr }
+
+// Close shuts the server down.
+func (d *DebugServer) Close() error {
+	if d == nil || d.srv == nil {
+		return nil
+	}
+	return d.srv.Close()
+}
+
+// MetricsHandler serves a registry's WriteText dump.
+func MetricsHandler(reg *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		reg.WriteText(w) //nolint:errcheck — nothing to do about a dead client
+	})
+}

@@ -1,0 +1,44 @@
+package obs
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func TestDebugServerServesMetricsAndPprof(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("debug_test_total").Add(3)
+	prevW := SetLogOutput(io.Discard)
+	defer SetLogOutput(prevW)
+
+	srv, err := ServeDebugRegistry("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	get := func(path string) (int, string) {
+		resp, err := http.Get(srv.URL() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+
+	code, body := get("/metrics")
+	if code != http.StatusOK || !strings.Contains(body, "counter debug_test_total 3") {
+		t.Fatalf("/metrics: code=%d body=%q", code, body)
+	}
+	code, body = get("/debug/pprof/")
+	if code != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Fatalf("/debug/pprof/: code=%d body %d bytes", code, len(body))
+	}
+	code, _ = get("/nope")
+	if code != http.StatusNotFound {
+		t.Fatalf("/nope: code=%d, want 404", code)
+	}
+}

@@ -1,0 +1,169 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Level is a log severity. Messages below the global level are dropped
+// before formatting.
+type Level int32
+
+const (
+	LevelTrace Level = iota
+	LevelDebug
+	LevelInfo
+	LevelWarn
+	LevelError
+	// LevelOff silences the sink entirely.
+	LevelOff
+)
+
+func (l Level) String() string {
+	switch l {
+	case LevelTrace:
+		return "trace"
+	case LevelDebug:
+		return "debug"
+	case LevelInfo:
+		return "info"
+	case LevelWarn:
+		return "warn"
+	case LevelError:
+		return "error"
+	default:
+		return "off"
+	}
+}
+
+// ParseLevel maps a level name ("trace".."error", "off") to a Level.
+func ParseLevel(s string) (Level, bool) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "trace":
+		return LevelTrace, true
+	case "debug":
+		return LevelDebug, true
+	case "info":
+		return LevelInfo, true
+	case "warn", "warning":
+		return LevelWarn, true
+	case "error":
+		return LevelError, true
+	case "off", "none", "silent":
+		return LevelOff, true
+	}
+	return LevelInfo, false
+}
+
+// The global log sink. All component loggers write here; tests silence it
+// with SetLogOutput(io.Discard) or capture it with a buffer.
+var (
+	logMu    sync.Mutex
+	logSink  io.Writer = os.Stderr
+	logLevel atomic.Int32
+)
+
+func init() { logLevel.Store(int32(LevelInfo)) }
+
+// SetLogOutput redirects the global sink and returns the previous writer.
+// A nil writer discards all output.
+func SetLogOutput(w io.Writer) io.Writer {
+	if w == nil {
+		w = io.Discard
+	}
+	logMu.Lock()
+	defer logMu.Unlock()
+	prev := logSink
+	logSink = w
+	return prev
+}
+
+// SetLogLevel sets the global minimum level and returns the previous one.
+func SetLogLevel(l Level) Level {
+	return Level(logLevel.Swap(int32(l)))
+}
+
+// LogLevel returns the current global minimum level.
+func LogLevel() Level { return Level(logLevel.Load()) }
+
+// Logger emits structured key=value lines for one component.
+type Logger struct {
+	comp string
+}
+
+// L returns the logger for a component (e.g. "pipeline", "download").
+func L(component string) *Logger { return &Logger{comp: component} }
+
+// Enabled reports whether a message at level l would be emitted.
+func (lg *Logger) Enabled(l Level) bool { return l >= LogLevel() && l < LevelOff }
+
+// Trace, Debug, Info, Warn and Error emit one line at the given level with
+// alternating key/value pairs appended: lg.Info("claimed", "streamer", id).
+func (lg *Logger) Trace(msg string, kv ...any) { lg.log(LevelTrace, msg, kv) }
+func (lg *Logger) Debug(msg string, kv ...any) { lg.log(LevelDebug, msg, kv) }
+func (lg *Logger) Info(msg string, kv ...any)  { lg.log(LevelInfo, msg, kv) }
+func (lg *Logger) Warn(msg string, kv ...any)  { lg.log(LevelWarn, msg, kv) }
+func (lg *Logger) Error(msg string, kv ...any) { lg.log(LevelError, msg, kv) }
+
+func (lg *Logger) log(l Level, msg string, kv []any) {
+	if !lg.Enabled(l) {
+		return
+	}
+	var sb strings.Builder
+	sb.Grow(64 + 16*len(kv))
+	sb.WriteString("ts=")
+	sb.WriteString(time.Now().UTC().Format(time.RFC3339Nano))
+	sb.WriteString(" level=")
+	sb.WriteString(l.String())
+	sb.WriteString(" comp=")
+	sb.WriteString(lg.comp)
+	sb.WriteString(" msg=")
+	writeValue(&sb, msg)
+	for i := 0; i+1 < len(kv); i += 2 {
+		sb.WriteByte(' ')
+		key, ok := kv[i].(string)
+		if !ok {
+			key = fmt.Sprint(kv[i])
+		}
+		sb.WriteString(key)
+		sb.WriteByte('=')
+		writeValue(&sb, kv[i+1])
+	}
+	if len(kv)%2 == 1 {
+		// A dangling key with no value: surface it rather than drop it.
+		sb.WriteString(" !extra=")
+		writeValue(&sb, kv[len(kv)-1])
+	}
+	sb.WriteByte('\n')
+	logMu.Lock()
+	logSink.Write([]byte(sb.String())) //nolint:errcheck — logging is best-effort
+	logMu.Unlock()
+}
+
+// writeValue renders one value, quoting strings that would break the
+// key=value grammar.
+func writeValue(sb *strings.Builder, v any) {
+	var s string
+	switch t := v.(type) {
+	case string:
+		s = t
+	case error:
+		s = t.Error()
+	case time.Duration:
+		s = t.String()
+	case fmt.Stringer:
+		s = t.String()
+	default:
+		s = fmt.Sprint(v)
+	}
+	if s == "" || strings.ContainsAny(s, " \t\n\"=") {
+		s = strconv.Quote(s)
+	}
+	sb.WriteString(s)
+}

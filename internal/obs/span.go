@@ -1,0 +1,49 @@
+package obs
+
+import "time"
+
+// A Span times one pipeline stage. StartSpan begins the clock; End records
+// the duration into the stage's histogram (`span_seconds{stage=...}` in the
+// Default registry) and, when the global log level admits trace, emits a
+// trace line. A Span is single-use and not safe for concurrent End calls;
+// End is idempotent after the first call.
+type Span struct {
+	stage string
+	start time.Time
+	ended bool
+}
+
+var spanLog = L("span")
+
+// StartSpan begins timing a named stage.
+func StartSpan(stage string) *Span {
+	return &Span{stage: stage, start: time.Now()}
+}
+
+// End stops the span, records its duration and returns it. The duration is
+// clamped to be non-negative (the monotonic clock makes this a formality).
+func (s *Span) End() time.Duration {
+	if s == nil || s.ended {
+		return 0
+	}
+	s.ended = true
+	d := time.Since(s.start)
+	if d < 0 {
+		d = 0
+	}
+	H(Lbl("span_seconds", "stage", s.stage), DurationBuckets).Observe(d.Seconds())
+	if spanLog.Enabled(LevelTrace) {
+		spanLog.Trace("span", "stage", s.stage, "dur", d)
+	}
+	return d
+}
+
+// Stage returns the span's stage name.
+func (s *Span) Stage() string { return s.stage }
+
+// Time runs fn inside a span — shorthand for StartSpan + defer End.
+func Time(stage string, fn func()) time.Duration {
+	sp := StartSpan(stage)
+	fn()
+	return sp.End()
+}

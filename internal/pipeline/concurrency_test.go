@@ -111,9 +111,9 @@ func TestConcurrentPipelineStress(t *testing.T) {
 	}
 	// The pool must degrade cleanly at the edges too.
 	p.Concurrency = 1
-	p.forEach(0, func(int) { t.Fatal("forEach(0) must not call fn") })
+	p.forEach("edge", 0, func(int) { t.Fatal("forEach(0) must not call fn") })
 	calls := 0
-	p.forEach(3, func(int) { calls++ })
+	p.forEach("edge", 3, func(int) { calls++ })
 	if calls != 3 {
 		t.Fatalf("serial forEach calls = %d", calls)
 	}

@@ -1,0 +1,117 @@
+package pipeline
+
+import (
+	"strings"
+	"testing"
+
+	"tero/internal/core"
+	"tero/internal/obs"
+)
+
+// TestStageCountersMatchPipeline pins the observability wiring: after a
+// full run, the obs registry's stage counters equal the pipeline's own
+// struct counters, and every pipeline stage span was recorded.
+func TestStageCountersMatchPipeline(t *testing.T) {
+	obs.Reset()
+	p := driveWorld(t, 31, 40, 1.5, 4)
+	p.Analyze(core.DefaultParams())
+
+	if p.Processed == 0 || p.Extracted == 0 {
+		t.Fatalf("run produced no data: %+v", *p)
+	}
+	snap := obs.Default.Snapshot()
+	for name, want := range map[string]int{
+		"pipeline_thumbs_processed_total": p.Processed,
+		"pipeline_measurements_total":     p.Extracted,
+		"pipeline_lobby_zero_total":       p.Zero,
+		"pipeline_extract_miss_total":     p.Missed,
+		"pipeline_located_total":          p.Located,
+		"pipeline_unlocated_total":        p.Unlocated,
+	} {
+		if got := snap.Counters[name]; got != int64(want) {
+			t.Errorf("%s = %d, want %d (struct counter)", name, got, want)
+		}
+	}
+	for _, stage := range []string{
+		"pipeline.download", "pipeline.extract", "pipeline.locate",
+		"pipeline.build_streams", "pipeline.analyze",
+	} {
+		h, ok := snap.Histograms[obs.Lbl("span_seconds", "stage", stage)]
+		if !ok || h.Count == 0 {
+			t.Errorf("no span recorded for stage %s", stage)
+		}
+	}
+	// The consistency counters must also survive a /metrics text render.
+	var sb strings.Builder
+	if err := obs.Default.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "pipeline_thumbs_processed_total") {
+		t.Error("WriteText dump missing pipeline counters")
+	}
+}
+
+// TestForEachPanicRecovery pins the satellite fix: a panic inside a worker
+// no longer kills the process from an anonymous goroutine — every item
+// still runs, the panic is counted, and the caller sees a panic naming the
+// stage and the offending item.
+func TestForEachPanicRecovery(t *testing.T) {
+	for _, workers := range []int{1, 8} {
+		obs.Reset()
+		prevW := obs.SetLogOutput(nil) // silence the expected error log
+		p := &Pipeline{Concurrency: workers}
+		ran := make([]bool, 64)
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatalf("workers=%d: panic did not propagate", workers)
+				}
+				msg, ok := r.(string)
+				if !ok || !strings.Contains(msg, "stage boom") ||
+					!strings.Contains(msg, "item 7") ||
+					!strings.Contains(msg, "kaboom") {
+					t.Fatalf("workers=%d: panic lacks stage/item context: %v", workers, r)
+				}
+			}()
+			p.forEach("boom", len(ran), func(i int) {
+				ran[i] = true
+				if i == 7 {
+					panic("kaboom")
+				}
+			})
+		}()
+		obs.SetLogOutput(prevW)
+		for i, r := range ran {
+			if !r {
+				t.Fatalf("workers=%d: item %d skipped after panic", workers, i)
+			}
+		}
+		c := obs.C(obs.Lbl("pipeline_worker_panics_total", "stage", "boom"))
+		if c.Value() != 1 {
+			t.Fatalf("workers=%d: panic counter = %d, want 1", workers, c.Value())
+		}
+	}
+}
+
+// TestForEachPanicLowestIndexWins pins determinism of the re-panic when
+// several items blow up: the lowest index is reported at any concurrency.
+func TestForEachPanicLowestIndexWins(t *testing.T) {
+	prevW := obs.SetLogOutput(nil)
+	defer obs.SetLogOutput(prevW)
+	p := &Pipeline{Concurrency: 8}
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("no panic")
+		}
+		if msg, _ := r.(string); !strings.Contains(msg, "item 3") {
+			t.Fatalf("expected lowest item 3 reported, got: %v", r)
+		}
+	}()
+	p.forEach("multi", 32, func(i int) {
+		if i >= 3 {
+			panic(i)
+		}
+	})
+}

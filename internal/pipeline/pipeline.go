@@ -24,6 +24,7 @@ import (
 	"bytes"
 	"crypto/sha256"
 	"encoding/hex"
+	"fmt"
 	"runtime"
 	"sort"
 	"strconv"
@@ -42,6 +43,23 @@ import (
 	"tero/internal/kvstore"
 	"tero/internal/location"
 	"tero/internal/objstore"
+	"tero/internal/obs"
+)
+
+// Observability: stage counters mirror the struct counters below into the
+// obs.Default registry so a /metrics scrape sees the same numbers, and
+// every public stage runs under a span (`span_seconds{stage=pipeline.*}`).
+var (
+	plog = obs.L("pipeline")
+
+	mProcessed = obs.C("pipeline_thumbs_processed_total")
+	mExtracted = obs.C("pipeline_measurements_total")
+	mZero      = obs.C("pipeline_lobby_zero_total")
+	mMissed    = obs.C("pipeline_extract_miss_total")
+	mLocated   = obs.C("pipeline_located_total")
+	mUnlocated = obs.C("pipeline_unlocated_total")
+	mStreams   = obs.G("pipeline_streams_built")
+	mPendingQ  = obs.G("pipeline_pending_location")
 )
 
 // Pipeline is a fully wired Tero instance.
@@ -112,33 +130,63 @@ func (p *Pipeline) workers() int {
 // index-disjoint writes (or internally synchronized stores) — this is the
 // parallel half of every stage; ordered side effects belong in the caller's
 // merge step.
-func (p *Pipeline) forEach(n int, fn func(i int)) {
+//
+// A panic inside fn no longer kills the process from an anonymous worker
+// goroutine: it is recovered, counted (`pipeline_worker_panics_total`),
+// logged with its item index, and — after every remaining item has run, so
+// behavior matches at all concurrency levels — re-panicked on the calling
+// goroutine with the stage name attached. When several items panic, the one
+// with the lowest index wins, deterministically.
+func (p *Pipeline) forEach(stage string, n int, fn func(i int)) {
+	var panicMu sync.Mutex
+	panicIdx := -1
+	var panicVal any
+	run := func(i int) {
+		defer func() {
+			r := recover()
+			if r == nil {
+				return
+			}
+			obs.C(obs.Lbl("pipeline_worker_panics_total", "stage", stage)).Inc()
+			plog.Error("worker panic", "stage", stage, "item", i, "panic", fmt.Sprint(r))
+			panicMu.Lock()
+			if panicIdx < 0 || i < panicIdx {
+				panicIdx, panicVal = i, r
+			}
+			panicMu.Unlock()
+		}()
+		fn(i)
+	}
 	w := p.workers()
 	if w > n {
 		w = n
 	}
 	if w <= 1 {
 		for i := 0; i < n; i++ {
-			fn(i)
+			run(i)
 		}
-		return
-	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	wg.Add(w)
-	for k := 0; k < w; k++ {
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= n {
-					return
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		wg.Add(w)
+		for k := 0; k < w; k++ {
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= n {
+						return
+					}
+					run(i)
 				}
-				fn(i)
-			}
-		}()
+			}()
+		}
+		wg.Wait()
 	}
-	wg.Wait()
+	if panicIdx >= 0 {
+		panic(fmt.Sprintf("pipeline: stage %s: worker panicked on item %d: %v",
+			stage, panicIdx, panicVal))
+	}
 }
 
 // Anonymize maps a platform streamer ID to the stable pseudonymous ID used
@@ -155,17 +203,20 @@ func (p *Pipeline) Anonymize(id string) string {
 // error in downloader order is returned, so the error surfaced does not
 // depend on goroutine scheduling.
 func (p *Pipeline) Tick(now time.Time, pollCoordinator bool) error {
+	sp := obs.StartSpan("pipeline.download")
+	defer sp.End()
 	if pollCoordinator {
 		if err := p.Coordinator.PollOnce(); err != nil {
 			return err
 		}
 	}
 	errs := make([]error, len(p.Downloaders))
-	p.forEach(len(p.Downloaders), func(i int) {
+	p.forEach("download", len(p.Downloaders), func(i int) {
 		errs[i] = p.Downloaders[i].PollOnce(now)
 	})
 	for _, err := range errs {
 		if err != nil {
+			plog.Warn("tick failed", "err", err)
 			return err
 		}
 	}
@@ -190,12 +241,14 @@ type thumbResult struct {
 // results are then merged in thumbnail-key order, so document IDs, counters
 // and pending-location entries are identical to a serial run.
 func (p *Pipeline) ProcessThumbnails() int {
+	sp := obs.StartSpan("pipeline.extract")
+	defer sp.End()
 	keys := p.Objects.List(download.ThumbBucket, "")
 	if len(keys) == 0 {
 		return 0
 	}
 	results := make([]thumbResult, len(keys))
-	p.forEach(len(keys), func(i int) {
+	p.forEach("extract", len(keys), func(i int) {
 		results[i] = p.extractOne(keys[i])
 	})
 
@@ -209,9 +262,11 @@ func (p *Pipeline) ProcessThumbnails() int {
 		}
 		if r.ok {
 			p.Processed++
+			mProcessed.Inc()
 			switch {
 			case r.ex.OK:
 				p.Extracted++
+				mExtracted.Inc()
 				doc := docstore.Doc{
 					"streamer": p.Anonymize(r.streamer),
 					"login":    r.login, // kept transiently for location lookup
@@ -231,8 +286,10 @@ func (p *Pipeline) ProcessThumbnails() int {
 				meas.Insert(doc)
 			case r.ex.Zero:
 				p.Zero++
+				mZero.Inc()
 			default:
 				p.Missed++
+				mMissed.Inc()
 			}
 			// Remember which platform ID maps to the pseudonym until the
 			// location lookup has run, then forget (see LocateStreamers).
@@ -242,6 +299,9 @@ func (p *Pipeline) ProcessThumbnails() int {
 		p.Objects.Delete(download.ThumbBucket, key)
 		n++
 	}
+	mPendingQ.Set(float64(len(p.KV.HGetAll("pending-location"))))
+	plog.Debug("thumbnails processed", "batch", n,
+		"extracted", p.Extracted, "missed", p.Missed, "zero", p.Zero)
 	return n
 }
 
@@ -295,6 +355,8 @@ const (
 // requests touch only that streamer's keys, so the parallel half is
 // conflict-free, and the counters are merged in sorted-streamer order.
 func (p *Pipeline) LocateStreamers(now time.Time) int {
+	sp := obs.StartSpan("pipeline.locate")
+	defer sp.End()
 	pending := p.KV.HGetAll("pending-location")
 	ids := make([]string, 0, len(pending))
 	for realID := range pending {
@@ -319,7 +381,7 @@ func (p *Pipeline) LocateStreamers(now time.Time) int {
 	outcomes := make([]int, len(ids))
 	save := p.Concurrency
 	p.Concurrency = w
-	p.forEach(len(ids), func(i int) {
+	p.forEach("locate", len(ids), func(i int) {
 		outcomes[i] = p.locateOne(ids[i], pending[ids[i]], now)
 	})
 	p.Concurrency = save
@@ -330,10 +392,14 @@ func (p *Pipeline) LocateStreamers(now time.Time) int {
 		case locLocated:
 			located++
 			p.Located++
+			mLocated.Inc()
 		case locUnlocated:
 			p.Unlocated++
+			mUnlocated.Inc()
 		}
 	}
+	mPendingQ.Set(float64(len(p.KV.HGetAll("pending-location"))))
+	plog.Debug("location round", "pending", len(ids), "located", located)
 	return located
 }
 
@@ -487,6 +553,8 @@ func pointOf(d docstore.Doc) (core.Point, bool) {
 // Measurements are fetched per streamer through the collection's streamer
 // index rather than a full-collection scan.
 func (p *Pipeline) BuildStreams() []core.Stream {
+	sp := obs.StartSpan("pipeline.build_streams")
+	defer sp.End()
 	meas := p.Docs.C("measurements")
 	var out []core.Stream
 	for _, streamer := range meas.Distinct("streamer") {
@@ -528,6 +596,7 @@ func (p *Pipeline) BuildStreams() []core.Stream {
 			}
 		}
 	}
+	mStreams.Set(float64(len(out)))
 	return out
 }
 
@@ -536,6 +605,8 @@ func (p *Pipeline) BuildStreams() []core.Stream {
 // (core.Analyze deep-copies its input), so they run on the worker pool;
 // results keep first-appearance group order.
 func (p *Pipeline) Analyze(params core.Params) []*core.Analysis {
+	sp := obs.StartSpan("pipeline.analyze")
+	defer sp.End()
 	streams := p.BuildStreams()
 	type key struct{ streamer, game string }
 	grouped := make(map[key][]core.Stream)
@@ -548,8 +619,9 @@ func (p *Pipeline) Analyze(params core.Params) []*core.Analysis {
 		grouped[k] = append(grouped[k], s)
 	}
 	out := make([]*core.Analysis, len(order))
-	p.forEach(len(order), func(i int) {
+	p.forEach("analyze", len(order), func(i int) {
 		out[i] = core.Analyze(grouped[order[i]], params)
 	})
+	plog.Debug("analysis complete", "groups", len(order))
 	return out
 }

@@ -21,6 +21,7 @@ import (
 	"sync"
 	"time"
 
+	"tero/internal/obs"
 	"tero/internal/worldsim"
 )
 
@@ -70,8 +71,69 @@ func New(w *worldsim.World) *Platform {
 	mux.HandleFunc("/steam/", p.handleSteam)
 	mux.HandleFunc("/admin/advance", p.handleAdvance)
 	mux.HandleFunc("/admin/now", p.handleNow)
-	p.srv = httptest.NewServer(mux)
+	p.srv = httptest.NewServer(instrument(mux))
 	return p
+}
+
+// statusRecorder captures the status code a handler writes.
+type statusRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusRecorder) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// instrument is the platform's HTTP middleware: per-route request counters
+// split by status class (429 counted apart from other 4xx — it is the
+// signal the download module's retry behavior is judged by) and a per-route
+// latency histogram.
+func instrument(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+		start := time.Now()
+		next.ServeHTTP(rec, r)
+		route := routeOf(r.URL.Path)
+		obs.C(obs.Lbl("twitchsim_http_requests_total",
+			"route", route, "class", statusClass(rec.code))).Inc()
+		obs.H(obs.Lbl("twitchsim_http_seconds", "route", route),
+			obs.DurationBuckets).Observe(time.Since(start).Seconds())
+	})
+}
+
+// routeOf buckets a request path into a coarse route label.
+func routeOf(path string) string {
+	switch {
+	case strings.HasPrefix(path, "/helix/streams"):
+		return "helix_streams"
+	case strings.HasPrefix(path, "/helix/users"):
+		return "helix_users"
+	case strings.HasPrefix(path, "/thumb/"), path == "/offline.pgm":
+		return "cdn"
+	case strings.HasPrefix(path, "/twitter/"), strings.HasPrefix(path, "/steam/"):
+		return "social"
+	case strings.HasPrefix(path, "/admin/"):
+		return "admin"
+	}
+	return "other"
+}
+
+// statusClass maps an HTTP status to its metric label.
+func statusClass(code int) string {
+	switch {
+	case code == http.StatusTooManyRequests:
+		return "429"
+	case code >= 200 && code < 300:
+		return "2xx"
+	case code >= 300 && code < 400:
+		return "3xx"
+	case code >= 400 && code < 500:
+		return "4xx"
+	default:
+		return "5xx"
+	}
 }
 
 // URL returns the platform base URL.

@@ -1,6 +1,7 @@
 #!/bin/sh
-# Repository health check: vet, build, race-enabled tests, and a one-shot
-# pipeline benchmark smoke. Run from anywhere inside the repo.
+# Repository health check: vet, build, race-enabled tests, a one-shot
+# pipeline benchmark smoke, and an observability smoke that scrapes a live
+# /metrics endpoint. Run from anywhere inside the repo.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -16,5 +17,45 @@ go test -race ./...
 
 echo "== benchmark smoke (VolumePipeline, 1 iteration) =="
 go test -run '^$' -bench '^BenchmarkVolumePipeline$' -benchtime 1x .
+
+echo "== observability smoke (cmd/tero -debug-addr, scrape /metrics) =="
+TMPDIR="${TMPDIR:-/tmp}"
+OUT="$TMPDIR/tero-check-$$.out"
+go build -o "$TMPDIR/tero-check-$$" ./cmd/tero
+"$TMPDIR/tero-check-$$" -streamers 15 -days 1 -debug-addr 127.0.0.1:0 -log warn \
+    > "$OUT" 2>&1 &
+TERO_PID=$!
+cleanup() {
+    kill "$TERO_PID" 2>/dev/null || true
+    rm -f "$TMPDIR/tero-check-$$" "$OUT" "$OUT.metrics"
+}
+trap cleanup EXIT
+
+# Wait for the debug server to announce its resolved address.
+ADDR=""
+i=0
+while [ $i -lt 100 ]; do
+    ADDR=$(sed -n 's|.*listening on http://\([^ ]*\).*|\1|p' "$OUT" | head -n 1)
+    [ -n "$ADDR" ] && break
+    if ! kill -0 "$TERO_PID" 2>/dev/null; then
+        echo "tero exited before the debug server came up:" >&2
+        cat "$OUT" >&2
+        exit 1
+    fi
+    i=$((i + 1))
+    sleep 0.2
+done
+[ -n "$ADDR" ] || { echo "debug server never announced an address" >&2; exit 1; }
+
+# Let the pipeline record a few rounds, then scrape.
+sleep 2
+curl -fsS "http://$ADDR/metrics" > "$OUT.metrics"
+[ -s "$OUT.metrics" ] || { echo "/metrics returned empty output" >&2; exit 1; }
+grep -q '^counter ' "$OUT.metrics" || { echo "/metrics has no counters" >&2; exit 1; }
+grep -q '^histogram span_seconds' "$OUT.metrics" \
+    || { echo "/metrics has no stage spans" >&2; exit 1; }
+curl -fsS -o /dev/null "http://$ADDR/debug/pprof/" \
+    || { echo "/debug/pprof/ not served" >&2; exit 1; }
+echo "scraped $(wc -l < "$OUT.metrics") metric lines from http://$ADDR/metrics"
 
 echo "OK"
