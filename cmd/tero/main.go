@@ -34,6 +34,10 @@ func main() {
 			"print an end-of-run metrics report")
 		logLevel = flag.String("log", "info",
 			"log level: trace, debug, info, warn, error, off")
+		faults = flag.Float64("faults", 0,
+			"platform fault-injection rate (0 = off, 1 = calibrated default mix "+
+				"of 500s, stalls, resets, truncated/corrupt thumbnails, dropped headers)")
+		faultSeed = flag.Int64("fault-seed", 1, "fault-injection schedule seed")
 	)
 	flag.Parse()
 
@@ -64,16 +68,26 @@ func main() {
 
 	platform := twitchsim.New(world)
 	defer platform.Close()
+	if *faults > 0 {
+		platform.SetFaults(twitchsim.ScaledFaults(*faultSeed, *faults))
+		fmt.Printf("fault injection on: rate %.2f, seed %d\n", *faults, *faultSeed)
+	}
 	fmt.Printf("platform serving at %s\n", platform.URL())
 
 	p := pipeline.New(platform.URL(), *workers)
 	p.Concurrency = *conc
 	totalTicks := cfg.Days * 24 * 30
 	start := time.Now()
+	tickErrs := 0
 	for i := 0; i < totalTicks; i++ {
 		if err := p.Tick(platform.Now(), i%3 == 0); err != nil {
-			fmt.Fprintf(os.Stderr, "pipeline: %v\n", err)
-			os.Exit(1)
+			// The download module has already applied its per-streamer
+			// backoff/release recovery: a tick error is a degraded round,
+			// not a reason to abandon the whole observation period.
+			tickErrs++
+			if tickErrs <= 5 {
+				fmt.Fprintf(os.Stderr, "pipeline: tick %d degraded: %v\n", i, err)
+			}
 		}
 		if i%200 == 0 {
 			p.ProcessThumbnails()
@@ -88,6 +102,19 @@ func main() {
 	p.LocateStreamers(platform.Now())
 	fmt.Printf("pipeline done in %s\n\n", time.Since(start).Round(time.Millisecond))
 
+	if tickErrs > 0 {
+		fmt.Printf("degraded ticks:        %d of %d (recovered via retry/release)\n",
+			tickErrs, totalTicks)
+	}
+	if *faults > 0 {
+		rels, reaps := 0, 0
+		for _, d := range p.Downloaders {
+			rels += d.Released
+		}
+		reaps = p.Coordinator.Reaped
+		fmt.Printf("faults injected:       %d (releases %d, reaps %d, quarantined %d)\n",
+			platform.FaultsInjected, rels, reaps, p.Quarantined)
+	}
 	fmt.Printf("thumbnails processed:  %d\n", p.Processed)
 	fmt.Printf("measurements:          %d (missed %d, lobby zeros %d)\n",
 		p.Extracted, p.Missed, p.Zero)

@@ -32,6 +32,10 @@ func main() {
 			"append an end-of-run metrics report after the experiment tables")
 		logLevel = flag.String("log", "info",
 			"log level: trace, debug, info, warn, error, off")
+		faults = flag.Float64("faults", 0,
+			"platform fault-injection rate for the pipeline experiments "+
+				"(0 = off, 1 = calibrated default mix; the chaos experiment defaults to 1)")
+		faultSeed = flag.Int64("fault-seed", 1, "fault-injection schedule seed")
 	)
 	flag.Parse()
 
@@ -69,7 +73,8 @@ func main() {
 			args = append(args, e[0])
 		}
 	}
-	opts := experiments.Options{Seed: *seed, Scale: *scale, Concurrency: *workers}
+	opts := experiments.Options{Seed: *seed, Scale: *scale, Concurrency: *workers,
+		Faults: *faults, FaultSeed: *faultSeed}
 	exit := 0
 	for _, id := range args {
 		start := time.Now()

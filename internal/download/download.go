@@ -10,14 +10,26 @@
 // atomic list/hash operations, and claiming is a single LPop, so a queue
 // entry is adopted by exactly one downloader. A single Downloader is not
 // safe for concurrent PollOnce calls (it owns its assignment map).
+//
+// The real CDN is unreliable — requests stall, bodies arrive truncated or
+// corrupted, streamers vanish mid-poll — so the fetch path is built to
+// degrade gracefully rather than fail-stop: transient errors are retried
+// in-place with bounded backoff, a streamer whose fetches keep failing is
+// backed off and eventually released back to the shared queue for a peer to
+// adopt, downloaders heartbeat through the store, and the coordinator reaps
+// claims whose downloader has stopped heartbeating.
 package download
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"math/rand"
 	"net/http"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -28,8 +40,9 @@ import (
 )
 
 // Observability: API request/429/retry counters, thumbnail fetch outcome
-// counters (downloaded / unchanged / missed / offline) and poll-cycle
-// latency feed the obs.Default registry.
+// counters (downloaded / unchanged / missed / offline), fault-recovery
+// counters (fetch retries/failures, releases, reaps, corrupt bodies) and
+// poll-cycle latency feed the obs.Default registry.
 var (
 	dlog = obs.L("download")
 
@@ -46,14 +59,22 @@ var (
 	mNewlyLive       = obs.C("download_newly_live_total")
 	mQueueDepth      = obs.G("download_queue_depth")
 	mActive          = obs.G("download_active_streamers")
+
+	mFetchRetries  = obs.C("download_fetch_retries_total")
+	mFetchFailures = obs.C("download_fetch_failures_total")
+	mCorruptBody   = obs.C("download_body_corrupt_total")
+	mReleased      = obs.C("download_released_total")
+	mReaped        = obs.C("download_reaped_total")
 )
 
 // Key-value store layout.
 const (
-	keyActive   = "dl:active"  // hash: streamer id -> assignment JSON
-	keyQueue    = "dl:queue"   // list: assignment JSON waiting for a downloader
-	keyOffline  = "dl:offline" // list: streamer ids reported offline
-	keyClaimed  = "dl:claimed" // hash: streamer id -> downloader id
+	KeyActive   = "dl:active"  // hash: streamer id -> assignment JSON
+	KeyQueue    = "dl:queue"   // list: assignment JSON waiting for a downloader
+	KeyOffline  = "dl:offline" // list: streamer ids reported offline
+	KeyClaimed  = "dl:claimed" // hash: streamer id -> downloader id
+	KeyTags     = "dl:tags"    // hash: streamer id -> country-level tag
+	KeyWorkers  = "dl:workers" // hash: downloader id -> last heartbeat (RFC3339)
 	ThumbBucket = "thumbs"     // object-store bucket for thumbnails
 )
 
@@ -76,15 +97,17 @@ func decodeAssignment(s string) (Assignment, error) {
 	return a, err
 }
 
-// APIClient talks to the platform's developer API with 429 handling.
+// APIClient talks to the platform's developer API with 429 handling and
+// bounded retries for transient failures (5xx, stalled or reset
+// connections).
 type APIClient struct {
 	Base string
 	HTTP *http.Client
-	// MaxRetries bounds 429 retries per request.
+	// MaxRetries bounds retries per request (429s, 5xx, transport errors).
 	MaxRetries int
-	// RetryWait is the base pause after a 429 (the coordinator "issues
-	// these queries in a way that respects the rate limit"). Successive
-	// retries back off exponentially from here.
+	// RetryWait is the base pause after a retryable failure (the coordinator
+	// "issues these queries in a way that respects the rate limit").
+	// Successive retries back off exponentially from here.
 	RetryWait time.Duration
 	// MaxRetryWait caps the exponential backoff; 0 means 8×RetryWait.
 	MaxRetryWait time.Duration
@@ -142,34 +165,58 @@ type streamsPage struct {
 	} `json:"pagination"`
 }
 
-// getJSON fetches a URL with bounded, jittered exponential 429 backoff.
+// getJSON fetches a URL, absorbing transient failures with bounded,
+// jittered exponential backoff: 429s (rate limit), 5xx (injected or real
+// server faults) and transport errors (stalls that hit the client timeout,
+// reset connections) are all retried up to MaxRetries.
 func (c *APIClient) getJSON(url string, out any) error {
+	retry := func(attempt int, reason string) bool {
+		if attempt >= c.MaxRetries {
+			mAPIExhausted.Inc()
+			dlog.Warn("api retries exhausted", "url", url, "retries", attempt, "reason", reason)
+			return false
+		}
+		wait := c.retryBackoff(attempt)
+		mAPIRetries.Inc()
+		dlog.Trace("api retry", "reason", reason, "attempt", attempt, "wait", wait)
+		time.Sleep(wait)
+		return true
+	}
 	for attempt := 0; ; attempt++ {
 		mAPIRequests.Inc()
 		resp, err := c.HTTP.Get(url)
 		if err != nil {
-			return err
+			if retry(attempt, "transport") {
+				continue
+			}
+			return fmt.Errorf("download: %s: %w", url, err)
 		}
-		if resp.StatusCode == http.StatusTooManyRequests {
+		switch {
+		case resp.StatusCode == http.StatusTooManyRequests:
 			resp.Body.Close()
 			mAPI429.Inc()
-			if attempt >= c.MaxRetries {
-				mAPIExhausted.Inc()
-				dlog.Warn("rate limited, retries exhausted", "url", url, "retries", attempt)
-				return fmt.Errorf("download: rate limited after %d retries", attempt)
+			if retry(attempt, "429") {
+				continue
 			}
-			wait := c.retryBackoff(attempt)
-			mAPIRetries.Inc()
-			dlog.Trace("rate limited, backing off", "attempt", attempt, "wait", wait)
-			time.Sleep(wait)
-			continue
-		}
-		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("download: rate limited after %d retries", attempt)
+		case resp.StatusCode >= 500:
+			resp.Body.Close()
+			if retry(attempt, resp.Status) {
+				continue
+			}
+			return fmt.Errorf("download: %s -> %s after %d retries", url, resp.Status, attempt)
+		case resp.StatusCode != http.StatusOK:
 			resp.Body.Close()
 			return fmt.Errorf("download: %s -> %s", url, resp.Status)
 		}
 		err = json.NewDecoder(resp.Body).Decode(out)
 		resp.Body.Close()
+		if err != nil {
+			// A body cut off mid-JSON is a transport fault, not bad data.
+			if retry(attempt, "body") {
+				continue
+			}
+		}
 		return err
 	}
 }
@@ -215,13 +262,22 @@ func (c *APIClient) UserDescription(id string) (login, description string, err e
 }
 
 // Coordinator detects streamers going live and hands their thumbnail URLs
-// to downloaders via the key-value store (App. A).
+// to downloaders via the key-value store (App. A). It also reaps orphaned
+// claims: a streamer claimed by a downloader that stopped heartbeating is
+// re-queued so a live peer can adopt it.
 type Coordinator struct {
 	KV  kvstore.KV
 	API *APIClient
 
+	// ReapAfter is how far (in virtual time) a downloader's heartbeat may
+	// lag the newest heartbeat before its claims are declared orphaned.
+	// 0 means the 15-minute default; negative disables reaping.
+	ReapAfter time.Duration
+
 	// NewlyLive counts streamers enqueued over the coordinator's lifetime.
+	// Reaped counts orphaned claims re-queued.
 	NewlyLive int
+	Reaped    int
 }
 
 // NewCoordinator builds a coordinator, recovering active-streamer state
@@ -230,19 +286,73 @@ func NewCoordinator(kv kvstore.KV, api *APIClient) *Coordinator {
 	return &Coordinator{KV: kv, API: api}
 }
 
-// PollOnce queries the API once, enqueues newly live streamers, and
-// processes offline notices from downloaders.
+// reapOrphans re-queues streamers claimed by downloaders whose heartbeat
+// has fallen ReapAfter behind the newest one (a crashed or wedged
+// downloader never releases its claims itself). Virtual time is taken from
+// the heartbeats, so the coordinator needs no clock of its own.
+func (c *Coordinator) reapOrphans() {
+	after := c.ReapAfter
+	if after < 0 {
+		return
+	}
+	if after == 0 {
+		after = 15 * time.Minute
+	}
+	claims := c.KV.HGetAll(KeyClaimed)
+	if len(claims) == 0 {
+		return
+	}
+	beats := c.KV.HGetAll(KeyWorkers)
+	var newest time.Time
+	at := make(map[string]time.Time, len(beats))
+	for id, stamp := range beats {
+		t, err := time.Parse(time.RFC3339, stamp)
+		if err != nil {
+			continue
+		}
+		at[id] = t
+		if t.After(newest) {
+			newest = t
+		}
+	}
+	if newest.IsZero() {
+		return // nobody has ever heartbeat: no basis to call anyone dead
+	}
+	ids := make([]string, 0, len(claims))
+	for id := range claims {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		beat, alive := at[claims[id]]
+		if alive && newest.Sub(beat) <= after {
+			continue
+		}
+		raw, ok := c.KV.HGet(KeyActive, id)
+		c.KV.HDel(KeyClaimed, id)
+		if ok {
+			c.KV.RPush(KeyQueue, raw)
+		}
+		c.Reaped++
+		mReaped.Inc()
+		dlog.Warn("reaped orphaned claim", "streamer", id, "downloader", claims[id])
+	}
+}
+
+// PollOnce queries the API once, enqueues newly live streamers, processes
+// offline notices from downloaders, and reaps orphaned claims.
 func (c *Coordinator) PollOnce() error {
 	mCoordPolls.Inc()
 	// Offline notices first: free the streamer for future re-detection.
 	for {
-		id, ok := c.KV.LPop(keyOffline)
+		id, ok := c.KV.LPop(KeyOffline)
 		if !ok {
 			break
 		}
-		c.KV.HDel(keyActive, id)
-		c.KV.HDel(keyClaimed, id)
+		c.KV.HDel(KeyActive, id)
+		c.KV.HDel(KeyClaimed, id)
 	}
+	c.reapOrphans()
 
 	rows, err := c.API.LiveStreams()
 	if err != nil {
@@ -251,7 +361,7 @@ func (c *Coordinator) PollOnce() error {
 	}
 	newly := 0
 	for _, row := range rows {
-		if _, active := c.KV.HGet(keyActive, row.UserID); active {
+		if _, active := c.KV.HGet(KeyActive, row.UserID); active {
 			continue
 		}
 		a := Assignment{
@@ -260,19 +370,19 @@ func (c *Coordinator) PollOnce() error {
 			Game:       row.GameName,
 			URL:        row.ThumbnailURL,
 		}
-		c.KV.HSet(keyActive, row.UserID, a.encode())
-		c.KV.RPush(keyQueue, a.encode())
+		c.KV.HSet(KeyActive, row.UserID, a.encode())
+		c.KV.RPush(KeyQueue, a.encode())
 		// Country-level tags feed the location module's tag recovery
 		// (App. D.2).
 		if len(row.Tags) > 0 {
-			c.KV.HSet("tags", row.UserID, row.Tags[0])
+			c.KV.HSet(KeyTags, row.UserID, row.Tags[0])
 		}
 		c.NewlyLive++
 		newly++
 	}
 	mNewlyLive.Add(int64(newly))
-	mQueueDepth.Set(float64(c.KV.LLen(keyQueue)))
-	mActive.Set(float64(len(c.KV.HGetAll(keyActive))))
+	mQueueDepth.Set(float64(c.KV.LLen(KeyQueue)))
+	mActive.Set(float64(len(c.KV.HGetAll(KeyActive))))
 	if newly > 0 {
 		dlog.Debug("coordinator poll", "live_rows", len(rows), "newly_live", newly)
 	}
@@ -281,7 +391,7 @@ func (c *Coordinator) PollOnce() error {
 
 // ActiveCount returns the number of streamers currently tracked.
 func (c *Coordinator) ActiveCount() int {
-	return len(c.KV.HGetAll(keyActive))
+	return len(c.KV.HGetAll(KeyActive))
 }
 
 // Downloader fetches thumbnails for its assigned streamers. It is
@@ -293,16 +403,30 @@ type Downloader struct {
 	Store *objstore.Store
 	HTTP  *http.Client
 
+	// MaxFetchRetries bounds the in-place retries of one fetch cycle
+	// against transient CDN faults (5xx, stalls, resets, truncated or
+	// corrupted bodies, missing headers).
+	MaxFetchRetries int
+	// RetryWait is the real-time base pause between in-place retries.
+	RetryWait time.Duration
+	// MaxStrikes is how many consecutive failed fetch cycles a streamer
+	// survives before the downloader gives up and releases it back to the
+	// queue for a peer to adopt.
+	MaxStrikes int
+
 	assigned map[string]*tracked
 
-	// Downloads and Misses count fetched and lost thumbnails.
+	// Downloads and Misses count fetched and lost thumbnails; Retries and
+	// Released count in-place fetch retries and streamers given up on.
 	Downloads, Misses int
+	Retries, Released int
 }
 
 type tracked struct {
 	a       Assignment
 	next    time.Time // when the next thumbnail becomes available
 	lastSeq string
+	strikes int // consecutive failed fetch cycles
 }
 
 // NewDownloader builds a downloader. The HTTP client must not follow
@@ -317,76 +441,200 @@ func NewDownloader(id string, kv kvstore.KV, store *objstore.Store) *Downloader 
 				return http.ErrUseLastResponse
 			},
 		},
-		assigned: make(map[string]*tracked),
+		MaxFetchRetries: 8,
+		RetryWait:       25 * time.Millisecond,
+		MaxStrikes:      3,
+		assigned:        make(map[string]*tracked),
 	}
 }
 
 // Assigned returns the number of streamers this downloader polls.
 func (d *Downloader) Assigned() int { return len(d.assigned) }
 
+// strikeBackoff is the virtual-time pause before re-trying a streamer whose
+// whole fetch cycle failed: 30s doubling per strike, capped at 4 minutes so
+// a recovering streamer is re-polled within one thumbnail window.
+func strikeBackoff(strikes int) time.Duration {
+	wait := 30 * time.Second
+	for i := 1; i < strikes && wait < 4*time.Minute; i++ {
+		wait *= 2
+	}
+	if wait > 4*time.Minute {
+		wait = 4 * time.Minute
+	}
+	return wait
+}
+
+// fail records a failed fetch cycle for one streamer: back the streamer off
+// in virtual time, and after MaxStrikes consecutive failures release it —
+// drop the claim and re-queue the assignment so a healthier peer adopts it.
+func (d *Downloader) fail(id string, tr *tracked, now time.Time, err error) {
+	tr.strikes++
+	mFetchFailures.Inc()
+	max := d.MaxStrikes
+	if max <= 0 {
+		max = 3
+	}
+	if tr.strikes >= max {
+		delete(d.assigned, id)
+		d.KV.HDel(KeyClaimed, id)
+		d.KV.RPush(KeyQueue, tr.a.encode())
+		d.Released++
+		mReleased.Inc()
+		dlog.Warn("giving up on streamer, releasing to queue",
+			"downloader", d.ID, "streamer", id, "strikes", tr.strikes, "err", err)
+		return
+	}
+	tr.next = now.Add(strikeBackoff(tr.strikes))
+	dlog.Debug("fetch cycle failed, backing off",
+		"downloader", d.ID, "streamer", id, "strikes", tr.strikes,
+		"retry_at", tr.next.Format(time.RFC3339), "err", err)
+}
+
 // PollOnce processes all due assignments at virtual time now, then — if
 // idle — claims new streamers from the queue (the idle-based load balancing
 // of App. A).
+//
+// Errors are isolated per assignment: one failing streamer cannot starve
+// its peers or abort the cycle. Each failure backs off (or releases) that
+// streamer alone; the joined error of every failed assignment is returned,
+// in streamer-ID order, for the caller's logs.
 func (d *Downloader) PollOnce(now time.Time) error {
 	mDownloaderPolls.Inc()
+	// Heartbeat (virtual time): the coordinator reaps claims of downloaders
+	// whose heartbeats stop.
+	d.KV.HSet(KeyWorkers, d.ID, now.UTC().Format(time.RFC3339))
+	ids := make([]string, 0, len(d.assigned))
+	for id := range d.assigned {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	var errs []error
 	due := 0
-	for id, tr := range d.assigned {
+	for _, id := range ids {
+		tr := d.assigned[id]
 		if tr.next.After(now) {
 			continue
 		}
 		due++
 		if err := d.fetch(id, tr, now); err != nil {
-			return err
+			d.fail(id, tr, now, err)
+			errs = append(errs, fmt.Errorf("streamer %s: %w", id, err))
+			continue
 		}
+		tr.strikes = 0
 	}
 	if due == 0 {
 		// Idle: adopt one new streamer (claiming one at a time keeps the
 		// fleet balanced — a single fast downloader cannot drain the whole
 		// queue before its peers get a chance).
-		if raw, ok := d.KV.LPop(keyQueue); ok {
+		if raw, ok := d.KV.LPop(KeyQueue); ok {
 			if a, err := decodeAssignment(raw); err == nil {
-				d.KV.HSet(keyClaimed, a.StreamerID, d.ID)
+				d.KV.HSet(KeyClaimed, a.StreamerID, d.ID)
 				tr := &tracked{a: a}
 				d.assigned[a.StreamerID] = tr
 				if err := d.fetch(a.StreamerID, tr, now); err != nil {
-					return err
+					d.fail(a.StreamerID, tr, now, err)
+					errs = append(errs, fmt.Errorf("streamer %s: %w", a.StreamerID, err))
 				}
 			}
 		}
 	}
-	return nil
+	return errors.Join(errs...)
 }
 
-// fetch HEADs the thumbnail URL, downloads a new thumbnail if one appeared,
-// and handles the offline redirect.
+// retryable wraps transient fetch errors worth an in-place retry.
+type retryableError struct{ err error }
+
+func (e retryableError) Error() string { return e.err.Error() }
+func (e retryableError) Unwrap() error { return e.err }
+
+func transient(format string, args ...any) error {
+	return retryableError{fmt.Errorf(format, args...)}
+}
+
+// fetch runs one fetch cycle for a streamer, retrying transient failures
+// (5xx, transport errors, truncated/corrupt bodies, missing headers) in
+// place with bounded real-time backoff. The virtual clock does not advance
+// during retries, so a recovered fetch lands in the same thumbnail window
+// as an unfaulted one.
 func (d *Downloader) fetch(id string, tr *tracked, now time.Time) error {
+	retries := d.MaxFetchRetries
+	if retries < 0 {
+		retries = 0
+	}
+	var lastErr error
+	for attempt := 0; attempt <= retries; attempt++ {
+		if attempt > 0 {
+			d.Retries++
+			mFetchRetries.Inc()
+			wait := d.RetryWait
+			if wait <= 0 {
+				wait = 25 * time.Millisecond
+			}
+			for i := 1; i < attempt && wait < 16*d.RetryWait; i++ {
+				wait *= 2
+			}
+			time.Sleep(wait)
+		}
+		err := d.fetchOnce(id, tr, now)
+		if err == nil {
+			return nil
+		}
+		var re retryableError
+		if !errors.As(err, &re) {
+			return err
+		}
+		lastErr = err
+		dlog.Trace("transient fetch error", "downloader", d.ID,
+			"streamer", id, "attempt", attempt, "err", err)
+	}
+	return lastErr
+}
+
+// offline handles the going-offline signal: drop the assignment and notify
+// the coordinator. Used identically by the HEAD and GET paths.
+func (d *Downloader) offline(id string, verb string) {
+	delete(d.assigned, id)
+	d.KV.RPush(KeyOffline, id)
+	mOffline.Inc()
+	dlog.Debug("streamer offline", "downloader", d.ID, "streamer", id, "verb", verb)
+}
+
+// fetchOnce HEADs the thumbnail URL, downloads a new thumbnail if one
+// appeared, and handles the offline redirect. Transient failures are
+// returned as retryableError for fetch's retry loop.
+func (d *Downloader) fetchOnce(id string, tr *tracked, now time.Time) error {
 	req, err := http.NewRequest(http.MethodHead, tr.a.URL, nil)
 	if err != nil {
 		return err
 	}
 	resp, err := d.HTTP.Do(req)
 	if err != nil {
-		return err
+		return transient("HEAD %s: %w", tr.a.URL, err)
 	}
 	resp.Body.Close()
-	if resp.StatusCode == http.StatusFound {
-		// Offline: drop and notify the coordinator.
-		delete(d.assigned, id)
-		d.KV.RPush(keyOffline, id)
-		mOffline.Inc()
-		dlog.Debug("streamer offline", "downloader", d.ID, "streamer", id)
+	switch {
+	case resp.StatusCode == http.StatusFound:
+		d.offline(id, "HEAD")
 		return nil
-	}
-	if resp.StatusCode != http.StatusOK {
+	case resp.StatusCode >= 500:
+		return transient("HEAD %s -> %s", tr.a.URL, resp.Status)
+	case resp.StatusCode != http.StatusOK:
 		return fmt.Errorf("download: HEAD %s -> %s", tr.a.URL, resp.Status)
 	}
-	seq := resp.Header.Get("X-Thumbnail-Seq")
 	if next, err := time.Parse(time.RFC3339, resp.Header.Get("X-Next-Thumbnail")); err == nil {
 		tr.next = next
 	} else {
+		// The scheduling header is load-bearing: without it the next poll
+		// would drift off the thumbnail cadence. Retry; only if the CDN
+		// never sends it fall back to the nominal 5-minute cadence.
 		tr.next = now.Add(5 * time.Minute)
+		return transient("HEAD %s: missing X-Next-Thumbnail", tr.a.URL)
 	}
-	if seq == tr.lastSeq {
+	// A missing HEAD seq is harmless: the GET response carries the
+	// authoritative one, and the unchanged check below de-duplicates.
+	if seq := resp.Header.Get("X-Thumbnail-Seq"); seq != "" && seq == tr.lastSeq {
 		// Refresh hit: the CDN still serves the thumbnail we already have.
 		mThumbUnchanged.Inc()
 		return nil
@@ -394,31 +642,59 @@ func (d *Downloader) fetch(id string, tr *tracked, now time.Time) error {
 	// GET the thumbnail body.
 	getResp, err := d.HTTP.Get(tr.a.URL)
 	if err != nil {
-		return err
+		return transient("GET %s: %w", tr.a.URL, err)
 	}
 	defer getResp.Body.Close()
-	if getResp.StatusCode == http.StatusFound {
-		delete(d.assigned, id)
-		d.KV.RPush(keyOffline, id)
-		mOffline.Inc()
+	switch {
+	case getResp.StatusCode == http.StatusFound:
+		// Went offline between HEAD and GET: same bookkeeping as the HEAD
+		// path — the streamer is dropped and reported, never half-tracked.
+		d.offline(id, "GET")
 		return nil
-	}
-	if getResp.StatusCode != http.StatusOK {
+	case getResp.StatusCode >= 500:
+		return transient("GET %s -> %s", tr.a.URL, getResp.Status)
+	case getResp.StatusCode != http.StatusOK:
 		return fmt.Errorf("download: GET %s -> %s", tr.a.URL, getResp.Status)
 	}
-	// If the thumbnail was overwritten between HEAD and GET we simply
-	// store the newer one; a fully missed window shows up as a seq skip.
+	// The seq must come from the GET response: the thumbnail may rotate
+	// between HEAD and GET, and keying the stored bytes by the HEAD seq
+	// would make the object key, metadata and miss accounting disagree
+	// with the body actually stored.
+	seq := getResp.Header.Get("X-Thumbnail-Seq")
+	if seq == "" {
+		return transient("GET %s: missing X-Thumbnail-Seq", tr.a.URL)
+	}
+	if seq == tr.lastSeq {
+		// Already have this one (e.g. the HEAD seq header was dropped):
+		// do not re-store it — a rewrite would re-stamp its download time.
+		mThumbUnchanged.Inc()
+		return nil
+	}
 	body, err := io.ReadAll(getResp.Body)
 	if err != nil {
-		return err
+		// Truncated mid-body (Content-Length mismatch → unexpected EOF).
+		return transient("GET %s: %w", tr.a.URL, err)
+	}
+	if want := getResp.Header.Get("X-Thumbnail-Digest"); want != "" {
+		sum := sha256.Sum256(body)
+		if got := hex.EncodeToString(sum[:]); got != want {
+			mCorruptBody.Inc()
+			return transient("GET %s: body digest mismatch", tr.a.URL)
+		}
 	}
 	if tr.lastSeq != "" {
-		if prev, cur, ok := seqGap(tr.lastSeq, seq); ok && cur > prev+1 {
-			gap := cur - prev - 1
-			d.Misses += gap
-			mThumbMisses.Add(int64(gap))
-			dlog.Debug("thumbnail window missed", "downloader", d.ID,
-				"streamer", id, "skipped", gap)
+		if prev, cur, ok := seqGap(tr.lastSeq, seq); ok {
+			// Clamp to ≥0: a seq that moves backwards (simulator restart,
+			// CDN rollback) is a reset, not a negative number of misses.
+			if gap := cur - prev - 1; gap > 0 {
+				d.Misses += gap
+				mThumbMisses.Add(int64(gap))
+				dlog.Debug("thumbnail window missed", "downloader", d.ID,
+					"streamer", id, "skipped", gap)
+			} else if cur < prev {
+				dlog.Debug("thumbnail seq reset", "downloader", d.ID,
+					"streamer", id, "prev", prev, "cur", cur)
+			}
 		}
 	}
 	tr.lastSeq = seq

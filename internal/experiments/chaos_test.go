@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"strconv"
+	"testing"
+)
+
+// chaosRow fetches the value cell of a metric row from the chaos table.
+func chaosRow(t *testing.T, tab *Table, metric string) string {
+	t.Helper()
+	for _, row := range tab.Rows {
+		if row[0] == metric {
+			return row[1]
+		}
+	}
+	t.Fatalf("chaos table has no %q row", metric)
+	return ""
+}
+
+// TestChaosDeterminism is the acceptance test of the fault-injection design:
+// a pinned-seed run under the full recoverable fault mix must inject real
+// faults, recover from every one of them, and still produce output tables
+// byte-identical to a fault-free run.
+func TestChaosDeterminism(t *testing.T) {
+	tabs, err := Run("chaos", Options{
+		Seed: 5, Scale: 0.15, Concurrency: 4, Faults: 1, FaultSeed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tabs) < 2 {
+		t.Fatalf("chaos returned %d tables, want summary + volume", len(tabs))
+	}
+	sum := tabs[0]
+
+	if got := chaosRow(t, sum, "tables byte-identical"); got != "yes" {
+		t.Fatalf("faulted run diverged from golden: %s\n%s", got, sum)
+	}
+	faults, err := strconv.Atoi(chaosRow(t, sum, "faults injected (total)"))
+	if err != nil || faults == 0 {
+		t.Fatalf("faults injected = %q, want > 0", chaosRow(t, sum, "faults injected (total)"))
+	}
+	retries, _ := strconv.Atoi(chaosRow(t, sum, "fetch retries"))
+	if retries == 0 {
+		t.Fatal("no fetch retries under the full fault mix")
+	}
+	if got := chaosRow(t, sum, "worker panics"); got != "0" {
+		t.Fatalf("worker panics = %s, want 0", got)
+	}
+}
+
+// TestChaosFaultSchedulePinned re-runs the faulted pipeline twice with the
+// same fault seed: the recovery work itself (not just the output) must
+// replay identically.
+func TestChaosFaultSchedulePinned(t *testing.T) {
+	opts := Options{Seed: 5, Scale: 0.1, Concurrency: 2, Faults: 1, FaultSeed: 7}
+	run := func() (string, string) {
+		tabs, err := Run("chaos", opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return chaosRow(t, tabs[0], "faults injected (total)"),
+			chaosRow(t, tabs[0], "fetch retries")
+	}
+	f1, r1 := run()
+	f2, r2 := run()
+	if f1 != f2 || r1 != r2 {
+		t.Fatalf("fault schedule not pinned: faults %s vs %s, retries %s vs %s",
+			f1, f2, r1, r2)
+	}
+}

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"net/http"
 	"time"
 
 	"tero/internal/core"
@@ -33,13 +34,40 @@ func runVolume(o Options) ([]*Table, error) {
 
 	p := pipeline.New(platform.URL(), 4)
 	p.Concurrency = o.workers()
+	if o.Faults > 0 {
+		f := twitchsim.ScaledFaults(o.FaultSeed, o.Faults)
+		// Stalls become short delays here: the experiment exercises the
+		// recovery paths, not ten-second real-time client timeouts.
+		f.Stall = 40 * time.Millisecond
+		platform.SetFaults(f)
+		// One connection per request: on a reused keep-alive connection,
+		// net/http transparently replays an idempotent request killed by an
+		// injected reset, and whether a connection gets reused is a timing
+		// accident — the extra hidden request would shift the per-URI fault
+		// ordinals and wobble the fault/retry counters across worker counts.
+		noReuse := &http.Transport{DisableKeepAlives: true}
+		// Keep the real-time retry pauses out of the experiment's budget.
+		for _, d := range p.Downloaders {
+			d.RetryWait = 2 * time.Millisecond
+			d.HTTP.Transport = noReuse
+		}
+		p.API.RetryWait = 2 * time.Millisecond
+		p.API.MaxRetryWait = 16 * time.Millisecond
+		p.API.HTTP.Transport = noReuse
+	}
 
 	// Drive the virtual clock across the whole observation period in
 	// 2-minute ticks, processing thumbnails as they accumulate.
 	totalTicks := cfg.Days * 24 * 30
 	for i := 0; i < totalTicks; i++ {
 		if err := p.Tick(platform.Now(), i%3 == 0); err != nil {
-			return nil, err
+			// Under fault injection a degraded tick is expected: the
+			// download module has already retried, backed off or released,
+			// and the recovery surfaces in the obs counters. Fault-free,
+			// an error is a real bug and aborts.
+			if o.Faults <= 0 {
+				return nil, err
+			}
 		}
 		if i%200 == 0 {
 			p.ProcessThumbnails()

@@ -26,6 +26,13 @@ type Options struct {
 	// drive. 0 means GOMAXPROCS; 1 runs fully serially. Results are
 	// identical at every setting.
 	Concurrency int
+	// Faults scales the platform's fault-injection mix for the pipeline
+	// experiments (0 = off, 1 = the calibrated recoverable default); the
+	// schedule is pinned by FaultSeed. With recoverable rates the output
+	// tables are byte-identical to a fault-free run — the chaos experiment
+	// verifies exactly that.
+	Faults    float64
+	FaultSeed int64
 }
 
 // DefaultOptions returns the standard configuration.

@@ -75,6 +75,11 @@ func New() *Extractor {
 // pre-processed intermediates are scratch images recycled back to the
 // imaging pool before returning.
 func (e *Extractor) Extract(thumb *imaging.Gray, game *games.Game) Extraction {
+	// Defensive: a nil or degenerate image (a corrupt download that slipped
+	// past quarantine) extracts nothing rather than panicking a worker.
+	if thumb == nil || game == nil || thumb.W <= 0 || thumb.H <= 0 {
+		return Extraction{}
+	}
 	crop := thumb.Crop(game.UI.CropRect(e.Pad))
 	if crop.W == 0 || crop.H == 0 {
 		return Extraction{}

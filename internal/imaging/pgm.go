@@ -31,7 +31,12 @@ func DecodePGM(r io.Reader) (*Gray, error) {
 	if _, err := fmt.Fscan(br, &magic, &w, &h, &maxVal); err != nil {
 		return nil, ErrBadPGM
 	}
-	if magic != "P5" || w <= 0 || h <= 0 || maxVal != 255 || w*h > 64<<20 {
+	// Bound each dimension as well as the product: a corrupted header can
+	// otherwise request a pathological allocation (e.g. 1×2^26) that passes
+	// the area check but no real thumbnail ever has.
+	const maxDim = 1 << 16
+	if magic != "P5" || w <= 0 || h <= 0 || w > maxDim || h > maxDim ||
+		maxVal != 255 || w*h > 64<<20 {
 		return nil, ErrBadPGM
 	}
 	// Exactly one whitespace byte separates the header from pixel data.

@@ -24,6 +24,7 @@ import (
 	"bytes"
 	"crypto/sha256"
 	"encoding/hex"
+	"errors"
 	"fmt"
 	"runtime"
 	"sort"
@@ -52,15 +53,22 @@ import (
 var (
 	plog = obs.L("pipeline")
 
-	mProcessed = obs.C("pipeline_thumbs_processed_total")
-	mExtracted = obs.C("pipeline_measurements_total")
-	mZero      = obs.C("pipeline_lobby_zero_total")
-	mMissed    = obs.C("pipeline_extract_miss_total")
-	mLocated   = obs.C("pipeline_located_total")
-	mUnlocated = obs.C("pipeline_unlocated_total")
-	mStreams   = obs.G("pipeline_streams_built")
-	mPendingQ  = obs.G("pipeline_pending_location")
+	mProcessed    = obs.C("pipeline_thumbs_processed_total")
+	mExtracted    = obs.C("pipeline_measurements_total")
+	mZero         = obs.C("pipeline_lobby_zero_total")
+	mMissed       = obs.C("pipeline_extract_miss_total")
+	mQuarantined  = obs.C("pipeline_thumbs_quarantined_total")
+	mLocated      = obs.C("pipeline_located_total")
+	mUnlocated    = obs.C("pipeline_unlocated_total")
+	mStreams      = obs.G("pipeline_streams_built")
+	mPendingQ     = obs.G("pipeline_pending_location")
 )
+
+// QuarantineBucket holds thumbnails that failed to decode (truncated or
+// bit-corrupted PGMs slipping past the download-path digest check): they
+// are counted and moved aside instead of poisoning OCR downstream, and kept
+// for post-mortem inspection rather than silently deleted.
+const QuarantineBucket = "thumbs-quarantine"
 
 // Pipeline is a fully wired Tero instance.
 type Pipeline struct {
@@ -86,6 +94,9 @@ type Pipeline struct {
 	// Stats.
 	Processed, Extracted, Zero, Missed int
 	Located, Unlocated                 int
+	// Quarantined counts corrupt (undecodable) thumbnails moved to
+	// QuarantineBucket instead of being processed.
+	Quarantined int
 }
 
 // New wires a pipeline against the platform at baseURL.
@@ -198,27 +209,36 @@ func (p *Pipeline) Anonymize(id string) string {
 
 // Tick runs one poll round of the download module at virtual time now.
 // Downloaders poll in parallel (they share state only through the key-value
-// and object stores, both safe for concurrent use); the join is
-// errgroup-style — every downloader finishes its round, then the first
-// error in downloader order is returned, so the error surfaced does not
-// depend on goroutine scheduling.
+// and object stores, both safe for concurrent use).
+//
+// Failures are isolated, never fail-stop: a coordinator error does not
+// prevent the downloaders from working their existing assignments, and each
+// downloader already isolates errors per streamer. Everything that failed
+// is reported as one joined error in deterministic order (coordinator
+// first, then downloaders in fleet order), so the error surfaced does not
+// depend on goroutine scheduling; callers may treat it as a warning — the
+// download module has already applied its backoff/release recovery.
 func (p *Pipeline) Tick(now time.Time, pollCoordinator bool) error {
 	sp := obs.StartSpan("pipeline.download")
 	defer sp.End()
+	var errs []error
 	if pollCoordinator {
 		if err := p.Coordinator.PollOnce(); err != nil {
-			return err
+			errs = append(errs, fmt.Errorf("coordinator: %w", err))
 		}
 	}
-	errs := make([]error, len(p.Downloaders))
+	derrs := make([]error, len(p.Downloaders))
 	p.forEach("download", len(p.Downloaders), func(i int) {
-		errs[i] = p.Downloaders[i].PollOnce(now)
+		derrs[i] = p.Downloaders[i].PollOnce(now)
 	})
-	for _, err := range errs {
+	for i, err := range derrs {
 		if err != nil {
-			plog.Warn("tick failed", "err", err)
-			return err
+			errs = append(errs, fmt.Errorf("downloader %s: %w", p.Downloaders[i].ID, err))
 		}
+	}
+	if err := errors.Join(errs...); err != nil {
+		plog.Warn("tick completed with errors", "err", err)
+		return err
 	}
 	return nil
 }
@@ -228,6 +248,7 @@ func (p *Pipeline) Tick(now time.Time, pollCoordinator bool) error {
 type thumbResult struct {
 	found                     bool // object read succeeded
 	ok                        bool // decoded and game recognized
+	quarantined               bool // PGM failed to decode: corrupt thumbnail
 	ex                        imageproc.Extraction
 	streamer, login, game, at string
 	atUnix                    int64
@@ -258,6 +279,19 @@ func (p *Pipeline) ProcessThumbnails() int {
 	for i, key := range keys {
 		r := &results[i]
 		if !r.found {
+			continue
+		}
+		if r.quarantined {
+			// Corrupt thumbnail: count it and move it aside so it cannot
+			// poison OCR; the pipeline keeps going on the healthy rest.
+			p.Quarantined++
+			mQuarantined.Inc()
+			if obj, err := p.Objects.Get(download.ThumbBucket, key); err == nil {
+				p.Objects.Put(QuarantineBucket, key, obj.Data, obj.Meta)
+			}
+			p.Objects.Delete(download.ThumbBucket, key)
+			plog.Warn("quarantined corrupt thumbnail", "key", key)
+			n++
 			continue
 		}
 		if r.ok {
@@ -314,8 +348,13 @@ func (p *Pipeline) extractOne(key string) thumbResult {
 	}
 	game := games.ByName(obj.Meta["game"])
 	img, err := imaging.DecodePGM(bytes.NewReader(obj.Data))
-	if game == nil || err != nil {
-		imaging.Recycle(img) // nil-safe
+	if err != nil {
+		// Undecodable PGM (truncated or bit-corrupted download): flag for
+		// quarantine rather than feeding garbage to OCR.
+		return thumbResult{found: true, quarantined: true}
+	}
+	if game == nil {
+		imaging.Recycle(img)
 		return thumbResult{found: true}
 	}
 	r := thumbResult{
@@ -418,7 +457,7 @@ func (p *Pipeline) locateOne(realID, login string, now time.Time) int {
 	if err != nil {
 		return locNone // stays pending for the next round
 	}
-	tag, _ := p.KV.HGet("tags", realID)
+	tag, _ := p.KV.HGet(download.KeyTags, realID)
 	res := p.Locator.Locate(login, desc, tag, p.Social)
 	p.KV.Set("locat:"+anon, now.UTC().Format(time.RFC3339))
 	outcome := locNone

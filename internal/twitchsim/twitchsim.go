@@ -11,6 +11,9 @@ package twitchsim
 
 import (
 	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -19,6 +22,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"tero/internal/obs"
@@ -42,8 +46,13 @@ type Platform struct {
 
 	renderOpt worldsim.RenderOptions
 
+	// faults is the active fault injector; nil when injection is off.
+	faults atomic.Pointer[faultInjector]
+
 	// Requests counters (observability in tests).
 	APIRequests, CDNRequests, Throttled int
+	// FaultsInjected counts injected faults of every kind.
+	FaultsInjected int
 }
 
 // New creates a platform over a world, with the virtual clock at the
@@ -71,8 +80,29 @@ func New(w *worldsim.World) *Platform {
 	mux.HandleFunc("/steam/", p.handleSteam)
 	mux.HandleFunc("/admin/advance", p.handleAdvance)
 	mux.HandleFunc("/admin/now", p.handleNow)
-	p.srv = httptest.NewServer(instrument(mux))
+	p.srv = httptest.NewServer(instrument(p.injectFaults(mux)))
 	return p
+}
+
+// SetFaults installs (or, with a zero/disabled options value, removes) the
+// platform's fault-injection layer. Safe to call while serving.
+func (p *Platform) SetFaults(opt FaultOptions) {
+	if !opt.Enabled() {
+		p.faults.Store(nil)
+		return
+	}
+	p.faults.Store(newFaultInjector(opt))
+}
+
+// contextWithFaults attaches a request's body/header fault decision.
+func contextWithFaults(ctx context.Context, d reqFaults) context.Context {
+	return context.WithValue(ctx, faultCtxKey{}, d)
+}
+
+// faultsFrom returns the request's fault decision (zero value when none).
+func faultsFrom(ctx context.Context) reqFaults {
+	d, _ := ctx.Value(faultCtxKey{}).(reqFaults)
+	return d
 }
 
 // statusRecorder captures the status code a handler writes.
@@ -332,8 +362,17 @@ func (p *Platform) handleThumb(w http.ResponseWriter, r *http.Request) {
 	} else {
 		next = gs.Times[idx].Add(5 * time.Minute)
 	}
-	w.Header().Set("X-Next-Thumbnail", next.UTC().Format(time.RFC3339))
-	w.Header().Set("X-Thumbnail-Seq", strconv.Itoa(idx))
+	flt := faultsFrom(r.Context())
+	if flt.dropNext {
+		p.countFault("drop_next")
+	} else {
+		w.Header().Set("X-Next-Thumbnail", next.UTC().Format(time.RFC3339))
+	}
+	if flt.dropSeq {
+		p.countFault("drop_seq")
+	} else {
+		w.Header().Set("X-Thumbnail-Seq", strconv.Itoa(idx))
+	}
 	w.Header().Set("Content-Type", "image/x-portable-graymap")
 	if r.Method == http.MethodHead {
 		return
@@ -346,7 +385,29 @@ func (p *Platform) handleThumb(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "render error", http.StatusInternalServerError)
 		return
 	}
-	w.Write(buf.Bytes())
+	body := buf.Bytes()
+	// The digest describes the true thumbnail, computed before any body
+	// fault: a downloader that verifies it detects bit corruption and can
+	// re-fetch instead of storing a poisoned PGM.
+	sum := sha256.Sum256(body)
+	w.Header().Set("X-Thumbnail-Digest", hex.EncodeToString(sum[:]))
+	// Declare the true length so a truncated body is detectable by the
+	// client as an unexpected EOF instead of a silent short read.
+	w.Header().Set("Content-Length", strconv.Itoa(len(body)))
+	if flt.corrupt {
+		p.countFault("corrupt")
+		body = append([]byte(nil), body...)
+		// Flip bytes across the body, starting inside the PGM header so a
+		// non-verifying consumer sees an undecodable image.
+		for i := 2; i < len(body); i += 509 {
+			body[i] ^= 0xA5
+		}
+	}
+	if flt.truncate {
+		p.countFault("truncate")
+		body = body[:len(body)/2]
+	}
+	w.Write(body)
 }
 
 func (p *Platform) handleOffline(w http.ResponseWriter, r *http.Request) {

@@ -21,13 +21,16 @@ go test -run '^$' -bench '^BenchmarkVolumePipeline$' -benchtime 1x .
 echo "== observability smoke (cmd/tero -debug-addr, scrape /metrics) =="
 TMPDIR="${TMPDIR:-/tmp}"
 OUT="$TMPDIR/tero-check-$$.out"
+GOLD="$TMPDIR/tero-gold-$$.out"
+CHAOS="$TMPDIR/tero-chaos-$$.out"
 go build -o "$TMPDIR/tero-check-$$" ./cmd/tero
 "$TMPDIR/tero-check-$$" -streamers 15 -days 1 -debug-addr 127.0.0.1:0 -log warn \
     > "$OUT" 2>&1 &
 TERO_PID=$!
 cleanup() {
     kill "$TERO_PID" 2>/dev/null || true
-    rm -f "$TMPDIR/tero-check-$$" "$OUT" "$OUT.metrics"
+    rm -f "$TMPDIR/tero-check-$$" "$OUT" "$OUT.metrics" \
+        "$GOLD" "$GOLD.tables" "$CHAOS" "$CHAOS.err" "$CHAOS.tables"
 }
 trap cleanup EXIT
 
@@ -57,5 +60,36 @@ grep -q '^histogram span_seconds' "$OUT.metrics" \
 curl -fsS -o /dev/null "http://$ADDR/debug/pprof/" \
     || { echo "/debug/pprof/ not served" >&2; exit 1; }
 echo "scraped $(wc -l < "$OUT.metrics") metric lines from http://$ADDR/metrics"
+
+echo "== chaos smoke (seeded faults: no panics, counters lit, tables match golden) =="
+"$TMPDIR/tero-check-$$" -streamers 15 -days 1 -seed 4 -log error \
+    > "$GOLD" 2>/dev/null
+"$TMPDIR/tero-check-$$" -streamers 15 -days 1 -seed 4 -log error \
+    -faults 1 -fault-seed 2 -metrics > "$CHAOS" 2> "$CHAOS.err"
+if grep -q 'panic' "$CHAOS.err"; then
+    echo "faulted run panicked:" >&2
+    cat "$CHAOS.err" >&2
+    exit 1
+fi
+grep -q '^counter twitchsim_faults_injected_total' "$CHAOS" \
+    || { echo "faulted run injected no faults" >&2; exit 1; }
+if grep '^counter pipeline_worker_panics_total' "$CHAOS" | grep -qv ' 0$'; then
+    echo "faulted run recorded worker panics" >&2
+    exit 1
+fi
+# Everything from the "thumbnails processed:" marker to the metrics report
+# is the run's output tables; recovery must keep them byte-identical. The
+# command substitution strips the trailing blank line -metrics introduces.
+tables() {
+    printf '%s\n' "$(awk '/^thumbnails processed:/{on=1} /^== metrics ==$/{exit} on' "$1")"
+}
+tables "$GOLD" > "$GOLD.tables"
+tables "$CHAOS" > "$CHAOS.tables"
+[ -s "$GOLD.tables" ] || { echo "golden run produced no tables" >&2; exit 1; }
+if ! diff -u "$GOLD.tables" "$CHAOS.tables"; then
+    echo "faulted run diverged from fault-free golden" >&2
+    exit 1
+fi
+echo "faulted tables match golden ($(grep -c '^counter twitchsim_faults_injected' "$CHAOS") fault kinds injected)"
 
 echo "OK"
