@@ -53,7 +53,9 @@ func main() {
 			fmt.Fprintf(os.Stderr, "debug server: %v\n", err)
 			os.Exit(1)
 		}
-		defer dbg.Close()
+		// Graceful: let an in-flight /metrics scrape or pprof profile finish
+		// before the process exits, instead of cutting the listener.
+		defer dbg.ShutdownTimeout(5 * time.Second) //nolint:errcheck
 		fmt.Printf("debug server listening on http://%s (metrics at /metrics, pprof at /debug/pprof/)\n",
 			dbg.Addr)
 	}

@@ -19,7 +19,13 @@ import (
 	"tero/internal/obs"
 )
 
+// main delegates to run so deferred cleanup (debug-server drain) actually
+// executes before the process exits — os.Exit in main would skip it.
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	var (
 		list    = flag.Bool("list", false, "list available experiments")
 		seed    = flag.Int64("seed", 1, "world seed")
@@ -43,15 +49,17 @@ func main() {
 		obs.SetLogLevel(lv)
 	} else {
 		fmt.Fprintf(os.Stderr, "unknown -log level %q\n", *logLevel)
-		os.Exit(2)
+		return 2
 	}
 	if *debugAddr != "" {
 		dbg, err := obs.ServeDebug(*debugAddr)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "debug server: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
-		defer dbg.Close()
+		// Graceful: let an in-flight /metrics scrape or pprof profile finish
+		// before the process exits, instead of cutting the listener.
+		defer dbg.ShutdownTimeout(5 * time.Second) //nolint:errcheck
 		fmt.Printf("debug server listening on http://%s (metrics at /metrics, pprof at /debug/pprof/)\n",
 			dbg.Addr)
 	}
@@ -60,12 +68,12 @@ func main() {
 		for _, e := range experiments.List() {
 			fmt.Printf("  %-8s %s\n", e[0], e[1])
 		}
-		return
+		return 0
 	}
 	args := flag.Args()
 	if len(args) == 0 {
 		fmt.Fprintln(os.Stderr, "usage: teroexp [-seed N] [-scale F] [-workers N] <experiment-id>... | all | -list")
-		os.Exit(2)
+		return 2
 	}
 	if len(args) == 1 && args[0] == "all" {
 		args = nil
@@ -97,5 +105,5 @@ func main() {
 			fmt.Fprintf(os.Stderr, "metrics: %v\n", err)
 		}
 	}
-	os.Exit(exit)
+	return exit
 }

@@ -1,0 +1,186 @@
+// Command teroserve runs the full Tero system end-to-end and serves its
+// output as a latency-information query service (§1, §6): it generates a
+// synthetic world, drives the platform → pipeline stages, publishes the
+// per-{location, game} latency distributions into a sharded in-memory
+// index, and serves them over a JSON HTTP API — republishing on a virtual
+// -refresh cadence while the observation period runs, without ever taking
+// the API down.
+//
+// With -loadtest N it additionally hammers its own API with N concurrent
+// clients after the final publish and reports throughput and tail latency,
+// exiting non-zero if any request got a 5xx.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"net/url"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"tero/internal/core"
+	"tero/internal/obs"
+	"tero/internal/pipeline"
+	"tero/internal/serve"
+	"tero/internal/twitchsim"
+	"tero/internal/worldsim"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		addr      = flag.String("addr", "localhost:8080", "HTTP listen address (use :0 for an ephemeral port)")
+		seed      = flag.Int64("seed", 1, "world seed")
+		streamers = flag.Int("streamers", 150, "synthetic streamer population")
+		days      = flag.Int("days", 2, "observation days (virtual)")
+		workers   = flag.Int("downloaders", 4, "parallel downloaders")
+		conc      = flag.Int("concurrency", 0,
+			"pipeline and index-build worker parallelism (0 = GOMAXPROCS, 1 = serial)")
+		refresh = flag.Duration("refresh", 6*time.Hour,
+			"virtual time between index republishes while the observation runs")
+		minPoints = flag.Int("min-points", 1,
+			"minimum distribution size for a {location, game} to be served")
+		loadtest = flag.Int("loadtest", 0,
+			"after the final publish, run a load test with this many concurrent clients and exit")
+		loadreqs = flag.Int("loadtest-requests", 200, "load-test requests per client")
+		logLevel = flag.String("log", "info",
+			"log level: trace, debug, info, warn, error, off")
+		faults = flag.Float64("faults", 0,
+			"platform fault-injection rate (0 = off, 1 = calibrated default mix)")
+		faultSeed = flag.Int64("fault-seed", 1, "fault-injection schedule seed")
+	)
+	flag.Parse()
+
+	if lv, ok := obs.ParseLevel(*logLevel); ok {
+		obs.SetLogLevel(lv)
+	} else {
+		fmt.Fprintf(os.Stderr, "unknown -log level %q\n", *logLevel)
+		return 2
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	// Serving side first: the API is up (reporting not-ready) before the
+	// pipeline produces anything, the way a real deployment rolls out.
+	ix := serve.NewIndex(0)
+	srv := serve.NewServer(ix)
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "listen %s: %v\n", *addr, err)
+		return 1
+	}
+	httpSrv := &http.Server{Handler: srv, ReadHeaderTimeout: 5 * time.Second}
+	go httpSrv.Serve(ln) //nolint:errcheck — Serve returns ErrServerClosed on Shutdown
+	baseURL := "http://" + ln.Addr().String()
+	fmt.Printf("teroserve listening at %s (not ready until first publish)\n", baseURL)
+	defer func() {
+		sdCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		httpSrv.Shutdown(sdCtx) //nolint:errcheck
+	}()
+
+	// Producer side: world, platform, pipeline — as in cmd/tero.
+	cfg := worldsim.DefaultConfig(*seed)
+	cfg.Streamers = *streamers
+	cfg.Days = *days
+	cfg.LocatableFrac = 0.6
+	fmt.Printf("generating world: %d streamers, %d days (seed %d)...\n",
+		cfg.Streamers, cfg.Days, cfg.Seed)
+	world := worldsim.New(cfg)
+
+	platform := twitchsim.New(world)
+	defer platform.Close()
+	if *faults > 0 {
+		platform.SetFaults(twitchsim.ScaledFaults(*faultSeed, *faults))
+		fmt.Printf("fault injection on: rate %.2f, seed %d\n", *faults, *faultSeed)
+	}
+
+	p := pipeline.New(platform.URL(), *workers)
+	p.Concurrency = *conc
+	params := core.DefaultParams()
+	builder := serve.NewBuilder(params)
+	builder.MinPoints = *minPoints
+	builder.Concurrency = *conc
+
+	publish := func() {
+		p.ProcessThumbnails()
+		p.LocateStreamers(platform.Now())
+		n := p.Publish(builder, params)
+		entries := ix.Swap(builder.Build())
+		fmt.Printf("  published: %d analyses -> %d servable {location, game} entries (version %d)\n",
+			n, entries, ix.Version())
+	}
+
+	tickEvery := 2 * time.Minute
+	refreshTicks := int(*refresh / tickEvery)
+	if refreshTicks < 1 {
+		refreshTicks = 1
+	}
+	totalTicks := cfg.Days * 24 * 30
+	start := time.Now()
+	tickErrs := 0
+	for i := 0; i < totalTicks && ctx.Err() == nil; i++ {
+		if err := p.Tick(platform.Now(), i%3 == 0); err != nil {
+			tickErrs++
+			if tickErrs <= 5 {
+				fmt.Fprintf(os.Stderr, "pipeline: tick %d degraded: %v\n", i, err)
+			}
+		}
+		if i%200 == 0 {
+			p.ProcessThumbnails()
+		}
+		// Incremental republish mid-serve: readers keep getting answers
+		// from the previous snapshot while the new one is built and
+		// swapped in.
+		if i > 0 && i%refreshTicks == 0 {
+			publish()
+		}
+		platform.Advance(tickEvery)
+	}
+	publish()
+	fmt.Printf("pipeline done in %s (%d measurements, %d located, %d degraded ticks)\n",
+		time.Since(start).Round(time.Millisecond), p.Extracted, p.Located, tickErrs)
+
+	if cat := ix.Catalog(); cat != nil && len(cat.Locations) > 0 {
+		l := cat.Locations[0]
+		v := url.Values{}
+		v.Set("location", l.Location.Key)
+		v.Set("game", l.Games[0])
+		fmt.Printf("sample query: %s/v1/latency?%s\n", baseURL, v.Encode())
+	} else {
+		fmt.Println("warning: no servable entries (increase -streamers or -days)")
+	}
+
+	if *loadtest > 0 {
+		lg := &serve.LoadGen{
+			BaseURL:           baseURL,
+			Clients:           *loadtest,
+			RequestsPerClient: *loadreqs,
+		}
+		rep, err := lg.Run(ctx)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "loadtest: %v\n", err)
+			return 1
+		}
+		fmt.Printf("loadtest:\n%s\n", rep)
+		if rep.ServerErrors > 0 {
+			fmt.Fprintf(os.Stderr, "loadtest: %d server errors\n", rep.ServerErrors)
+			return 1
+		}
+		return 0
+	}
+
+	fmt.Println("serving (Ctrl-C to stop)...")
+	<-ctx.Done()
+	fmt.Println("shutting down")
+	return 0
+}

@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"strings"
 	"testing"
+	"time"
 
 	"tero/internal/obs"
 )
@@ -56,7 +57,9 @@ func TestMetricsDoNotPerturbTables(t *testing.T) {
 	}
 	body, _ := io.ReadAll(resp.Body)
 	resp.Body.Close()
-	dbg.Close()
+	if err := dbg.ShutdownTimeout(5 * time.Second); err != nil {
+		t.Errorf("debug server shutdown: %v", err)
+	}
 	obs.SetLogLevel(prevLevel)
 	obs.SetLogOutput(prevW)
 

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"context"
 	"fmt"
 	"net"
 	"net/http"
@@ -59,12 +60,33 @@ func ServeDebugRegistry(addr string, reg *Registry) (*DebugServer, error) {
 // URL returns the server's base URL.
 func (d *DebugServer) URL() string { return "http://" + d.Addr }
 
-// Close shuts the server down.
+// Close shuts the server down immediately, dropping in-flight requests.
+// Prefer Shutdown on orderly exits.
 func (d *DebugServer) Close() error {
 	if d == nil || d.srv == nil {
 		return nil
 	}
 	return d.srv.Close()
+}
+
+// Shutdown gracefully shuts the server down: the listener closes right away
+// (no new connections), in-flight requests — a /metrics scrape or a pprof
+// profile mid-collection — run to completion, and the call returns when the
+// server is fully drained or ctx expires (in-flight requests are then cut
+// off, ctx.Err() is returned).
+func (d *DebugServer) Shutdown(ctx context.Context) error {
+	if d == nil || d.srv == nil {
+		return nil
+	}
+	return d.srv.Shutdown(ctx)
+}
+
+// ShutdownTimeout is Shutdown with a deadline instead of a context, for
+// callers without one (typically a main's deferred cleanup).
+func (d *DebugServer) ShutdownTimeout(timeout time.Duration) error {
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	return d.Shutdown(ctx)
 }
 
 // MetricsHandler serves a registry's WriteText dump.

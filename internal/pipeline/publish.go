@@ -1,0 +1,29 @@
+package pipeline
+
+import (
+	"tero/internal/core"
+	"tero/internal/obs"
+	"tero/internal/serve"
+)
+
+// Publish runs the analysis stage over everything stored so far and feeds
+// the results into a serving builder — the hand-off point between the
+// producer (download → extract → locate → analyze) and the query service
+// (internal/serve). The builder is Reset first, so each publish reflects
+// the pipeline's current complete state; callers then Build a snapshot and
+// Swap it into the serving index:
+//
+//	n := p.Publish(builder, params)
+//	index.Swap(builder.Build())
+//
+// Returns the number of analyses published. Safe to call repeatedly while
+// the service is live — Swap never locks readers out (see serve.Index).
+func (p *Pipeline) Publish(b *serve.Builder, params core.Params) int {
+	sp := obs.StartSpan("pipeline.publish")
+	defer sp.End()
+	analyses := p.Analyze(params)
+	b.Reset()
+	b.Add(analyses...)
+	plog.Debug("published analyses", "groups", len(analyses))
+	return len(analyses)
+}

@@ -1,0 +1,150 @@
+package serve
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"tero/internal/core"
+	"tero/internal/obs"
+)
+
+// Builder accumulates analysis output and builds immutable Snapshots for
+// Index.Swap. It is the bridge between the producer side (the pipeline's
+// Publish hook calls Add) and the serving side; Add is safe for concurrent
+// use, Build may run while Adds continue (it works on a copy of the list).
+//
+// Build is deterministic at every Concurrency setting: groups are keyed
+// and sorted canonically and each entry is a pure function of its group,
+// so serial and concurrent builds produce byte-identical snapshots.
+type Builder struct {
+	// Params are the analysis parameters distributions are derived with
+	// (core.Distribution needs them for cluster merging).
+	Params core.Params
+	// MinPoints is the minimum distribution size for a {location, game}
+	// to be served (default 1: serve everything non-empty).
+	MinPoints int
+	// Concurrency is the worker parallelism of Build. 0 means GOMAXPROCS,
+	// 1 is fully serial. Output is identical at every setting.
+	Concurrency int
+	// HistLoMs/HistHiMs/HistBins override the fixed histogram layout
+	// (defaults 0..400 ms in 40 bins).
+	HistLoMs, HistHiMs float64
+	HistBins           int
+
+	mu       sync.Mutex
+	analyses []*core.Analysis
+}
+
+// NewBuilder returns a builder with the given analysis parameters.
+func NewBuilder(p core.Params) *Builder {
+	return &Builder{Params: p, MinPoints: 1}
+}
+
+// Add appends analyses to the builder's input set. Nil analyses and
+// analyses without streams are ignored.
+func (b *Builder) Add(analyses ...*core.Analysis) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for _, a := range analyses {
+		if a == nil || len(a.Streams) == 0 {
+			continue
+		}
+		b.analyses = append(b.analyses, a)
+	}
+}
+
+// Reset drops all accumulated analyses, for a from-scratch republish.
+func (b *Builder) Reset() {
+	b.mu.Lock()
+	b.analyses = nil
+	b.mu.Unlock()
+}
+
+// Len returns the number of accumulated analyses.
+func (b *Builder) Len() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.analyses)
+}
+
+// workers resolves the effective Build parallelism.
+func (b *Builder) workers() int {
+	if b.Concurrency > 0 {
+		return b.Concurrency
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Build computes a snapshot from everything Added so far: group by
+// {location, game} (zero locations are unservable and skipped), compute
+// entries on the worker pool, merge in sorted key order, aggregate the
+// catalog. The result shares nothing mutable with the builder.
+func (b *Builder) Build() *Snapshot {
+	sp := obs.StartSpan("serve.build")
+	defer sp.End()
+
+	b.mu.Lock()
+	analyses := append([]*core.Analysis(nil), b.analyses...)
+	b.mu.Unlock()
+
+	groups := core.GroupByLocation(analyses)
+	type task struct {
+		key string
+		gk  core.GroupKey
+	}
+	tasks := make([]task, 0, len(groups))
+	for gk := range groups {
+		if gk.Loc.IsZero() {
+			continue // unlocated streamers cannot be served by location
+		}
+		tasks = append(tasks, task{key: EntryKey(gk.Loc, gk.Game), gk: gk})
+	}
+	sort.Slice(tasks, func(i, j int) bool { return tasks[i].key < tasks[j].key })
+
+	minPoints := b.MinPoints
+	if minPoints < 1 {
+		minPoints = 1
+	}
+	hc := histConfig{lo: b.HistLoMs, hi: b.HistHiMs, bins: b.HistBins}.orDefault()
+
+	// Parallel half: each entry is computed purely from its own group.
+	results := make([]*Entry, len(tasks))
+	w := b.workers()
+	if w > len(tasks) {
+		w = len(tasks)
+	}
+	if w <= 1 {
+		for i, t := range tasks {
+			results[i] = newEntry(t.gk.Loc, t.gk.Game, groups[t.gk], b.Params, minPoints, hc)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		wg.Add(w)
+		for k := 0; k < w; k++ {
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(tasks) {
+						return
+					}
+					t := tasks[i]
+					results[i] = newEntry(t.gk.Loc, t.gk.Game, groups[t.gk], b.Params, minPoints, hc)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+
+	// Serial merge in key order; groups below MinPoints dropped.
+	entries := make([]*Entry, 0, len(results))
+	for _, e := range results {
+		if e != nil {
+			entries = append(entries, e)
+		}
+	}
+	return &Snapshot{Entries: entries, Catalog: newCatalog(entries)}
+}

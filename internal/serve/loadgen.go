@@ -1,0 +1,242 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"sort"
+	"sync"
+	"time"
+
+	"tero/internal/stats"
+)
+
+// LoadGen hammers a running latency service with concurrent clients, the
+// way the bench trajectory measures the producer side: it discovers the
+// served {location, game} pairs from /v1/locations, then each client
+// round-robins latency queries (with periodic If-None-Match revalidations)
+// and pair comparisons, recording per-request latency.
+type LoadGen struct {
+	// BaseURL is the service root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// Clients is the number of concurrent clients (default 32).
+	Clients int
+	// RequestsPerClient is each client's request budget (default 200).
+	RequestsPerClient int
+	// RevalidateEvery makes every k-th request an If-None-Match replay of
+	// the previous response's ETag (default 4; 0 disables).
+	RevalidateEvery int
+	// CompareEvery makes every k-th request a /v1/compare of two adjacent
+	// pairs (default 8; 0 disables).
+	CompareEvery int
+}
+
+// LoadReport is the outcome of one LoadGen run.
+type LoadReport struct {
+	Clients       int
+	Requests      int
+	OK            int // 200s
+	NotModified   int // 304s
+	ClientErrors  int // 4xx
+	ServerErrors  int // 5xx
+	TransportErrs int
+	Elapsed       time.Duration
+	Throughput    float64 // requests per second
+	P50Ms         float64
+	P99Ms         float64
+	MaxMs         float64
+}
+
+// String renders the report as one aligned block.
+func (r LoadReport) String() string {
+	return fmt.Sprintf(
+		"clients %d  requests %d  ok %d  304 %d  4xx %d  5xx %d  transport-errors %d\n"+
+			"elapsed %s  throughput %.0f req/s  p50 %.2f ms  p99 %.2f ms  max %.2f ms",
+		r.Clients, r.Requests, r.OK, r.NotModified, r.ClientErrors,
+		r.ServerErrors, r.TransportErrs, r.Elapsed.Round(time.Millisecond),
+		r.Throughput, r.P50Ms, r.P99Ms, r.MaxMs)
+}
+
+// target is one queryable {location, game} pair.
+type target struct {
+	locKey, game string
+}
+
+// discoverTargets reads /v1/locations and flattens it into pairs.
+func (lg *LoadGen) discoverTargets(ctx context.Context, client *http.Client) ([]target, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, lg.BaseURL+"/v1/locations", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("serve: loadgen discover: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("serve: loadgen discover: status %d", resp.StatusCode)
+	}
+	var listing struct {
+		Locations []LocationSummary `json:"locations"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&listing); err != nil {
+		return nil, fmt.Errorf("serve: loadgen discover: %w", err)
+	}
+	var out []target
+	for _, l := range listing.Locations {
+		for _, g := range l.Games {
+			out = append(out, target{locKey: l.Location.Key, game: g})
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("serve: loadgen: service lists no {location, game} pairs")
+	}
+	return out, nil
+}
+
+// latencyURL builds the query URL for a target.
+func (lg *LoadGen) latencyURL(t target) string {
+	v := url.Values{}
+	v.Set("location", t.locKey)
+	v.Set("game", t.game)
+	return lg.BaseURL + "/v1/latency?" + v.Encode()
+}
+
+// compareURL builds the comparison URL for two targets.
+func (lg *LoadGen) compareURL(a, b target) string {
+	v := url.Values{}
+	v.Set("a", a.locKey+"::"+a.game)
+	v.Set("b", b.locKey+"::"+b.game)
+	return lg.BaseURL + "/v1/compare?" + v.Encode()
+}
+
+// clientStats is one client's tally, merged after the run.
+type clientStats struct {
+	requests, ok, notModified, clientErrs, serverErrs, transportErrs int
+	durations                                                        []float64 // ms
+}
+
+// Run executes the load test and aggregates the report. It returns an
+// error only when the run could not start (discovery failed); request
+// failures are counted, not fatal.
+func (lg *LoadGen) Run(ctx context.Context) (LoadReport, error) {
+	clients := lg.Clients
+	if clients <= 0 {
+		clients = 32
+	}
+	perClient := lg.RequestsPerClient
+	if perClient <= 0 {
+		perClient = 200
+	}
+	revalidate := lg.RevalidateEvery
+	if revalidate == 0 {
+		revalidate = 4
+	}
+	compare := lg.CompareEvery
+	if compare == 0 {
+		compare = 8
+	}
+
+	transport := &http.Transport{
+		MaxIdleConns:        clients * 2,
+		MaxIdleConnsPerHost: clients * 2,
+	}
+	defer transport.CloseIdleConnections()
+	httpClient := &http.Client{Transport: transport, Timeout: 30 * time.Second}
+
+	targets, err := lg.discoverTargets(ctx, httpClient)
+	if err != nil {
+		return LoadReport{}, err
+	}
+
+	tallies := make([]clientStats, clients)
+	start := time.Now()
+	var wg sync.WaitGroup
+	wg.Add(clients)
+	for c := 0; c < clients; c++ {
+		go func(c int) {
+			defer wg.Done()
+			cs := &tallies[c]
+			cs.durations = make([]float64, 0, perClient)
+			etags := make(map[string]string, len(targets))
+			for i := 0; i < perClient; i++ {
+				if ctx.Err() != nil {
+					return
+				}
+				t := targets[(c+i)%len(targets)]
+				u := lg.latencyURL(t)
+				var inm string
+				if compare > 0 && i%compare == compare-1 && len(targets) > 1 {
+					t2 := targets[(c+i+1)%len(targets)]
+					u = lg.compareURL(t, t2)
+				} else if revalidate > 0 && i%revalidate == revalidate-1 {
+					inm = etags[u]
+				}
+				cs.requests++
+				reqStart := time.Now()
+				req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+				if err != nil {
+					cs.transportErrs++
+					continue
+				}
+				if inm != "" {
+					req.Header.Set("If-None-Match", inm)
+				}
+				resp, err := httpClient.Do(req)
+				if err != nil {
+					cs.transportErrs++
+					continue
+				}
+				io.Copy(io.Discard, resp.Body) //nolint:errcheck
+				resp.Body.Close()
+				cs.durations = append(cs.durations,
+					float64(time.Since(reqStart))/float64(time.Millisecond))
+				switch {
+				case resp.StatusCode == http.StatusOK:
+					cs.ok++
+					if et := resp.Header.Get("ETag"); et != "" {
+						etags[u] = et
+					}
+				case resp.StatusCode == http.StatusNotModified:
+					cs.notModified++
+				case resp.StatusCode >= 500:
+					cs.serverErrs++
+				case resp.StatusCode >= 400:
+					cs.clientErrs++
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	rep := LoadReport{Clients: clients, Elapsed: elapsed}
+	var all []float64
+	for i := range tallies {
+		cs := &tallies[i]
+		rep.Requests += cs.requests
+		rep.OK += cs.ok
+		rep.NotModified += cs.notModified
+		rep.ClientErrors += cs.clientErrs
+		rep.ServerErrors += cs.serverErrs
+		rep.TransportErrs += cs.transportErrs
+		all = append(all, cs.durations...)
+	}
+	if elapsed > 0 {
+		rep.Throughput = float64(rep.Requests) / elapsed.Seconds()
+	}
+	sort.Float64s(all)
+	if p, ok := stats.PercentileOK(all, 50); ok {
+		rep.P50Ms = p
+	}
+	if p, ok := stats.PercentileOK(all, 99); ok {
+		rep.P99Ms = p
+	}
+	if _, max, ok := stats.MinMaxOK(all); ok {
+		rep.MaxMs = max
+	}
+	return rep, nil
+}

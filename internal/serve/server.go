@@ -1,0 +1,354 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"tero/internal/obs"
+	"tero/internal/stats"
+)
+
+// Observability: the server mirrors the twitchsim middleware idiom —
+// request counters by route and status class, a latency histogram per
+// route — plus cache hit/miss/eviction counters and the index gauges
+// (index.go). Everything lands in the obs.Default registry.
+var (
+	slog = obs.L("serve")
+
+	mCacheHits      = obs.C("serve_cache_hits_total")
+	mCacheMisses    = obs.C("serve_cache_misses_total")
+	mCacheEvictions = obs.C("serve_cache_evictions_total")
+	mNotModified    = obs.C("serve_not_modified_total")
+)
+
+// Server is the HTTP layer of the latency-information service. Create it
+// with NewServer, mount it anywhere (it implements http.Handler), and feed
+// its Index via Builder.Build + Index.Swap.
+//
+// Routes:
+//
+//	GET /v1/locations                  locations with data, their games
+//	GET /v1/games                      games with data, their coverage
+//	GET /v1/latency?location=K&game=G  stats/quantiles/histogram/CDF
+//	GET /v1/compare?a=K::G&b=K::G      Wasserstein distance between pairs
+//	GET /healthz                       liveness (always 200)
+//	GET /readyz                        503 until the first snapshot Swap
+//	GET /metrics                       obs.Default text dump
+//
+// Every /v1 response carries a deterministic ETag and honors
+// If-None-Match with 304.
+type Server struct {
+	ix      *Index
+	cache   *lruCache
+	handler http.Handler
+}
+
+// NewServer wraps an index in the HTTP API with the default cache size.
+func NewServer(ix *Index) *Server { return NewServerCache(ix, DefaultCacheSize) }
+
+// NewServerCache wraps an index with an explicit response-cache capacity.
+func NewServerCache(ix *Index, cacheSize int) *Server {
+	s := &Server{ix: ix, cache: newLRU(cacheSize)}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", s.handleRoot)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/readyz", s.handleReadyz)
+	mux.Handle("/metrics", obs.MetricsHandler(obs.Default))
+	mux.HandleFunc("/v1/locations", s.handleLocations)
+	mux.HandleFunc("/v1/games", s.handleGames)
+	mux.HandleFunc("/v1/latency", s.handleLatency)
+	mux.HandleFunc("/v1/compare", s.handleCompare)
+	s.handler = instrument(mux)
+	return s
+}
+
+// Index returns the server's index.
+func (s *Server) Index() *Index { return s.ix }
+
+// FlushCache empties the response cache (benchmarks use it to measure the
+// cold path; production code never needs it — Swap invalidation is
+// version-keyed).
+func (s *Server) FlushCache() { s.cache.purge() }
+
+// CacheLen returns the current response-cache entry count.
+func (s *Server) CacheLen() int { return s.cache.len() }
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.handler.ServeHTTP(w, r)
+}
+
+// statusRecorder captures the status a handler writes (twitchsim idiom).
+type statusRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusRecorder) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// instrument is the serving middleware: per-route request counters split
+// by status class and a per-route latency histogram.
+func instrument(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+		start := time.Now()
+		next.ServeHTTP(rec, r)
+		route := routeOf(r.URL.Path)
+		obs.C(obs.Lbl("serve_http_requests_total",
+			"route", route, "class", statusClass(rec.code))).Inc()
+		obs.H(obs.Lbl("serve_http_seconds", "route", route),
+			obs.DurationBuckets).Observe(time.Since(start).Seconds())
+	})
+}
+
+// routeOf buckets a request path into its metric label.
+func routeOf(path string) string {
+	switch {
+	case path == "/v1/locations":
+		return "locations"
+	case path == "/v1/games":
+		return "games"
+	case path == "/v1/latency":
+		return "latency"
+	case path == "/v1/compare":
+		return "compare"
+	case path == "/healthz", path == "/readyz":
+		return "health"
+	case path == "/metrics":
+		return "metrics"
+	}
+	return "other"
+}
+
+// statusClass maps an HTTP status to its metric label.
+func statusClass(code int) string {
+	switch {
+	case code >= 200 && code < 300:
+		return "2xx"
+	case code >= 300 && code < 400:
+		return "3xx"
+	case code >= 400 && code < 500:
+		return "4xx"
+	}
+	return "5xx"
+}
+
+// errorBody is the JSON error envelope.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// writeError emits a JSON error with the given status.
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(code)
+	w.Write(mustMarshal(errorBody{Error: fmt.Sprintf(format, args...)})) //nolint:errcheck
+	w.Write([]byte("\n"))                                               //nolint:errcheck
+}
+
+// etagMatches implements the If-None-Match comparison: a comma-separated
+// list of entity tags, weak prefixes ignored, "*" matches anything.
+func etagMatches(header, etag string) bool {
+	if header == "" {
+		return false
+	}
+	for _, part := range strings.Split(header, ",") {
+		part = strings.TrimSpace(part)
+		part = strings.TrimPrefix(part, "W/")
+		if part == "*" || part == etag {
+			return true
+		}
+	}
+	return false
+}
+
+// writeJSON serves a marshaled body with its ETag, answering 304 when the
+// client already holds the current representation.
+func writeJSON(w http.ResponseWriter, r *http.Request, body []byte, etag string) {
+	h := w.Header()
+	h.Set("ETag", etag)
+	if etagMatches(r.Header.Get("If-None-Match"), etag) {
+		mNotModified.Inc()
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	h.Set("Content-Type", "application/json; charset=utf-8")
+	h.Set("Content-Length", strconv.Itoa(len(body)))
+	w.WriteHeader(http.StatusOK)
+	w.Write(body) //nolint:errcheck — nothing to do about a dead client
+}
+
+func (s *Server) handleRoot(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		writeError(w, http.StatusNotFound, "no such route: %s", r.URL.Path)
+		return
+	}
+	fmt.Fprint(w, "tero latency-information service\n"+
+		"  /v1/locations\n  /v1/games\n"+
+		"  /v1/latency?location=<key>&game=<name>\n"+
+		"  /v1/compare?a=<key>::<game>&b=<key>::<game>\n"+
+		"  /healthz  /readyz  /metrics\n")
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if !s.ix.Ready() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "index not ready")
+		return
+	}
+	fmt.Fprintln(w, "ready")
+}
+
+// catalogOr503 fetches the catalog, emitting the not-ready error itself.
+func (s *Server) catalogOr503(w http.ResponseWriter) *Catalog {
+	cat := s.ix.Catalog()
+	if cat == nil {
+		writeError(w, http.StatusServiceUnavailable, "index not ready")
+	}
+	return cat
+}
+
+func (s *Server) handleLocations(w http.ResponseWriter, r *http.Request) {
+	cat := s.catalogOr503(w)
+	if cat == nil {
+		return
+	}
+	writeJSON(w, r, cat.locationsBody, cat.locationsETag)
+}
+
+func (s *Server) handleGames(w http.ResponseWriter, r *http.Request) {
+	cat := s.catalogOr503(w)
+	if cat == nil {
+		return
+	}
+	writeJSON(w, r, cat.gamesBody, cat.gamesETag)
+}
+
+// cacheKey namespaces a response-cache key with the index version, so a
+// Swap implicitly invalidates all cached bodies.
+func (s *Server) cacheKey(route, rest string) string {
+	return strconv.FormatUint(s.ix.Version(), 10) + "\x00" + route + "\x00" + rest
+}
+
+func (s *Server) handleLatency(w http.ResponseWriter, r *http.Request) {
+	if s.catalogOr503(w) == nil {
+		return
+	}
+	q := r.URL.Query()
+	locKey, game := q.Get("location"), q.Get("game")
+	if locKey == "" || game == "" {
+		writeError(w, http.StatusBadRequest,
+			"missing required parameters: location and game")
+		return
+	}
+	key := strings.ToLower(locKey) + "::" + strings.ToLower(game)
+	e, ok := s.ix.Get(key)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no data for {%s, %s}", locKey, game)
+		return
+	}
+	// Fast 304 path: the ETag is precomputed, no body work at all.
+	if etagMatches(r.Header.Get("If-None-Match"), e.etag) {
+		mNotModified.Inc()
+		w.Header().Set("ETag", e.etag)
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	ck := s.cacheKey("latency", key)
+	body, etag, hit := s.cache.get(ck)
+	if hit {
+		mCacheHits.Inc()
+	} else {
+		mCacheMisses.Inc()
+		body, etag = mustMarshal(e.resp), e.etag
+		s.cache.add(ck, body, etag)
+	}
+	writeJSON(w, r, body, etag)
+}
+
+// lookupPair resolves one /v1/compare side parameter.
+func (s *Server) lookupPair(w http.ResponseWriter, name, raw string) (*Entry, bool) {
+	if raw == "" {
+		writeError(w, http.StatusBadRequest,
+			"missing required parameter: %s (format <location-key>::<game>)", name)
+		return nil, false
+	}
+	locKey, game, ok := SplitPairKey(raw)
+	if !ok {
+		writeError(w, http.StatusBadRequest,
+			"malformed %s=%q: want <location-key>::<game>", name, raw)
+		return nil, false
+	}
+	e, found := s.ix.Get(strings.ToLower(locKey) + "::" + strings.ToLower(game))
+	if !found {
+		writeError(w, http.StatusNotFound, "no data for %s={%s, %s}", name, locKey, game)
+		return nil, false
+	}
+	return e, true
+}
+
+func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
+	if s.catalogOr503(w) == nil {
+		return
+	}
+	q := r.URL.Query()
+	a, ok := s.lookupPair(w, "a", q.Get("a"))
+	if !ok {
+		return
+	}
+	b, ok := s.lookupPair(w, "b", q.Get("b"))
+	if !ok {
+		return
+	}
+	etag := combineETags(a.etag, b.etag)
+	if etagMatches(r.Header.Get("If-None-Match"), etag) {
+		mNotModified.Inc()
+		w.Header().Set("ETag", etag)
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	ck := s.cacheKey("compare", a.Key+"\x00"+b.Key)
+	body, cachedTag, hit := s.cache.get(ck)
+	if hit {
+		mCacheHits.Inc()
+		writeJSON(w, r, body, cachedTag)
+		return
+	}
+	mCacheMisses.Inc()
+	dist, ok := stats.Wasserstein1OK(a.Sorted, b.Sorted)
+	if !ok {
+		// Entries always hold at least one finite point, so this is
+		// unreachable in practice — but the API must never emit NaN.
+		writeError(w, http.StatusUnprocessableEntity,
+			"distance undefined for this pair")
+		return
+	}
+	side := func(e *Entry) CompareSideJSON {
+		med, _ := stats.PercentileOK(e.Sorted, 50)
+		return CompareSideJSON{
+			Location: locationJSON(e.Location),
+			Game:     e.Game,
+			N:        e.N(),
+			MedianMs: stats.Sanitize(med),
+		}
+	}
+	body = mustMarshal(CompareResponse{
+		A:             side(a),
+		B:             side(b),
+		WassersteinMs: stats.Sanitize(dist),
+	})
+	s.cache.add(ck, body, etag)
+	writeJSON(w, r, body, etag)
+}

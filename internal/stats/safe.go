@@ -1,0 +1,82 @@
+package stats
+
+import "math"
+
+// This file holds the defensive variants of the statistics the serving API
+// (internal/serve) computes over user-selected distributions. A query can
+// legitimately hit an empty or single-point distribution; these helpers
+// return a defined zero value plus ok=false instead of panicking or leaking
+// NaN/Inf into a JSON encoder (encoding/json refuses to marshal them).
+
+// Finite reports whether v is an ordinary float64: neither NaN nor ±Inf.
+func Finite(v float64) bool {
+	return !math.IsNaN(v) && !math.IsInf(v, 0)
+}
+
+// Sanitize returns v unchanged when it is finite and 0 otherwise, making a
+// computed statistic safe to hand to encoding/json unconditionally.
+func Sanitize(v float64) float64 {
+	if Finite(v) {
+		return v
+	}
+	return 0
+}
+
+// PercentileOK is Percentile with an explicit validity flag: it returns
+// (0, false) for empty input and for a non-finite percentile request, and
+// otherwise a finite interpolated percentile with ok=true. A single-point
+// distribution is valid — every percentile is that point.
+func PercentileOK(xs []float64, p float64) (float64, bool) {
+	if len(xs) == 0 || math.IsNaN(p) {
+		return 0, false
+	}
+	v := Percentile(xs, p)
+	if !Finite(v) {
+		return 0, false
+	}
+	return v, true
+}
+
+// MinMaxOK returns the extremes of xs without the panic of Min/Max:
+// (0, 0, false) for empty input.
+func MinMaxOK(xs []float64) (min, max float64, ok bool) {
+	if len(xs) == 0 {
+		return 0, 0, false
+	}
+	min, max = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < min {
+			min = x
+		}
+		if x > max {
+			max = x
+		}
+	}
+	return min, max, true
+}
+
+// Wasserstein1OK is Wasserstein1 with an explicit validity flag: the
+// distance is only defined when both samples are non-empty, and the result
+// is guaranteed finite when ok=true (a NaN or Inf sample value yields
+// (0, false) rather than poisoning downstream JSON). Two single-point
+// distributions are valid — the distance is |a-b|.
+func Wasserstein1OK(xs, ys []float64) (float64, bool) {
+	if len(xs) == 0 || len(ys) == 0 {
+		return 0, false
+	}
+	for _, x := range xs {
+		if !Finite(x) {
+			return 0, false
+		}
+	}
+	for _, y := range ys {
+		if !Finite(y) {
+			return 0, false
+		}
+	}
+	d := Wasserstein1(xs, ys)
+	if !Finite(d) {
+		return 0, false
+	}
+	return d, true
+}

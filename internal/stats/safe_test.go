@@ -1,0 +1,91 @@
+package stats
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+)
+
+func TestPercentileOK(t *testing.T) {
+	cases := []struct {
+		name   string
+		xs     []float64
+		p      float64
+		want   float64
+		wantOK bool
+	}{
+		{"empty", nil, 50, 0, false},
+		{"empty high p", []float64{}, 99, 0, false},
+		{"single point", []float64{42}, 50, 42, true},
+		{"single point p0", []float64{42}, 0, 42, true},
+		{"single point p100", []float64{42}, 100, 42, true},
+		{"two points median", []float64{10, 20}, 50, 15, true},
+		{"NaN percentile", []float64{1, 2, 3}, math.NaN(), 0, false},
+		{"clamped below", []float64{1, 2, 3}, -5, 1, true},
+		{"clamped above", []float64{1, 2, 3}, 200, 3, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, ok := PercentileOK(tc.xs, tc.p)
+			if got != tc.want || ok != tc.wantOK {
+				t.Fatalf("PercentileOK(%v, %v) = (%v, %v), want (%v, %v)",
+					tc.xs, tc.p, got, ok, tc.want, tc.wantOK)
+			}
+		})
+	}
+}
+
+func TestWasserstein1OK(t *testing.T) {
+	cases := []struct {
+		name   string
+		xs, ys []float64
+		want   float64
+		wantOK bool
+	}{
+		{"both empty", nil, nil, 0, false},
+		{"left empty", nil, []float64{1}, 0, false},
+		{"right empty", []float64{1}, nil, 0, false},
+		{"single vs single", []float64{10}, []float64{25}, 15, true},
+		{"identical", []float64{1, 2, 3}, []float64{1, 2, 3}, 0, true},
+		{"NaN sample", []float64{math.NaN()}, []float64{1}, 0, false},
+		{"Inf sample", []float64{1}, []float64{math.Inf(1)}, 0, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, ok := Wasserstein1OK(tc.xs, tc.ys)
+			if got != tc.want || ok != tc.wantOK {
+				t.Fatalf("Wasserstein1OK(%v, %v) = (%v, %v), want (%v, %v)",
+					tc.xs, tc.ys, got, ok, tc.want, tc.wantOK)
+			}
+		})
+	}
+}
+
+func TestMinMaxOK(t *testing.T) {
+	if _, _, ok := MinMaxOK(nil); ok {
+		t.Fatal("MinMaxOK(nil) reported ok")
+	}
+	min, max, ok := MinMaxOK([]float64{3, 1, 2})
+	if !ok || min != 1 || max != 3 {
+		t.Fatalf("MinMaxOK = (%v, %v, %v)", min, max, ok)
+	}
+	min, max, ok = MinMaxOK([]float64{7})
+	if !ok || min != 7 || max != 7 {
+		t.Fatalf("single point: (%v, %v, %v)", min, max, ok)
+	}
+}
+
+func TestSanitizeIsJSONSafe(t *testing.T) {
+	for _, v := range []float64{math.NaN(), math.Inf(1), math.Inf(-1), 1.5, 0, -2} {
+		s := Sanitize(v)
+		if _, err := json.Marshal(s); err != nil {
+			t.Fatalf("Sanitize(%v) = %v still not marshalable: %v", v, s, err)
+		}
+	}
+	if Sanitize(1.5) != 1.5 || Sanitize(math.NaN()) != 0 || Sanitize(math.Inf(-1)) != 0 {
+		t.Fatal("Sanitize changed a finite value or passed a non-finite one")
+	}
+	if !Finite(0) || Finite(math.NaN()) || Finite(math.Inf(1)) {
+		t.Fatal("Finite misclassified")
+	}
+}

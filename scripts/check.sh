@@ -23,14 +23,18 @@ TMPDIR="${TMPDIR:-/tmp}"
 OUT="$TMPDIR/tero-check-$$.out"
 GOLD="$TMPDIR/tero-gold-$$.out"
 CHAOS="$TMPDIR/tero-chaos-$$.out"
+SERVE="$TMPDIR/tero-serve-$$.out"
 go build -o "$TMPDIR/tero-check-$$" ./cmd/tero
 "$TMPDIR/tero-check-$$" -streamers 15 -days 1 -debug-addr 127.0.0.1:0 -log warn \
     > "$OUT" 2>&1 &
 TERO_PID=$!
 cleanup() {
     kill "$TERO_PID" 2>/dev/null || true
-    rm -f "$TMPDIR/tero-check-$$" "$OUT" "$OUT.metrics" \
-        "$GOLD" "$GOLD.tables" "$CHAOS" "$CHAOS.err" "$CHAOS.tables"
+    kill "${SERVE_PID:-}" 2>/dev/null || true
+    rm -f "$TMPDIR/tero-check-$$" "$TMPDIR/teroserve-check-$$" \
+        "$OUT" "$OUT.metrics" \
+        "$GOLD" "$GOLD.tables" "$CHAOS" "$CHAOS.err" "$CHAOS.tables" \
+        "$SERVE" "$SERVE.hdr" "$SERVE.metrics"
 }
 trap cleanup EXIT
 
@@ -91,5 +95,55 @@ if ! diff -u "$GOLD.tables" "$CHAOS.tables"; then
     exit 1
 fi
 echo "faulted tables match golden ($(grep -c '^counter twitchsim_faults_injected' "$CHAOS") fault kinds injected)"
+
+echo "== serve smoke (cmd/teroserve: /healthz, /v1/latency, ETag 304, metrics) =="
+go build -o "$TMPDIR/teroserve-check-$$" ./cmd/teroserve
+"$TMPDIR/teroserve-check-$$" -streamers 12 -days 1 -addr 127.0.0.1:0 -log warn \
+    > "$SERVE" 2>&1 &
+SERVE_PID=$!
+
+# Wait for the API to come up, then for the first publish to make it ready
+# (teroserve prints a fully-encoded sample query URL once it has entries).
+SADDR=""
+SQUERY=""
+i=0
+while [ $i -lt 300 ]; do
+    SADDR=$(sed -n 's|^teroserve listening at http://\([^ ]*\).*|\1|p' "$SERVE" | head -n 1)
+    SQUERY=$(sed -n 's|^sample query: \(http://[^ ]*\)$|\1|p' "$SERVE" | head -n 1)
+    [ -n "$SQUERY" ] && break
+    if ! kill -0 "$SERVE_PID" 2>/dev/null; then
+        echo "teroserve exited before publishing:" >&2
+        cat "$SERVE" >&2
+        exit 1
+    fi
+    i=$((i + 1))
+    sleep 0.2
+done
+[ -n "$SADDR" ] || { echo "teroserve never announced an address" >&2; exit 1; }
+[ -n "$SQUERY" ] || { echo "teroserve never published a sample query" >&2; exit 1; }
+
+curl -fsS -o /dev/null "http://$SADDR/healthz" \
+    || { echo "/healthz not serving" >&2; exit 1; }
+curl -fsS -o /dev/null "http://$SADDR/readyz" \
+    || { echo "/readyz not ready after publish" >&2; exit 1; }
+
+# First latency query must be a 200 with an ETag; replaying that ETag via
+# If-None-Match must short-circuit to a bodyless 304.
+curl -fsS -D "$SERVE.hdr" -o /dev/null "$SQUERY" \
+    || { echo "sample latency query failed: $SQUERY" >&2; exit 1; }
+ETAG=$(sed -n 's/^[Ee][Tt][Aa][Gg]: *//p' "$SERVE.hdr" | tr -d '\r' | head -n 1)
+[ -n "$ETAG" ] || { echo "latency response carried no ETag" >&2; exit 1; }
+CODE=$(curl -s -o /dev/null -w '%{http_code}' -H "If-None-Match: $ETAG" "$SQUERY")
+[ "$CODE" = "304" ] \
+    || { echo "ETag replay returned $CODE, want 304" >&2; exit 1; }
+
+# The serve middleware must have counted those requests on /metrics.
+curl -fsS "http://$SADDR/metrics" > "$SERVE.metrics"
+grep -q '^counter serve_http_requests_total' "$SERVE.metrics" \
+    || { echo "/metrics has no serve request counters" >&2; exit 1; }
+grep -q '^counter serve_not_modified_total' "$SERVE.metrics" \
+    || { echo "/metrics did not count the 304" >&2; exit 1; }
+echo "serve smoke ok: $SQUERY -> 200, ETag $ETAG replay -> 304"
+kill "$SERVE_PID" 2>/dev/null || true
 
 echo "OK"
