@@ -13,6 +13,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"tero/internal/experiments"
@@ -41,9 +43,46 @@ func run() int {
 		faults = flag.Float64("faults", 0,
 			"platform fault-injection rate for the pipeline experiments "+
 				"(0 = off, 1 = calibrated default mix; the chaos experiment defaults to 1)")
-		faultSeed = flag.Int64("fault-seed", 1, "fault-injection schedule seed")
+		faultSeed  = flag.Int64("fault-seed", 1, "fault-injection schedule seed")
+		cpuprofile = flag.String("cpuprofile", "",
+			"write a CPU profile of the run to this file")
+		memprofile = flag.String("memprofile", "",
+			"write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			f.Close()
+			return 1
+		}
+		// run() (not main) holds the defers, so the profile is flushed on
+		// every exit path, including experiment failures.
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize up-to-date allocation stats
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			}
+		}()
+	}
 
 	if lv, ok := obs.ParseLevel(*logLevel); ok {
 		obs.SetLogLevel(lv)

@@ -60,7 +60,8 @@ type Extractor struct {
 	CloseIter int
 }
 
-// New returns an Extractor with the paper's default pipeline.
+// New returns an Extractor with the paper's default pipeline, running the
+// engines on the default bit-packed kernels.
 func New() *Extractor {
 	return &Extractor{
 		Engines:   ocr.Engines(),
@@ -69,6 +70,15 @@ func New() *Extractor {
 		BlurSigma: 0.5,
 		CloseIter: 0,
 	}
+}
+
+// NewScalar returns the same pipeline on the byte-per-pixel reference
+// kernels. It exists for the packed-vs-scalar equivalence tests and
+// benchmarks; Extract results are bit-identical to New's.
+func NewScalar() *Extractor {
+	e := New()
+	e.Engines = ocr.ScalarEngines()
+	return e
 }
 
 // Extract runs the full four-step pipeline on a thumbnail. The crop and the

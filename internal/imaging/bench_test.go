@@ -1,0 +1,182 @@
+package imaging
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// benchImage builds a text-like binary scene: sparse glyph-sized blobs on a
+// dark background, the shape the OCR kernels actually see.
+func benchImage(w, h int) *Gray {
+	r := rand.New(rand.NewSource(int64(w*1000 + h)))
+	g := New(w, h)
+	for i := 0; i < w*h/160; i++ {
+		x, y := r.Intn(w), r.Intn(h)
+		g.FillRect(Rect{X0: x, Y0: y, X1: x + 2 + r.Intn(8), Y1: y + 4 + r.Intn(10)}, uint8(160+r.Intn(96)))
+	}
+	return g
+}
+
+var benchSizes = []struct{ w, h int }{{160, 48}, {640, 360}}
+
+// The per-kernel packed-vs-scalar microbenchmarks. Each pair runs the scalar
+// reference and the word-wise kernel on the same input so the ratio in
+// BENCH_pr5.json is directly the packing speedup.
+
+func BenchmarkThreshold(b *testing.B) {
+	for _, sz := range benchSizes {
+		g := benchImage(sz.w, sz.h)
+		b.Run(fmt.Sprintf("%dx%d/scalar", sz.w, sz.h), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				Recycle(g.Threshold(140))
+			}
+		})
+		b.Run(fmt.Sprintf("%dx%d/packed", sz.w, sz.h), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				RecycleBitmap(g.PackGE(140))
+			}
+		})
+	}
+}
+
+func BenchmarkDilate(b *testing.B) {
+	for _, sz := range benchSizes {
+		g := benchImage(sz.w, sz.h)
+		bin := g.Threshold(140)
+		pb := g.PackGE(140)
+		b.Run(fmt.Sprintf("%dx%d/scalar", sz.w, sz.h), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				Recycle(bin.Dilate())
+			}
+		})
+		b.Run(fmt.Sprintf("%dx%d/packed", sz.w, sz.h), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				RecycleBitmap(pb.Dilate())
+			}
+		})
+	}
+}
+
+func BenchmarkErode(b *testing.B) {
+	for _, sz := range benchSizes {
+		g := benchImage(sz.w, sz.h)
+		bin := g.Threshold(140)
+		pb := g.PackGE(140)
+		b.Run(fmt.Sprintf("%dx%d/scalar", sz.w, sz.h), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				Recycle(bin.Erode())
+			}
+		})
+		b.Run(fmt.Sprintf("%dx%d/packed", sz.w, sz.h), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				RecycleBitmap(pb.Erode())
+			}
+		})
+	}
+}
+
+func BenchmarkForegroundCount(b *testing.B) {
+	for _, sz := range benchSizes {
+		g := benchImage(sz.w, sz.h)
+		bin := g.Threshold(140)
+		pb := g.PackGE(140)
+		b.Run(fmt.Sprintf("%dx%d/scalar", sz.w, sz.h), func(b *testing.B) {
+			n := 0
+			for i := 0; i < b.N; i++ {
+				n = 0
+				for _, p := range bin.Pix {
+					if p != 0 {
+						n++
+					}
+				}
+			}
+			_ = n
+		})
+		b.Run(fmt.Sprintf("%dx%d/packed", sz.w, sz.h), func(b *testing.B) {
+			n := 0
+			for i := 0; i < b.N; i++ {
+				n = pb.Count()
+			}
+			_ = n
+		})
+	}
+}
+
+func BenchmarkColumnProjection(b *testing.B) {
+	for _, sz := range benchSizes {
+		g := benchImage(sz.w, sz.h)
+		bin := g.Threshold(140)
+		pb := g.PackGE(140)
+		b.Run(fmt.Sprintf("%dx%d/scalar", sz.w, sz.h), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_ = bin.ColumnProjection()
+			}
+		})
+		b.Run(fmt.Sprintf("%dx%d/packed", sz.w, sz.h), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_ = pb.ColumnProjection()
+			}
+		})
+	}
+}
+
+func BenchmarkConnectedComponents(b *testing.B) {
+	for _, sz := range benchSizes {
+		g := benchImage(sz.w, sz.h)
+		bin := g.Threshold(140)
+		pb := g.PackGE(140)
+		b.Run(fmt.Sprintf("%dx%d/scalar", sz.w, sz.h), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_ = bin.ConnectedComponents()
+			}
+		})
+		b.Run(fmt.Sprintf("%dx%d/packed", sz.w, sz.h), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_ = pb.ConnectedComponents()
+			}
+		})
+	}
+}
+
+func BenchmarkUpscale2x(b *testing.B) {
+	for _, sz := range benchSizes {
+		g := benchImage(sz.w, sz.h)
+		bin := g.Threshold(140)
+		pb := g.PackGE(140)
+		b.Run(fmt.Sprintf("%dx%d/scalar", sz.w, sz.h), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				Recycle(bin.ScaleNearest(2))
+			}
+		})
+		b.Run(fmt.Sprintf("%dx%d/packed", sz.w, sz.h), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				RecycleBitmap(pb.Upscale2x())
+			}
+		})
+	}
+}
+
+func BenchmarkGaussianBlur(b *testing.B) {
+	for _, sz := range benchSizes {
+		g := benchImage(sz.w, sz.h)
+		b.Run(fmt.Sprintf("%dx%d", sz.w, sz.h), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				Recycle(g.GaussianBlur(0.5))
+			}
+		})
+	}
+}

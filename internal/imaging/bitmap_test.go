@@ -1,0 +1,184 @@
+package imaging
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// grayEqual reports whether two images match in size and pixels.
+func grayEqual(a, b *Gray) bool {
+	return a.W == b.W && a.H == b.H && reflect.DeepEqual(a.Pix, b.Pix)
+}
+
+// scalarCountFg is the reference foreground counter the packed popcount
+// replaces.
+func scalarCountFg(g *Gray) int {
+	n := 0
+	for _, p := range g.Pix {
+		if p != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// fuzzSizes exercises the edge-word masking: widths below, at, and just
+// past the 64-bit word boundary, plus multi-word rows.
+var fuzzSizes = []struct{ w, h int }{
+	{1, 1}, {5, 3}, {63, 7}, {64, 4}, {65, 5}, {100, 20},
+	{127, 3}, {128, 2}, {129, 9}, {200, 30}, {64, 1}, {1, 64}, {66, 40},
+}
+
+// TestBitmapOpsMatchGray fuzzes every packed kernel against its scalar
+// reference on random images, including widths not divisible by 64.
+func TestBitmapOpsMatchGray(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	sizes := fuzzSizes
+	for i := 0; i < 20; i++ {
+		sizes = append(sizes, struct{ w, h int }{1 + r.Intn(180), 1 + r.Intn(40)})
+	}
+	for _, sz := range sizes {
+		for trial := 0; trial < 4; trial++ {
+			g := New(sz.w, sz.h)
+			// Mix of dense noise and sparse text-like blobs.
+			if trial%2 == 0 {
+				for i := range g.Pix {
+					g.Pix[i] = uint8(r.Intn(256))
+				}
+			} else {
+				for i := 0; i < 5; i++ {
+					x, y := r.Intn(sz.w), r.Intn(sz.h)
+					g.FillRect(Rect{X0: x, Y0: y, X1: x + 1 + r.Intn(8), Y1: y + 1 + r.Intn(5)}, 255)
+				}
+			}
+			thr := uint8(1 + r.Intn(255))
+			bin := g.Threshold(thr)
+			pb := g.PackGE(thr)
+
+			if !grayEqual(pb.Unpack(), bin) {
+				t.Fatalf("%dx%d thr=%d: PackGE != Threshold", sz.w, sz.h, thr)
+			}
+			if !grayEqual(g.PackLE(thr-1).Unpack(), g.ThresholdBelow(thr)) {
+				t.Fatalf("%dx%d thr=%d: PackLE != ThresholdBelow", sz.w, sz.h, thr)
+			}
+			if pb.Count() != scalarCountFg(bin) {
+				t.Fatalf("%dx%d: Count=%d want %d", sz.w, sz.h, pb.Count(), scalarCountFg(bin))
+			}
+			if !reflect.DeepEqual(pb.ColumnProjection(), bin.ColumnProjection()) {
+				t.Fatalf("%dx%d: ColumnProjection mismatch", sz.w, sz.h)
+			}
+			for _, gapMin := range []int{1, 2, 3} {
+				if !reflect.DeepEqual(pb.SegmentColumns(gapMin), bin.SegmentColumns(gapMin)) {
+					t.Fatalf("%dx%d: SegmentColumns(%d) mismatch", sz.w, sz.h, gapMin)
+				}
+			}
+			if pb.TightBox() != bin.TightBox() {
+				t.Fatalf("%dx%d: TightBox %+v want %+v", sz.w, sz.h, pb.TightBox(), bin.TightBox())
+			}
+			if !grayEqual(pb.Dilate().Unpack(), bin.Dilate()) {
+				t.Fatalf("%dx%d: Dilate mismatch", sz.w, sz.h)
+			}
+			if !grayEqual(pb.Erode().Unpack(), bin.Erode()) {
+				t.Fatalf("%dx%d: Erode mismatch", sz.w, sz.h)
+			}
+			if !grayEqual(pb.Upscale2x().Unpack(), bin.ScaleNearest(2)) {
+				t.Fatalf("%dx%d: Upscale2x mismatch", sz.w, sz.h)
+			}
+			pc := pb.ConnectedComponents()
+			sc := bin.ConnectedComponents()
+			if len(pc) != len(sc) || (len(pc) > 0 && !reflect.DeepEqual(pc, sc)) {
+				t.Fatalf("%dx%d: ConnectedComponents mismatch:\npacked %+v\nscalar %+v", sz.w, sz.h, pc, sc)
+			}
+			// Sub-rect kernels against crop-based references.
+			for j := 0; j < 4; j++ {
+				x0, y0 := r.Intn(sz.w), r.Intn(sz.h)
+				rect := Rect{X0: x0, Y0: y0, X1: x0 + 1 + r.Intn(sz.w), Y1: y0 + 1 + r.Intn(sz.h)}
+				sub := bin.Crop(rect)
+				if got, want := pb.CountIn(rect), scalarCountFg(sub); got != want {
+					t.Fatalf("%dx%d %+v: CountIn=%d want %d", sz.w, sz.h, rect, got, want)
+				}
+				if got, want := pb.TightBoxIn(rect), sub.TightBox(); got != want {
+					t.Fatalf("%dx%d %+v: TightBoxIn=%+v want %+v", sz.w, sz.h, rect, got, want)
+				}
+				if !grayEqual(pb.UnpackIn(rect), sub) {
+					t.Fatalf("%dx%d %+v: UnpackIn != Crop", sz.w, sz.h, rect)
+				}
+				if box, cnt := pb.TightBoxCountIn(rect); box != sub.TightBox() || cnt != scalarCountFg(sub) {
+					t.Fatalf("%dx%d %+v: TightBoxCountIn=(%+v,%d) want (%+v,%d)",
+						sz.w, sz.h, rect, box, cnt, sub.TightBox(), scalarCountFg(sub))
+				}
+			}
+		}
+	}
+}
+
+func TestBitmapGetSetUnpack(t *testing.T) {
+	b := NewBitmap(70, 3) // spans a word boundary
+	b.Set(0, 0, true)
+	b.Set(63, 1, true)
+	b.Set(64, 1, true)
+	b.Set(69, 2, true)
+	if !b.Get(0, 0) || !b.Get(63, 1) || !b.Get(64, 1) || !b.Get(69, 2) {
+		t.Fatal("Set/Get")
+	}
+	b.Set(63, 1, false)
+	if b.Get(63, 1) {
+		t.Fatal("clear failed")
+	}
+	// Out-of-bounds are safe.
+	b.Set(-1, 0, true)
+	b.Set(70, 0, true)
+	if b.Get(-1, 0) || b.Get(70, 0) || b.Get(0, 3) {
+		t.Fatal("out-of-bounds reads must be false")
+	}
+	g := b.Unpack()
+	if g.At(0, 0) != 255 || g.At(64, 1) != 255 || g.At(1, 0) != 0 {
+		t.Fatal("Unpack content")
+	}
+	if b.Count() != 3 {
+		t.Fatalf("Count=%d want 3", b.Count())
+	}
+}
+
+func TestBitmapPaddingStaysZero(t *testing.T) {
+	// Dilation of a fully-set 65-wide bitmap must not leak into padding
+	// bits (which would corrupt popcounts).
+	g := NewFilled(65, 4, 255)
+	pb := g.PackGE(1)
+	d := pb.Dilate()
+	if got := d.Count(); got != 65*4 {
+		t.Fatalf("dilate leaked into padding: count=%d want %d", got, 65*4)
+	}
+	// Erosion must treat padding as foreground (out-of-image never vetoes):
+	// a fully-set image erodes to itself.
+	e := pb.Erode()
+	if got := e.Count(); got != 65*4 {
+		t.Fatalf("erode consumed border: count=%d want %d", got, 65*4)
+	}
+}
+
+func TestBitmapRecycle(t *testing.T) {
+	b := NewBitmap(100, 10)
+	b.Set(5, 5, true)
+	RecycleBitmap(b)
+	if b.W != 0 || b.H != 0 || len(b.Words) != 0 {
+		t.Fatal("recycled bitmap should be a husk")
+	}
+	RecycleBitmap(nil) // must not panic
+	// A fresh bitmap from the pool is zeroed.
+	n := NewBitmap(10, 10)
+	if n.Count() != 0 {
+		t.Fatal("pooled bitmap not zeroed")
+	}
+}
+
+func TestBitmapEmpty(t *testing.T) {
+	b := NewBitmap(0, 0)
+	if b.Count() != 0 || len(b.ConnectedComponents()) != 0 || len(b.SegmentColumns(1)) != 0 {
+		t.Fatal("empty bitmap ops")
+	}
+	if !b.TightBox().Empty() {
+		t.Fatal("empty tight box")
+	}
+}

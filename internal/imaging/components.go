@@ -57,7 +57,14 @@ func (g *Gray) ConnectedComponents() []Component {
 		}
 		comps = append(comps, comp)
 	}
-	// Order left-to-right (stable for equal X0 by Y0).
+	sortComponents(comps)
+	return comps
+}
+
+// sortComponents orders components left-to-right (stable for equal X0 by
+// Y0, then by discovery order) — shared by the scalar flood fill and the
+// packed run-based labeller so both emit identical sequences.
+func sortComponents(comps []Component) {
 	for i := 1; i < len(comps); i++ {
 		for j := i; j > 0; j-- {
 			a, b := comps[j-1], comps[j]
@@ -68,7 +75,6 @@ func (g *Gray) ConnectedComponents() []Component {
 			}
 		}
 	}
-	return comps
 }
 
 // ColumnProjection returns, for each column, the count of foreground

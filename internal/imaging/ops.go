@@ -65,41 +65,124 @@ func (g *Gray) GaussianBlur(sigma float64) *Gray {
 		kernel[i] /= sum
 	}
 	// Horizontal pass. The intermediate rows are pure scratch: pooled, and
-	// fully overwritten before the vertical pass reads them.
+	// fully overwritten before the vertical pass reads them. Interior
+	// columns never clamp, so they run as a straight dot product; only the
+	// radius-wide borders pay the clamp branches. The accumulation order is
+	// identical to the naive loop, so the output stays bit-identical.
 	tmp := getF64(g.W * g.H)
 	defer putF64(tmp)
-	for y := 0; y < g.H; y++ {
-		for x := 0; x < g.W; x++ {
-			acc := 0.0
-			for k, kv := range kernel {
-				sx := x + k - radius
-				if sx < 0 {
-					sx = 0
-				}
-				if sx >= g.W {
-					sx = g.W - 1
-				}
-				acc += kv * float64(g.Pix[y*g.W+sx])
-			}
-			tmp[y*g.W+x] = acc
+	// Per-tap lookup tables: lut[k*256+p] = kernel[k] * float64(p). The
+	// products are precomputed exactly, so accumulating table entries in tap
+	// order gives the bit-identical sum while replacing a convert+multiply
+	// per sample with one indexed load.
+	lut := getF64(len(kernel) * 256)
+	defer putF64(lut)
+	for k, kv := range kernel {
+		tab := lut[k*256 : k*256+256]
+		for p := range tab {
+			tab[p] = kv * float64(p)
 		}
 	}
-	// Vertical pass.
-	out := New(g.W, g.H)
-	for y := 0; y < g.H; y++ {
-		for x := 0; x < g.W; x++ {
-			acc := 0.0
-			for k, kv := range kernel {
-				sy := y + k - radius
-				if sy < 0 {
-					sy = 0
-				}
-				if sy >= g.H {
-					sy = g.H - 1
-				}
-				acc += kv * tmp[sy*g.W+x]
+	inLo, inHi := radius, g.W-radius
+	if inHi < inLo {
+		inLo, inHi = 0, 0 // image narrower than the kernel: all border
+	}
+	borderX := func(rowIn []uint8, rowOut []float64, x int) {
+		acc := 0.0
+		for k := range kernel {
+			sx := x + k - radius
+			if sx < 0 {
+				sx = 0
 			}
-			out.Pix[y*g.W+x] = uint8(acc + 0.5)
+			if sx >= g.W {
+				sx = g.W - 1
+			}
+			acc += lut[k*256+int(rowIn[sx])]
+		}
+		rowOut[x] = acc
+	}
+	for y := 0; y < g.H; y++ {
+		rowIn := g.Pix[y*g.W : (y+1)*g.W]
+		rowOut := tmp[y*g.W : (y+1)*g.W]
+		for x := 0; x < inLo; x++ {
+			borderX(rowIn, rowOut, x)
+		}
+		if radius == 2 {
+			// The pipeline default (sigma 0.5): unroll the 5 taps. The sum
+			// associates left-to-right like the accumulator loop, so the
+			// result is bit-identical.
+			l0, l1, l2 := lut[0:256], lut[256:512], lut[512:768]
+			l3, l4 := lut[768:1024], lut[1024:1280]
+			for x := inLo; x < inHi; x++ {
+				win := rowIn[x-2 : x+3]
+				rowOut[x] = l0[win[0]] + l1[win[1]] + l2[win[2]] + l3[win[3]] + l4[win[4]]
+			}
+		} else {
+			for x := inLo; x < inHi; x++ {
+				acc := 0.0
+				win := rowIn[x-radius:]
+				for k := range kernel {
+					acc += lut[k<<8+int(win[k])]
+				}
+				rowOut[x] = acc
+			}
+		}
+		for x := inHi; x < g.W; x++ {
+			borderX(rowIn, rowOut, x)
+		}
+	}
+	// Vertical pass, kernel-tap outer and column inner: each tap streams a
+	// whole intermediate row into a per-row accumulator instead of striding
+	// down columns. Per output pixel the taps still accumulate in kernel
+	// order (acc = k0*v0, then += k1*v1, ...), so this too is bit-identical
+	// to the naive loop (0.0 + a == a exactly for the non-negative taps).
+	out := New(g.W, g.H)
+	clampY := func(sy int) []float64 {
+		if sy < 0 {
+			sy = 0
+		}
+		if sy >= g.H {
+			sy = g.H - 1
+		}
+		return tmp[sy*g.W : (sy+1)*g.W]
+	}
+	if radius == 2 {
+		// 5-tap unroll: one pass per output row, taps accumulated in kernel
+		// order exactly like the accumulator loop below.
+		k0, k1, k2, k3, k4 := kernel[0], kernel[1], kernel[2], kernel[3], kernel[4]
+		for y := 0; y < g.H; y++ {
+			r0, r1, r2 := clampY(y-2), clampY(y-1), clampY(y)
+			r3, r4 := clampY(y+1), clampY(y+2)
+			rowOut := out.Pix[y*g.W : (y+1)*g.W]
+			for x := range rowOut {
+				v := k0 * r0[x]
+				v += k1 * r1[x]
+				v += k2 * r2[x]
+				v += k3 * r3[x]
+				v += k4 * r4[x]
+				rowOut[x] = uint8(v + 0.5)
+			}
+		}
+		return out
+	}
+	acc := getF64(g.W)
+	defer putF64(acc)
+	for y := 0; y < g.H; y++ {
+		for k, kv := range kernel {
+			row := clampY(y + k - radius)
+			if k == 0 {
+				for x, v := range row {
+					acc[x] = kv * v
+				}
+			} else {
+				for x, v := range row {
+					acc[x] += kv * v
+				}
+			}
+		}
+		rowOut := out.Pix[y*g.W : (y+1)*g.W]
+		for x, v := range acc {
+			rowOut[x] = uint8(v + 0.5)
 		}
 	}
 	return out
@@ -116,12 +199,34 @@ func (g *Gray) Threshold(t uint8) *Gray {
 	return out
 }
 
+// ThresholdBelow returns a binary image with the inverted comparison:
+// pixels < t become 255, others 0. Binarizing a dark-foreground image this
+// way is exactly Invert() followed by Threshold(255-t+1), without the two
+// extra full-image passes.
+func (g *Gray) ThresholdBelow(t uint8) *Gray {
+	out := New(g.W, g.H)
+	for i, p := range g.Pix {
+		if p < t {
+			out.Pix[i] = 255
+		}
+	}
+	return out
+}
+
 // OtsuThreshold computes the Otsu threshold of the image: the level that
 // maximizes between-class variance of the intensity histogram [Otsu 1979],
 // as cited by the paper's pre-processing step (App. E).
 func (g *Gray) OtsuThreshold() uint8 {
 	hist := g.Histogram256()
-	total := len(g.Pix)
+	return OtsuHistogram(&hist, len(g.Pix))
+}
+
+// OtsuHistogram computes the Otsu threshold directly from an intensity
+// histogram with the given pixel total. Callers that already hold the
+// histogram (for polarity detection, or for a synthetically scaled image
+// whose histogram is a known multiple) avoid re-scanning pixels. The
+// returned threshold is always >= 1.
+func OtsuHistogram(hist *[256]int, total int) uint8 {
 	if total == 0 {
 		return 128
 	}

@@ -43,6 +43,43 @@ func Recycle(g *Gray) {
 	grayPool.Put(g)
 }
 
+// bitmapPool recycles packed binary images exactly like grayPool recycles
+// Gray: the OCR engines allocate one or two Bitmaps per Recognize call,
+// and the pipeline's concurrent extraction workers would otherwise churn
+// the allocator with them.
+var bitmapPool sync.Pool // holds *Bitmap with capacity-retained Words
+
+// newPooledBitmap returns a zeroed w×h bitmap, reusing pooled storage when
+// a recycled buffer of sufficient capacity is available. NewBitmap
+// delegates here.
+func newPooledBitmap(w, h int) *Bitmap {
+	stride := bitmapStride(w)
+	n := stride * h
+	if v := bitmapPool.Get(); v != nil {
+		b := v.(*Bitmap)
+		if cap(b.Words) >= n {
+			b.W, b.H, b.Stride = w, h, stride
+			b.Words = b.Words[:n]
+			clear(b.Words)
+			return b
+		}
+	}
+	return &Bitmap{W: w, H: h, Stride: stride, Words: make([]uint64, n)}
+}
+
+// RecycleBitmap returns a bitmap's storage to the scratch pool. The caller
+// must guarantee that no references to the bitmap or its Words slice
+// remain; the bitmap is cleared to a 0×0 husk so accidental reuse fails
+// loudly. Recycling is optional. Safe for concurrent use.
+func RecycleBitmap(b *Bitmap) {
+	if b == nil || b.Words == nil {
+		return
+	}
+	b.W, b.H, b.Stride = 0, 0, 0
+	b.Words = b.Words[:0]
+	bitmapPool.Put(b)
+}
+
 // f64Pool recycles the float64 scratch rows used by the separable Gaussian
 // blur (the single largest per-extraction transient allocation).
 var f64Pool sync.Pool // holds *[]float64

@@ -13,6 +13,9 @@ type Tessera struct {
 	Thr uint8
 	// Tol is the maximum accepted Hamming distance.
 	Tol int
+	// Scalar selects the byte-per-pixel reference kernels instead of the
+	// bit-packed default. Both paths produce identical Results.
+	Scalar bool
 }
 
 // NewTessera returns a Tessera engine with default parameters.
@@ -23,10 +26,17 @@ func (t *Tessera) Name() string { return "tessera" }
 
 // Recognize implements Engine.
 func (t *Tessera) Recognize(img *imaging.Gray) Result {
-	bin := img.Threshold(t.Thr)
+	if t.Scalar {
+		bin := img.Threshold(t.Thr)
+		segs := bin.SegmentColumns(1)
+		res := recognizeSegments(bin, segs, t.Tol, 0, 3)
+		imaging.Recycle(bin)
+		return res
+	}
+	bin := img.PackGE(t.Thr)
 	segs := bin.SegmentColumns(1)
-	res := recognizeSegments(bin, segs, t.Tol, 0, 3)
-	imaging.Recycle(bin)
+	res := recognizeSegmentsPacked(bin, segs, t.Tol, 0, 3)
+	imaging.RecycleBitmap(bin)
 	return res
 }
 
@@ -36,6 +46,8 @@ func (t *Tessera) Recognize(img *imaging.Gray) Result {
 // mis-reads more characters — the EasyOCR profile of Table 4.
 type EasyScan struct {
 	Tol int
+	// Scalar selects the byte-per-pixel reference kernels (see Tessera).
+	Scalar bool
 }
 
 // NewEasyScan returns an EasyScan engine with default parameters.
@@ -47,19 +59,35 @@ func (e *EasyScan) Name() string { return "easyscan" }
 // Recognize implements Engine.
 func (e *EasyScan) Recognize(img *imaging.Gray) Result {
 	// Adaptive binarization with polarity detection: if the foreground is
-	// darker than the background, invert so text is always 255.
-	thr := img.OtsuThreshold()
-	bin := img.Threshold(thr)
-	if countFg(bin) > len(bin.Pix)/2 {
+	// darker than the background, binarize with text as 255. Polarity is
+	// decided from the Otsu histogram alone — the >= thr tail is exactly
+	// the foreground count of Threshold(thr) — and the flipped polarity
+	// binarizes once with the inverted comparison (p < thr), which equals
+	// the old Clone+Invert+re-Threshold without the two extra image passes.
+	hist := img.Histogram256()
+	thr := imaging.OtsuHistogram(&hist, len(img.Pix))
+	inverted := histTail(&hist, thr) > len(img.Pix)/2
+	if e.Scalar {
+		var bin *imaging.Gray
+		if inverted {
+			bin = img.ThresholdBelow(thr)
+		} else {
+			bin = img.Threshold(thr)
+		}
+		segs := mergeOverlapping(componentColumns(bin.ConnectedComponents(), bin.H))
+		res := recognizeSegments(bin, segs, e.Tol, 0, 4)
 		imaging.Recycle(bin)
-		inv := img.Clone()
-		inv.Invert()
-		bin = inv.Threshold(255 - thr + 1)
-		imaging.Recycle(inv)
+		return res
 	}
-	segs := mergeOverlapping(componentColumns(bin))
-	res := recognizeSegments(bin, segs, e.Tol, 0, 4)
-	imaging.Recycle(bin)
+	var bin *imaging.Bitmap
+	if inverted {
+		bin = img.PackLE(thr - 1) // OtsuHistogram guarantees thr >= 1
+	} else {
+		bin = img.PackGE(thr)
+	}
+	segs := mergeOverlapping(componentColumns(bin.ConnectedComponents(), bin.H))
+	res := recognizeSegmentsPacked(bin, segs, e.Tol, 0, 4)
+	imaging.RecycleBitmap(bin)
 	return res
 }
 
@@ -70,6 +98,8 @@ func (e *EasyScan) Recognize(img *imaging.Gray) Result {
 type PaddleRead struct {
 	Tol       int
 	DigitBias int
+	// Scalar selects the byte-per-pixel reference kernels (see Tessera).
+	Scalar bool
 }
 
 // NewPaddleRead returns a PaddleRead engine with default parameters.
@@ -80,21 +110,12 @@ func (p *PaddleRead) Name() string { return "paddleread" }
 
 // Recognize implements Engine.
 func (p *PaddleRead) Recognize(img *imaging.Gray) Result {
-	up := img.ScaleNearest(2)
-	thr := up.OtsuThreshold()
-	bin := up.Threshold(thr)
-	if countFg(bin) > len(bin.Pix)/2 {
-		imaging.Recycle(bin)
-		inv := up.Clone()
-		inv.Invert()
-		imaging.Recycle(up)
-		up = inv
-		bin = up.Threshold(up.OtsuThreshold())
+	var res Result
+	if p.Scalar {
+		res = p.recognizeScalar(img)
+	} else {
+		res = p.recognizePacked(img)
 	}
-	segs := bin.SegmentColumns(2)
-	res := recognizeSegments(bin, segs, p.Tol, p.DigitBias, 8)
-	imaging.Recycle(bin)
-	imaging.Recycle(up)
 	// Report character boxes in the caller's coordinate system (the image
 	// was scaled 2× internally).
 	for i := range res.Chars {
@@ -107,23 +128,61 @@ func (p *PaddleRead) Recognize(img *imaging.Gray) Result {
 	return res
 }
 
-func countFg(bin *imaging.Gray) int {
-	n := 0
-	for _, px := range bin.Pix {
-		if px != 0 {
-			n++
-		}
+// recognizeScalar is the byte-per-pixel reference path.
+func (p *PaddleRead) recognizeScalar(img *imaging.Gray) Result {
+	up := img.ScaleNearest(2)
+	hist := up.Histogram256()
+	thr := imaging.OtsuHistogram(&hist, len(up.Pix))
+	if histTail(&hist, thr) > len(up.Pix)/2 {
+		// Dark-on-light: invert in place (up is private scratch) and rerun
+		// Otsu on the reversed histogram — no clone, no re-scan.
+		up.Invert()
+		rev := reverseHist(&hist)
+		thr = imaging.OtsuHistogram(&rev, len(up.Pix))
 	}
-	return n
+	bin := up.Threshold(thr)
+	segs := bin.SegmentColumns(2)
+	res := recognizeSegments(bin, segs, p.Tol, p.DigitBias, 8)
+	imaging.Recycle(bin)
+	imaging.Recycle(up)
+	return res
+}
+
+// recognizePacked runs the same pipeline on packed bitmaps. The 2× nearest
+// upscale commutes with per-pixel thresholding, and the upscaled image's
+// histogram is exactly 4× the original's, so the engine thresholds the
+// original directly into packed form and bit-doubles the bitmap — the
+// upscaled grayscale is never materialized.
+func (p *PaddleRead) recognizePacked(img *imaging.Gray) Result {
+	hist := img.Histogram256()
+	for i := range hist {
+		hist[i] *= 4
+	}
+	total := 4 * len(img.Pix)
+	thr := imaging.OtsuHistogram(&hist, total)
+	var small *imaging.Bitmap
+	if histTail(&hist, thr) > total/2 {
+		rev := reverseHist(&hist)
+		thr2 := imaging.OtsuHistogram(&rev, total)
+		// Inverted pixel >= thr2 is original pixel <= 255-thr2.
+		small = img.PackLE(255 - thr2)
+	} else {
+		small = img.PackGE(thr)
+	}
+	bin := small.Upscale2x()
+	imaging.RecycleBitmap(small)
+	segs := bin.SegmentColumns(2)
+	res := recognizeSegmentsPacked(bin, segs, p.Tol, p.DigitBias, 8)
+	imaging.RecycleBitmap(bin)
+	return res
 }
 
 // componentColumns returns one full-height column strip per connected
 // component.
-func componentColumns(bin *imaging.Gray) []imaging.Rect {
-	comps := bin.ConnectedComponents()
+func componentColumns(comps []imaging.Component, h int) []imaging.Rect {
 	out := make([]imaging.Rect, 0, len(comps))
 	for _, c := range comps {
-		out = append(out, imaging.Rect{X0: c.Box.X0, Y0: 0, X1: c.Box.X1, Y1: bin.H})
+		out = append(out, imaging.Rect{X0: c.Box.X0, Y0: 0, X1: c.Box.X1, Y1: h})
 	}
 	return out
 }

@@ -21,6 +21,14 @@
 // state on the engine, and the shared glyph template table is built once at
 // package initialization and only ever read afterwards. The concurrent
 // image-processing workers of the pipeline rely on this.
+//
+// By default every engine runs on bit-packed binary images
+// (imaging.Bitmap): binarization packs 64 pixels per word, segmentation and
+// speck rejection are popcounts, and template matching is XOR+popcount
+// against a packed template table. Setting an engine's Scalar field selects
+// the original byte-per-pixel kernels; both paths produce bit-identical
+// Results (pinned by the equivalence tests in this package and in
+// internal/imageproc).
 package ocr
 
 import (
@@ -50,9 +58,23 @@ type Engine interface {
 	Recognize(img *imaging.Gray) Result
 }
 
-// Engines returns the three engines in the order the paper lists them.
+// Engines returns the three engines in the order the paper lists them,
+// running on the default bit-packed kernels.
 func Engines() []Engine {
 	return []Engine{NewTessera(), NewEasyScan(), NewPaddleRead()}
+}
+
+// ScalarEngines returns the three engines on the byte-per-pixel reference
+// kernels. The packed and scalar paths produce bit-identical Results; the
+// scalar path exists as the reference implementation and for benchmarking.
+func ScalarEngines() []Engine {
+	t := NewTessera()
+	t.Scalar = true
+	e := NewEasyScan()
+	e.Scalar = true
+	p := NewPaddleRead()
+	p.Scalar = true
+	return []Engine{t, e, p}
 }
 
 // CellW and CellH are the dimensions of the normalized matching grid. A

@@ -1,0 +1,50 @@
+#!/bin/sh
+# Benchmark harness: runs the packed-vs-scalar kernel microbenchmarks
+# (internal/imaging, internal/ocr, internal/imageproc) and the end-to-end
+# root benchmarks (VolumePipeline, Tab4OCR) with -benchmem, and writes the
+# results as JSON records {name, ns_op, b_op, allocs_op} to BENCH_pr5.json.
+#
+# Environment overrides:
+#   BENCH_OUT         output file        (default BENCH_pr5.json)
+#   KERNEL_BENCHTIME  -benchtime for the kernel benchmarks (default 1s)
+#   ROOT_BENCHTIME    -benchtime for the root benchmarks   (default 1x)
+#
+# The smoke invocation in scripts/check.sh runs everything at 1x into a
+# throwaway file, just proving the benchmarks still execute.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+OUT="${BENCH_OUT:-BENCH_pr5.json}"
+KBENCH="${KERNEL_BENCHTIME:-1s}"
+RBENCH="${ROOT_BENCHTIME:-1x}"
+TXT="${TMPDIR:-/tmp}/tero-bench-$$.txt"
+trap 'rm -f "$TXT"' EXIT
+: > "$TXT"
+
+echo "== kernel benchmarks (-benchtime $KBENCH) =="
+go test -run '^$' -bench . -benchmem -benchtime "$KBENCH" \
+    ./internal/imaging ./internal/ocr ./internal/imageproc | tee -a "$TXT"
+
+echo "== root benchmarks (-benchtime $RBENCH) =="
+go test -run '^$' -bench '^Benchmark(VolumePipeline|Tab4OCR)$' \
+    -benchmem -benchtime "$RBENCH" . | tee -a "$TXT"
+
+awk 'BEGIN { print "["; first = 1 }
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    ns = ""; bop = "0"; aop = "0"
+    for (i = 2; i <= NF; i++) {
+        if ($i == "ns/op") ns = $(i - 1)
+        if ($i == "B/op") bop = $(i - 1)
+        if ($i == "allocs/op") aop = $(i - 1)
+    }
+    if (ns == "") next
+    if (!first) printf(",\n")
+    first = 0
+    printf("  {\"name\": \"%s\", \"ns_op\": %s, \"b_op\": %s, \"allocs_op\": %s}", name, ns, bop, aop)
+}
+END { print "\n]" }' "$TXT" > "$OUT"
+
+echo "wrote $OUT ($(grep -c '"name"' "$OUT") benchmarks)"

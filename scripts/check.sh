@@ -18,6 +18,11 @@ go test -race ./...
 echo "== benchmark smoke (VolumePipeline, 1 iteration) =="
 go test -run '^$' -bench '^BenchmarkVolumePipeline$' -benchtime 1x .
 
+echo "== bench.sh smoke (kernel + root benchmarks, 1 iteration) =="
+BENCH_OUT="${TMPDIR:-/tmp}/tero-bench-smoke-$$.json" \
+    KERNEL_BENCHTIME=1x ROOT_BENCHTIME=1x sh scripts/bench.sh
+rm -f "${TMPDIR:-/tmp}/tero-bench-smoke-$$.json"
+
 echo "== observability smoke (cmd/tero -debug-addr, scrape /metrics) =="
 TMPDIR="${TMPDIR:-/tmp}"
 OUT="$TMPDIR/tero-check-$$.out"
