@@ -117,8 +117,10 @@ func BenchmarkIndexBuild(b *testing.B) {
 }
 
 // BenchmarkServeLatencyQuery measures one /v1/latency request end-to-end
-// through the handler stack — cold (response cache flushed every request,
-// so the JSON body is marshaled each time) and cached (LRU hit).
+// through the handler stack. Since publish-time marshaling there is no
+// cold/cached split for latency — every 200 writes a body pre-marshaled at
+// snapshot build — so the dimensions are the representation (JSON vs
+// binary Accept) and the 304 revalidation path.
 func BenchmarkServeLatencyQuery(b *testing.B) {
 	ix := serve.NewIndex(0)
 	if ix.Swap(benchBuilder(b, 24, 4, 3, 60).Build()) == 0 {
@@ -126,27 +128,37 @@ func BenchmarkServeLatencyQuery(b *testing.B) {
 	}
 	srv := serve.NewServer(ix)
 	path := "/v1/latency?location=city3|r|c&game=Game1"
-	req := httptest.NewRequest(http.MethodGet, path, nil)
-	query := func(b *testing.B) {
+	query := func(b *testing.B, req *http.Request, wantCode int) {
 		w := httptest.NewRecorder()
 		srv.ServeHTTP(w, req)
-		if w.Code != http.StatusOK {
-			b.Fatalf("GET %s: %d (%s)", path, w.Code, w.Body.String())
+		if w.Code != wantCode {
+			b.Fatalf("GET %s: %d, want %d (%s)", path, w.Code, wantCode, w.Body.String())
 		}
 	}
-	b.Run("cold", func(b *testing.B) {
+	jsonReq := httptest.NewRequest(http.MethodGet, path, nil)
+	binReq := httptest.NewRequest(http.MethodGet, path, nil)
+	binReq.Header.Set("Accept", serve.ContentTypeBinary)
+	probe := httptest.NewRecorder()
+	srv.ServeHTTP(probe, jsonReq)
+	etagReq := httptest.NewRequest(http.MethodGet, path, nil)
+	etagReq.Header.Set("If-None-Match", probe.Header().Get("ETag"))
+
+	b.Run("json", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			srv.FlushCache()
-			query(b)
+			query(b, jsonReq, http.StatusOK)
 		}
 	})
-	b.Run("cached", func(b *testing.B) {
-		query(b) // warm the LRU
+	b.Run("binary", func(b *testing.B) {
 		b.ReportAllocs()
-		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			query(b)
+			query(b, binReq, http.StatusOK)
+		}
+	})
+	b.Run("etag304", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			query(b, etagReq, http.StatusNotModified)
 		}
 	})
 }

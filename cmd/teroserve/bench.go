@@ -1,0 +1,242 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"os"
+	"reflect"
+	"strings"
+
+	"tero/internal/serve"
+)
+
+// benchPoint is one BENCHPOINT line of the serving benchmark suite:
+// machine-readable JSON, one object per measurement, greppable by prefix.
+// scripts/bench_serve.sh collects them into BENCH_serve.json.
+type benchPoint struct {
+	Phase         string  `json:"phase"`
+	Mode          string  `json:"mode"` // "tcp" or "inproc"
+	Binary        bool    `json:"binary"`
+	Replicas      int     `json:"replicas"`
+	Clients       int     `json:"clients"`
+	Requests      int     `json:"requests"`
+	OK            int     `json:"ok"`
+	NotModified   int     `json:"not_modified"`
+	Shed          int     `json:"shed"`
+	Errors        int     `json:"errors"`
+	ErrorRate     float64 `json:"error_rate"`
+	ThroughputRPS float64 `json:"throughput_rps"`
+	GoodputRPS    float64 `json:"goodput_rps"`
+	P50Ms         float64 `json:"p50_ms"`
+	P99Ms         float64 `json:"p99_ms"`
+	AvgBodyBytes  float64 `json:"avg_body_bytes"`
+}
+
+// emit prints one benchmark point, both human-readable and as a BENCHPOINT
+// JSON line.
+func emit(phase, mode string, binary bool, replicas int, rep serve.LoadReport) {
+	pt := benchPoint{
+		Phase:         phase,
+		Mode:          mode,
+		Binary:        binary,
+		Replicas:      replicas,
+		Clients:       rep.Clients,
+		Requests:      rep.Requests,
+		OK:            rep.OK,
+		NotModified:   rep.NotModified,
+		Shed:          rep.Shed,
+		Errors:        rep.ServerErrors + rep.TransportErrs + rep.ClientErrors,
+		ErrorRate:     rep.ErrorRate(),
+		ThroughputRPS: rep.Throughput,
+		P50Ms:         rep.P50Ms,
+		P99Ms:         rep.P99Ms,
+	}
+	if s := rep.Elapsed.Seconds(); s > 0 {
+		pt.GoodputRPS = float64(rep.OK+rep.NotModified) / s
+	}
+	if rep.OK > 0 {
+		pt.AvgBodyBytes = float64(rep.BodyBytes) / float64(rep.OK)
+	}
+	fmt.Printf("-- %s:\n%s\n", phase, rep)
+	b, err := json.Marshal(pt)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench: marshal point: %v\n", err)
+		return
+	}
+	fmt.Printf("BENCHPOINT %s\n", b)
+}
+
+// runBenchSuite measures the serving tier in five phases:
+//
+//  1. tcp_json — the PR 4 methodology (real loopback TCP, JSON), the
+//     comparable historical baseline.
+//  2. hot_json — the same workload dispatched in-process: the serving hot
+//     path (routing, admission, lookup, pre-marshaled write) without the
+//     kernel socket round-trip that dominates on a one-core container.
+//  3. hot_binary — as hot_json with Accept: application/x-tero-bin.
+//  4. inproc_replicas — three replicas over the shared snapshot, requests
+//     spread by the consistent-hash ring; the balance line shows the split.
+//  5. brownout — an admission-gated server (token bucket as the capacity
+//     knee) under an offered-load sweep; sheds bound the error rate while
+//     goodput holds at the knee.
+func runBenchSuite(ctx context.Context, srvs []*serve.Server, baseURLs []string) int {
+	run := func(lg *serve.LoadGen, phase, mode string, binary bool, replicas int) bool {
+		rep, err := lg.Run(ctx)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bench %s: %v\n", phase, err)
+			return false
+		}
+		emit(phase, mode, binary, replicas, rep)
+		return rep.ServerErrors == 0 && rep.TransportErrs == 0
+	}
+
+	okAll := true
+
+	// Phase 1: TCP + JSON, PR 4's exact shape (32 clients x 200 requests).
+	okAll = run(&serve.LoadGen{
+		BaseURL: baseURLs[0], Clients: 32, RequestsPerClient: 200,
+	}, "tcp_json", "tcp", false, 1) && okAll
+
+	// Phases 2+3: the hot path itself, in-process, JSON and binary. On a
+	// one-core box run-to-run scheduling noise (~10%) swamps any real
+	// difference between the representations, so the two phases are
+	// interleaved twice — warmup first — and each reports its best run.
+	hot := func(binary bool) *serve.LoadGen {
+		return &serve.LoadGen{
+			Handlers: []http.Handler{srvs[0]}, Clients: 32, RequestsPerClient: 4000,
+			Binary: binary,
+		}
+	}
+	if _, err := hot(false).Run(ctx); err != nil { // warmup, unmeasured
+		fmt.Fprintf(os.Stderr, "bench warmup: %v\n", err)
+		return 1
+	}
+	var bestJSON, bestBin serve.LoadReport
+	for i := 0; i < 2; i++ {
+		for _, binary := range []bool{false, true} {
+			rep, err := hot(binary).Run(ctx)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "bench hot: %v\n", err)
+				return 1
+			}
+			okAll = okAll && rep.ServerErrors == 0 && rep.TransportErrs == 0
+			if binary && rep.Throughput > bestBin.Throughput {
+				bestBin = rep
+			} else if !binary && rep.Throughput > bestJSON.Throughput {
+				bestJSON = rep
+			}
+		}
+	}
+	emit("hot_json", "inproc", false, 1, bestJSON)
+	emit("hot_binary", "inproc", true, 1, bestBin)
+
+	// Phase 4: replicas over the shared snapshot, ring-routed.
+	reps := make([]http.Handler, 0, 3)
+	for _, s := range srvs {
+		reps = append(reps, s)
+	}
+	for len(reps) < 3 {
+		// A replica is just another Server over the same index; boot extras
+		// so the balance phase always exercises a real fleet.
+		reps = append(reps, serve.NewServer(srvs[0].Index()))
+	}
+	okAll = run(&serve.LoadGen{
+		Handlers: reps, Clients: 32, RequestsPerClient: 2000,
+	}, "inproc_replicas", "inproc", false, len(reps)) && okAll
+
+	// Phase 5: brownout. A fresh gated replica whose token bucket is the
+	// capacity knee, under increasing offered load. Sheds (not timeouts,
+	// not collapse) absorb the excess.
+	gated := serve.NewServer(srvs[0].Index())
+	gated.SetAdmission(serve.NewAdmission(0, 50000, 5000))
+	for _, clients := range []int{4, 8, 16, 32, 64, 128, 256} {
+		okAll = run(&serve.LoadGen{
+			Handlers: []http.Handler{gated}, Clients: clients, RequestsPerClient: 400,
+		}, "brownout", "inproc", false, 1) && okAll
+	}
+
+	if !okAll {
+		fmt.Fprintln(os.Stderr, "bench: hard errors encountered (see phases above)")
+		return 1
+	}
+	return 0
+}
+
+// probeBinaryEquality fetches one served entry as JSON and as binary from a
+// running server and verifies the binary decode equals the JSON
+// float-for-float. Exit 0 on equality.
+func probeBinaryEquality(baseURL string) int {
+	fail := func(format string, args ...any) int {
+		fmt.Fprintf(os.Stderr, "probe-binary: "+format+"\n", args...)
+		return 1
+	}
+
+	resp, err := http.Get(baseURL + "/v1/locations")
+	if err != nil {
+		return fail("%v", err)
+	}
+	defer resp.Body.Close()
+	var listing struct {
+		Locations []serve.LocationSummary `json:"locations"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&listing); err != nil {
+		return fail("decode locations: %v", err)
+	}
+	if len(listing.Locations) == 0 || len(listing.Locations[0].Games) == 0 {
+		return fail("server lists no {location, game} pairs")
+	}
+	loc := listing.Locations[0]
+	q := url.Values{}
+	q.Set("location", loc.Location.Key)
+	q.Set("game", loc.Games[0])
+	target := baseURL + "/v1/latency?" + q.Encode()
+
+	jr, err := http.Get(target)
+	if err != nil {
+		return fail("%v", err)
+	}
+	defer jr.Body.Close()
+	jsonBody, err := io.ReadAll(jr.Body)
+	if err != nil || jr.StatusCode != http.StatusOK {
+		return fail("JSON fetch: status %d, err %v", jr.StatusCode, err)
+	}
+	var fromJSON serve.LatencyResponse
+	if err := json.Unmarshal(jsonBody, &fromJSON); err != nil {
+		return fail("unmarshal JSON: %v", err)
+	}
+
+	req, err := http.NewRequest(http.MethodGet, target, nil)
+	if err != nil {
+		return fail("%v", err)
+	}
+	req.Header.Set("Accept", serve.ContentTypeBinary)
+	br, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return fail("%v", err)
+	}
+	defer br.Body.Close()
+	binBody, err := io.ReadAll(br.Body)
+	if err != nil || br.StatusCode != http.StatusOK {
+		return fail("binary fetch: status %d, err %v", br.StatusCode, err)
+	}
+	if ct := br.Header.Get("Content-Type"); ct != serve.ContentTypeBinary {
+		return fail("binary Content-Type = %q, want %q", ct, serve.ContentTypeBinary)
+	}
+	if et := br.Header.Get("ETag"); !strings.HasPrefix(et, "\"t1b-") {
+		return fail("binary ETag = %q, want \"t1b-...\" form", et)
+	}
+	fromBin, err := serve.DecodeLatencyBinary(binBody)
+	if err != nil {
+		return fail("decode binary: %v", err)
+	}
+	if !reflect.DeepEqual(fromJSON, fromBin) {
+		return fail("binary decode differs from JSON for %s", target)
+	}
+	fmt.Printf("probe-binary: OK — %d JSON bytes == %d binary bytes decoded float-for-float (%s)\n",
+		len(jsonBody), len(binBody), target)
+	return 0
+}

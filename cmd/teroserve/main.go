@@ -2,13 +2,26 @@
 // output as a latency-information query service (§1, §6): it generates a
 // synthetic world, drives the platform → pipeline stages, publishes the
 // per-{location, game} latency distributions into a sharded in-memory
-// index, and serves them over a JSON HTTP API — republishing on a virtual
-// -refresh cadence while the observation period runs, without ever taking
-// the API down.
+// index, and serves them over an HTTP API (JSON by default, the compact
+// binary representation via Accept: application/x-tero-bin) —
+// republishing on a virtual -refresh cadence while the observation period
+// runs, without ever taking the API down.
+//
+// With -replicas N it boots N identical server instances over one shared
+// immutable snapshot, each on its own port — the single-process stand-in
+// for a replicated fleet; -peers adds externally running replicas. With
+// -max-inflight / -shed-rate an admission gate sheds overload as 503 +
+// Retry-After instead of queueing into collapse.
 //
 // With -loadtest N it additionally hammers its own API with N concurrent
 // clients after the final publish and reports throughput and tail latency,
-// exiting non-zero if any request got a 5xx.
+// exiting non-zero if any request got a non-shed 5xx. -loadtest-binary
+// requests the binary representation; -loadtest-inproc dispatches straight
+// into the handler stack (measures the serving hot path, not the kernel's
+// loopback). With -bench-serve it runs the full serving benchmark suite
+// and emits machine-readable BENCHPOINT lines. -probe-binary URL checks a
+// running server's binary representation against its JSON float-for-float
+// and exits.
 package main
 
 import (
@@ -20,6 +33,7 @@ import (
 	"net/url"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -48,9 +62,24 @@ func run() int {
 			"virtual time between index republishes while the observation runs")
 		minPoints = flag.Int("min-points", 1,
 			"minimum distribution size for a {location, game} to be served")
+		replicas = flag.Int("replicas", 1,
+			"server replicas over the shared snapshot (replica k listens on the -addr host, ephemeral port)")
+		peers = flag.String("peers", "",
+			"comma-separated base URLs of external replicas to include as load-test targets")
+		maxInflight = flag.Int("max-inflight", 0,
+			"admission control: max concurrent requests per replica (0 = unlimited)")
+		shedRate = flag.Float64("shed-rate", 0,
+			"admission control: sustained requests/second per replica (0 = unlimited)")
+		shedBurst = flag.Float64("shed-burst", 0,
+			"admission control: token-bucket burst (0 = one second at -shed-rate)")
 		loadtest = flag.Int("loadtest", 0,
 			"after the final publish, run a load test with this many concurrent clients and exit")
-		loadreqs = flag.Int("loadtest-requests", 200, "load-test requests per client")
+		loadreqs    = flag.Int("loadtest-requests", 200, "load-test requests per client")
+		loadBinary  = flag.Bool("loadtest-binary", false, "load test requests the binary representation")
+		loadInproc  = flag.Bool("loadtest-inproc", false, "load test dispatches in-process (no TCP)")
+		benchServe  = flag.Bool("bench-serve", false, "run the serving benchmark suite and exit (emits BENCHPOINT lines)")
+		probeBinary = flag.String("probe-binary", "",
+			"probe a running server at this base URL: fetch one entry as JSON and binary, verify equality, exit")
 		logLevel = flag.String("log", "info",
 			"log level: trace, debug, info, warn, error, off")
 		faults = flag.Float64("faults", 0,
@@ -66,27 +95,60 @@ func run() int {
 		return 2
 	}
 
+	if *probeBinary != "" {
+		return probeBinaryEquality(*probeBinary)
+	}
+
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	// Serving side first: the API is up (reporting not-ready) before the
 	// pipeline produces anything, the way a real deployment rolls out.
-	ix := serve.NewIndex(0)
-	srv := serve.NewServer(ix)
-	ln, err := net.Listen("tcp", *addr)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "listen %s: %v\n", *addr, err)
-		return 1
+	// Every replica owns its own index and admission gate but swaps in the
+	// same immutable snapshot, so all replicas answer byte-identically.
+	nReplicas := *replicas
+	if nReplicas < 1 {
+		nReplicas = 1
 	}
-	httpSrv := &http.Server{Handler: srv, ReadHeaderTimeout: 5 * time.Second}
-	go httpSrv.Serve(ln) //nolint:errcheck — Serve returns ErrServerClosed on Shutdown
-	baseURL := "http://" + ln.Addr().String()
-	fmt.Printf("teroserve listening at %s (not ready until first publish)\n", baseURL)
-	defer func() {
-		sdCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
-		defer cancel()
-		httpSrv.Shutdown(sdCtx) //nolint:errcheck
-	}()
+	ixs := make([]*serve.Index, nReplicas)
+	srvs := make([]*serve.Server, nReplicas)
+	baseURLs := make([]string, nReplicas)
+	for i := range ixs {
+		ixs[i] = serve.NewIndex(0)
+		srvs[i] = serve.NewServer(ixs[i])
+		if *maxInflight > 0 || *shedRate > 0 {
+			srvs[i].SetAdmission(serve.NewAdmission(*maxInflight, *shedRate, *shedBurst))
+		}
+		la := *addr
+		if i > 0 {
+			host, _, err := net.SplitHostPort(*addr)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "split %s: %v\n", *addr, err)
+				return 1
+			}
+			la = net.JoinHostPort(host, "0")
+		}
+		ln, err := net.Listen("tcp", la)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "listen %s: %v\n", la, err)
+			return 1
+		}
+		httpSrv := &http.Server{Handler: srvs[i], ReadHeaderTimeout: 5 * time.Second}
+		go httpSrv.Serve(ln) //nolint:errcheck — Serve returns ErrServerClosed on Shutdown
+		baseURLs[i] = "http://" + ln.Addr().String()
+		defer func() {
+			sdCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			httpSrv.Shutdown(sdCtx) //nolint:errcheck
+		}()
+	}
+	baseURL := baseURLs[0]
+	if nReplicas > 1 {
+		fmt.Printf("teroserve listening at %s (not ready until first publish)\n",
+			strings.Join(baseURLs, " "))
+	} else {
+		fmt.Printf("teroserve listening at %s (not ready until first publish)\n", baseURL)
+	}
 
 	// Producer side: world, platform, pipeline — as in cmd/tero.
 	cfg := worldsim.DefaultConfig(*seed)
@@ -115,9 +177,15 @@ func run() int {
 		p.ProcessThumbnails()
 		p.LocateStreamers(platform.Now())
 		n := p.Publish(builder, params)
-		entries := ix.Swap(builder.Build())
-		fmt.Printf("  published: %d analyses -> %d servable {location, game} entries (version %d)\n",
-			n, entries, ix.Version())
+		// One Build, N Swaps: the snapshot (and every pre-marshaled body
+		// inside it) is shared, immutable, and identical across replicas.
+		snap := builder.Build()
+		entries := 0
+		for _, ix := range ixs {
+			entries = ix.Swap(snap)
+		}
+		fmt.Printf("  published: %d analyses -> %d servable {location, game} entries (version %d, %d replicas)\n",
+			n, entries, ixs[0].Version(), nReplicas)
 	}
 
 	tickEvery := 2 * time.Minute
@@ -150,7 +218,7 @@ func run() int {
 	fmt.Printf("pipeline done in %s (%d measurements, %d located, %d degraded ticks)\n",
 		time.Since(start).Round(time.Millisecond), p.Extracted, p.Located, tickErrs)
 
-	if cat := ix.Catalog(); cat != nil && len(cat.Locations) > 0 {
+	if cat := ixs[0].Catalog(); cat != nil && len(cat.Locations) > 0 {
 		l := cat.Locations[0]
 		v := url.Values{}
 		v.Set("location", l.Location.Key)
@@ -160,11 +228,30 @@ func run() int {
 		fmt.Println("warning: no servable entries (increase -streamers or -days)")
 	}
 
+	if *benchServe {
+		return runBenchSuite(ctx, srvs, baseURLs)
+	}
+
 	if *loadtest > 0 {
 		lg := &serve.LoadGen{
-			BaseURL:           baseURL,
 			Clients:           *loadtest,
 			RequestsPerClient: *loadreqs,
+			Binary:            *loadBinary,
+		}
+		if *loadInproc {
+			for _, s := range srvs {
+				lg.Handlers = append(lg.Handlers, s)
+			}
+		} else {
+			lg.BaseURL = baseURL
+			lg.BaseURLs = baseURLs[1:]
+			if *peers != "" {
+				for _, u := range strings.Split(*peers, ",") {
+					if u = strings.TrimSpace(u); u != "" {
+						lg.BaseURLs = append(lg.BaseURLs, u)
+					}
+				}
+			}
 		}
 		rep, err := lg.Run(ctx)
 		if err != nil {
@@ -172,6 +259,8 @@ func run() int {
 			return 1
 		}
 		fmt.Printf("loadtest:\n%s\n", rep)
+		// Sheds are admission control doing its job, not failures; only
+		// genuine 5xx (or the transport falling over) fails the run.
 		if rep.ServerErrors > 0 {
 			fmt.Fprintf(os.Stderr, "loadtest: %d server errors\n", rep.ServerErrors)
 			return 1

@@ -169,6 +169,29 @@ func BenchmarkUpscale2x(b *testing.B) {
 	}
 }
 
+// BenchmarkScaleNearest compares the seed per-pixel upscaler (scalar) with
+// the row-expand + row-copy / SWAR factor-2 rework (packed) on grayscale
+// input; outputs are pinned bit-identical by FuzzScaleNearest.
+func BenchmarkScaleNearest(b *testing.B) {
+	for _, sz := range benchSizes {
+		g := benchImage(sz.w, sz.h)
+		for _, factor := range []int{2, 3} {
+			b.Run(fmt.Sprintf("%dx%d/x%d/scalar", sz.w, sz.h, factor), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					Recycle(scaleNearestRef(g, factor))
+				}
+			})
+			b.Run(fmt.Sprintf("%dx%d/x%d/packed", sz.w, sz.h, factor), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					Recycle(g.ScaleNearest(factor))
+				}
+			})
+		}
+	}
+}
+
 func BenchmarkGaussianBlur(b *testing.B) {
 	for _, sz := range benchSizes {
 		g := benchImage(sz.w, sz.h)

@@ -1,21 +1,69 @@
 package imaging
 
-import "math"
+import (
+	"encoding/binary"
+	"math"
+)
 
 // ScaleNearest returns the image up- or down-scaled by an integer factor
 // using nearest-neighbour sampling (factor >= 1).
+//
+// Integer upscaling is pure replication, so each source row is expanded
+// once into its first destination row and the remaining factor-1 rows are
+// row copies — never recomputed per output pixel. The ubiquitous factor-2
+// case (every OCR crop is doubled before thresholding) expands eight
+// pixels at a time: one 8-byte load, a SWAR byte-spread, two 8-byte
+// stores.
 func (g *Gray) ScaleNearest(factor int) *Gray {
 	if factor <= 1 {
 		return g.Clone()
 	}
 	out := New(g.W*factor, g.H*factor)
-	for y := 0; y < out.H; y++ {
-		sy := y / factor
-		for x := 0; x < out.W; x++ {
-			out.Pix[y*out.W+x] = g.Pix[sy*g.W+x/factor]
+	for sy := 0; sy < g.H; sy++ {
+		src := g.Pix[sy*g.W : (sy+1)*g.W]
+		base := sy * factor * out.W
+		dst := out.Pix[base : base+out.W]
+		if factor == 2 {
+			expandRow2(dst, src)
+		} else {
+			for x, p := range src {
+				d := dst[x*factor : (x+1)*factor]
+				for i := range d {
+					d[i] = p
+				}
+			}
+		}
+		for r := 1; r < factor; r++ {
+			copy(out.Pix[base+r*out.W:base+(r+1)*out.W], dst)
 		}
 	}
 	return out
+}
+
+// expandRow2 writes each src byte twice into dst (len(dst) = 2*len(src)),
+// eight source bytes per iteration.
+func expandRow2(dst, src []uint8) {
+	x := 0
+	for ; x+8 <= len(src); x += 8 {
+		w := binary.LittleEndian.Uint64(src[x:])
+		binary.LittleEndian.PutUint64(dst[2*x:], spreadBytesDouble(uint32(w)))
+		binary.LittleEndian.PutUint64(dst[2*x+8:], spreadBytesDouble(uint32(w>>32)))
+	}
+	for ; x < len(src); x++ {
+		dst[2*x] = src[x]
+		dst[2*x+1] = src[x]
+	}
+}
+
+// spreadBytesDouble duplicates each byte of v in place: bytes b0 b1 b2 b3
+// (little-endian) become b0 b0 b1 b1 b2 b2 b3 b3. Standard SWAR
+// interleave: space the bytes out with two shift-and-mask rounds, then OR
+// the word with itself shifted one byte.
+func spreadBytesDouble(v uint32) uint64 {
+	x := uint64(v)
+	x = (x | x<<16) & 0x0000ffff0000ffff
+	x = (x | x<<8) & 0x00ff00ff00ff00ff
+	return x | x<<8
 }
 
 // ScaleBilinear returns the image resampled to (w, h) with bilinear

@@ -1,0 +1,113 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"sync"
+	"testing"
+)
+
+// TestLRUEvictionOrder pins the eviction discipline: least-recently-USED
+// goes first, and both get and add refresh recency.
+func TestLRUEvictionOrder(t *testing.T) {
+	c := newLRU(3)
+	c.add("a", []byte("A"), `"ta"`)
+	c.add("b", []byte("B"), `"tb"`)
+	c.add("c", []byte("C"), `"tc"`)
+
+	// Touch "a": recency order is now a, c, b (b oldest).
+	if _, _, ok := c.get("a"); !ok {
+		t.Fatal("a missing")
+	}
+	c.add("d", []byte("D"), `"td"`) // evicts b
+	if _, _, ok := c.get("b"); ok {
+		t.Error("b survived eviction; LRU must evict the least-recently-used")
+	}
+	for _, k := range []string{"a", "c", "d"} {
+		if _, _, ok := c.get(k); !ok {
+			t.Errorf("%s evicted; should have survived", k)
+		}
+	}
+
+	// Re-adding an existing key refreshes both value and recency.
+	c.add("c", []byte("C2"), `"tc2"`) // order: c, d, a
+	c.add("e", []byte("E"), `"te"`)   // evicts a
+	if _, _, ok := c.get("a"); ok {
+		t.Error("a survived; re-add of c should have made a the eviction victim")
+	}
+	body, etag, ok := c.get("c")
+	if !ok || string(body) != "C2" || etag != `"tc2"` {
+		t.Errorf("c = (%q, %s, %v), want updated value", body, etag, ok)
+	}
+	if c.len() != 3 {
+		t.Errorf("len = %d, want 3", c.len())
+	}
+}
+
+// TestLRUConcurrent hammers one cache from many goroutines; run under
+// -race this pins the locking discipline.
+func TestLRUConcurrent(t *testing.T) {
+	c := newLRU(16)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 400; i++ {
+				key := fmt.Sprintf("k%d", (g*31+i)%40)
+				if body, _, ok := c.get(key); ok && len(body) == 0 {
+					t.Error("cached body lost its bytes")
+				}
+				c.add(key, []byte{byte(i)}, `"t"`)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if n := c.len(); n > 16 {
+		t.Errorf("len = %d, exceeds capacity 16", n)
+	}
+}
+
+// TestCompareCacheVersionInvalidation pins the version-keyed invalidation
+// path end to end: compare responses are cached per index version, so a
+// Swap makes the server recompute instead of serving the stale body.
+func TestCompareCacheVersionInvalidation(t *testing.T) {
+	ix := NewIndex(0)
+	if ix.Swap(testBuilder().Build()) == 0 {
+		t.Fatal("no entries")
+	}
+	s := NewServer(ix)
+	path := "/v1/compare?a=" + milanKey + "::Fortnite&b=tokyo|tokyo|japan::Fortnite"
+
+	v1 := ix.Version()
+	w1 := do(t, s, path)
+	if w1.Code != http.StatusOK {
+		t.Fatalf("status %d", w1.Code)
+	}
+	if s.CacheLen() != 1 {
+		t.Fatalf("CacheLen = %d after first compare, want 1", s.CacheLen())
+	}
+	// Same version: the cached body is served (and is identical).
+	w2 := do(t, s, path)
+	if w2.Body.String() != w1.Body.String() {
+		t.Error("cached compare body differs from first response")
+	}
+
+	// A republish bumps the version; the old cache key no longer matches.
+	ix.Swap(testBuilder().Build())
+	if ix.Version() == v1 {
+		t.Fatal("Swap did not bump version")
+	}
+	w3 := do(t, s, path)
+	if w3.Code != http.StatusOK {
+		t.Fatalf("post-swap status %d", w3.Code)
+	}
+	// Identical data republished: same bytes, but under a NEW cache entry —
+	// proof the stale key was not reused.
+	if w3.Body.String() != w1.Body.String() {
+		t.Error("identical republished data changed the compare body")
+	}
+	if s.CacheLen() != 2 {
+		t.Errorf("CacheLen = %d after version bump, want 2 (old + new key)", s.CacheLen())
+	}
+}

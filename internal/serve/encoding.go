@@ -1,0 +1,248 @@
+package serve
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Binary wire format ("tero latency binary", version 1).
+//
+// JSON is the default representation, but at serving scale its cost is paid
+// twice per request: full-precision float64s take 17+ characters as text
+// (~2x the wire size of realistic bodies) and the client burns CPU parsing
+// them back. The binary format is a versioned
+// little-endian *columnar* encoding of LatencyResponse negotiated via
+// `Accept: application/x-tero-bin`: all scalar fields first, then each
+// repeated field as a contiguous array (quantile probs together, quantile
+// values together, and so on), so a client can decode straight into flat
+// slices with no per-element framing.
+//
+// Layout (everything little-endian):
+//
+//	magic   "TLB1"                                (4 bytes)
+//	strings location key/city/region/country/display, game
+//	        (each: u16 length + raw UTF-8 bytes)
+//	u32     n, streamers
+//	f64     mean_ms, std_ms, min_ms, max_ms
+//	u16 q   quantile count; q×f64 probs, q×f64 values
+//	f64     hist lo_ms, hi_ms, bin_width_ms
+//	u16 b   bin count; b×u32 counts; u32 under, over
+//	u16 m   CDF point count; m×f64 at_ms, m×f64 p
+//
+// Like the JSON bodies, binary bodies are encoded once at snapshot build
+// time; the handler only negotiates and writes. The encoding is a pure
+// function of the response, so it is byte-identical across serial and
+// concurrent builds. EncodeLatencyBinary/DecodeLatencyBinary round-trip
+// float-for-float (float64 bit patterns are preserved exactly).
+
+// ContentTypeBinary is the negotiated media type of the binary format.
+const ContentTypeBinary = "application/x-tero-bin"
+
+// binMagic identifies (and versions) the binary encoding.
+const binMagic = "TLB1"
+
+// appendString appends a u16-length-prefixed string.
+func appendString(b []byte, s string) []byte {
+	if len(s) > math.MaxUint16 {
+		panic(fmt.Sprintf("serve: string field too long for binary encoding (%d bytes)", len(s)))
+	}
+	b = binary.LittleEndian.AppendUint16(b, uint16(len(s)))
+	return append(b, s...)
+}
+
+// appendF64s appends a slice of float64s as raw bit patterns.
+func appendF64s(b []byte, vs []float64) []byte {
+	for _, v := range vs {
+		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(v))
+	}
+	return b
+}
+
+// appendCount appends a u16 element count, panicking on overflow (response
+// arrays are build-time constants far below 65535).
+func appendCount(b []byte, n int) []byte {
+	if n > math.MaxUint16 {
+		panic(fmt.Sprintf("serve: array too long for binary encoding (%d)", n))
+	}
+	return binary.LittleEndian.AppendUint16(b, uint16(n))
+}
+
+// EncodeLatencyBinary encodes a LatencyResponse in the binary wire format.
+func EncodeLatencyBinary(r *LatencyResponse) []byte {
+	// Exact-ish capacity: strings + fixed scalars + the three columnar runs.
+	capHint := 4 + 2*6 +
+		len(r.Location.Key) + len(r.Location.City) + len(r.Location.Region) +
+		len(r.Location.Country) + len(r.Location.Display) + len(r.Game) +
+		2*4 + 4*8 +
+		2 + 16*len(r.Quantiles) +
+		3*8 + 2 + 4*len(r.Histogram.Counts) + 8 +
+		2 + 8*(len(r.CDF.AtMs)+len(r.CDF.P))
+	b := make([]byte, 0, capHint)
+
+	b = append(b, binMagic...)
+	b = appendString(b, r.Location.Key)
+	b = appendString(b, r.Location.City)
+	b = appendString(b, r.Location.Region)
+	b = appendString(b, r.Location.Country)
+	b = appendString(b, r.Location.Display)
+	b = appendString(b, r.Game)
+	b = binary.LittleEndian.AppendUint32(b, uint32(r.N))
+	b = binary.LittleEndian.AppendUint32(b, uint32(r.Streamers))
+	b = binary.LittleEndian.AppendUint64(b, math.Float64bits(r.MeanMs))
+	b = binary.LittleEndian.AppendUint64(b, math.Float64bits(r.StdMs))
+	b = binary.LittleEndian.AppendUint64(b, math.Float64bits(r.MinMs))
+	b = binary.LittleEndian.AppendUint64(b, math.Float64bits(r.MaxMs))
+
+	b = appendCount(b, len(r.Quantiles))
+	for _, q := range r.Quantiles {
+		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(q.P))
+	}
+	for _, q := range r.Quantiles {
+		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(q.Ms))
+	}
+
+	b = binary.LittleEndian.AppendUint64(b, math.Float64bits(r.Histogram.LoMs))
+	b = binary.LittleEndian.AppendUint64(b, math.Float64bits(r.Histogram.HiMs))
+	b = binary.LittleEndian.AppendUint64(b, math.Float64bits(r.Histogram.BinWidthMs))
+	b = appendCount(b, len(r.Histogram.Counts))
+	for _, c := range r.Histogram.Counts {
+		b = binary.LittleEndian.AppendUint32(b, uint32(c))
+	}
+	b = binary.LittleEndian.AppendUint32(b, uint32(r.Histogram.Under))
+	b = binary.LittleEndian.AppendUint32(b, uint32(r.Histogram.Over))
+
+	if len(r.CDF.AtMs) != len(r.CDF.P) {
+		panic("serve: CDF column lengths differ")
+	}
+	b = appendCount(b, len(r.CDF.AtMs))
+	b = appendF64s(b, r.CDF.AtMs)
+	b = appendF64s(b, r.CDF.P)
+	return b
+}
+
+// binReader is a bounds-checked little-endian cursor over an encoded body.
+type binReader struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (r *binReader) fail(what string) {
+	if r.err == nil {
+		r.err = fmt.Errorf("serve: binary decode: truncated at %s (offset %d of %d)",
+			what, r.off, len(r.b))
+	}
+}
+
+func (r *binReader) take(n int, what string) []byte {
+	if r.err != nil || r.off+n > len(r.b) {
+		r.fail(what)
+		return nil
+	}
+	s := r.b[r.off : r.off+n]
+	r.off += n
+	return s
+}
+
+func (r *binReader) u16(what string) int {
+	if s := r.take(2, what); s != nil {
+		return int(binary.LittleEndian.Uint16(s))
+	}
+	return 0
+}
+
+func (r *binReader) u32(what string) int {
+	if s := r.take(4, what); s != nil {
+		return int(binary.LittleEndian.Uint32(s))
+	}
+	return 0
+}
+
+func (r *binReader) f64(what string) float64 {
+	if s := r.take(8, what); s != nil {
+		return math.Float64frombits(binary.LittleEndian.Uint64(s))
+	}
+	return 0
+}
+
+func (r *binReader) str(what string) string {
+	n := r.u16(what)
+	if s := r.take(n, what); s != nil {
+		return string(s)
+	}
+	return ""
+}
+
+func (r *binReader) f64s(n int, what string) []float64 {
+	if r.err != nil || n == 0 {
+		return nil
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = r.f64(what)
+	}
+	if r.err != nil {
+		return nil
+	}
+	return out
+}
+
+// DecodeLatencyBinary decodes a binary body back into a LatencyResponse.
+// Every float64 comes back with the exact bit pattern that was encoded.
+func DecodeLatencyBinary(b []byte) (LatencyResponse, error) {
+	var resp LatencyResponse
+	if len(b) < len(binMagic) || string(b[:len(binMagic)]) != binMagic {
+		return resp, fmt.Errorf("serve: binary decode: bad magic (want %q)", binMagic)
+	}
+	r := &binReader{b: b, off: len(binMagic)}
+
+	resp.Location.Key = r.str("location.key")
+	resp.Location.City = r.str("location.city")
+	resp.Location.Region = r.str("location.region")
+	resp.Location.Country = r.str("location.country")
+	resp.Location.Display = r.str("location.display")
+	resp.Game = r.str("game")
+	resp.N = r.u32("n")
+	resp.Streamers = r.u32("streamers")
+	resp.MeanMs = r.f64("mean_ms")
+	resp.StdMs = r.f64("std_ms")
+	resp.MinMs = r.f64("min_ms")
+	resp.MaxMs = r.f64("max_ms")
+
+	nq := r.u16("quantile count")
+	ps := r.f64s(nq, "quantile probs")
+	ms := r.f64s(nq, "quantile values")
+	if r.err == nil && nq > 0 {
+		resp.Quantiles = make([]QuantileJSON, nq)
+		for i := range resp.Quantiles {
+			resp.Quantiles[i] = QuantileJSON{P: ps[i], Ms: ms[i]}
+		}
+	}
+
+	resp.Histogram.LoMs = r.f64("hist lo_ms")
+	resp.Histogram.HiMs = r.f64("hist hi_ms")
+	resp.Histogram.BinWidthMs = r.f64("hist bin_width_ms")
+	nb := r.u16("hist bin count")
+	if r.err == nil && nb > 0 {
+		resp.Histogram.Counts = make([]int, nb)
+		for i := range resp.Histogram.Counts {
+			resp.Histogram.Counts[i] = r.u32("hist counts")
+		}
+	}
+	resp.Histogram.Under = r.u32("hist under")
+	resp.Histogram.Over = r.u32("hist over")
+
+	nc := r.u16("cdf count")
+	resp.CDF.AtMs = r.f64s(nc, "cdf at_ms")
+	resp.CDF.P = r.f64s(nc, "cdf p")
+
+	if r.err != nil {
+		return LatencyResponse{}, r.err
+	}
+	if r.off != len(b) {
+		return LatencyResponse{}, fmt.Errorf(
+			"serve: binary decode: %d trailing bytes", len(b)-r.off)
+	}
+	return resp, nil
+}

@@ -72,7 +72,9 @@ func SplitPairKey(s string) (locKey, game string, ok bool) {
 
 // Entry is one read-optimized {location, game} record: the sorted latency
 // sample plus every derived statistic the API serves, all precomputed at
-// build time so a query is a shard lookup plus (at worst) one JSON marshal.
+// build time — including the marshaled JSON body, the encoded binary body
+// and both representations' ETags — so the steady-state query path is a
+// shard lookup plus one Write, with zero per-request marshaling.
 // Entries are immutable after construction and safe to share across
 // goroutines and snapshots.
 type Entry struct {
@@ -86,8 +88,11 @@ type Entry struct {
 	// contributed points.
 	Streamers int
 
-	resp LatencyResponse
-	etag string
+	resp    LatencyResponse
+	body    []byte // resp marshaled as JSON at build time
+	binBody []byte // resp encoded in the binary wire format at build time
+	etag    string // JSON representation ETag
+	binETag string // binary representation ETag (same hash, distinct tag)
 }
 
 // N returns the sample size.
@@ -98,9 +103,20 @@ func (e *Entry) N() int { return len(e.Sorted) }
 // with changed data misses.
 func (e *Entry) ETag() string { return e.etag }
 
+// ETagBinary returns the ETag of the binary representation: same data
+// hash, distinct tag, so a client switching Accept never gets a 304 for a
+// representation it does not hold.
+func (e *Entry) ETagBinary() string { return e.binETag }
+
 // Response returns the precomputed latency response (by value: callers
 // cannot mutate the shared entry).
 func (e *Entry) Response() LatencyResponse { return e.resp }
+
+// BodyJSON returns the pre-marshaled JSON body (callers must not mutate).
+func (e *Entry) BodyJSON() []byte { return e.body }
+
+// BodyBinary returns the pre-encoded binary body (callers must not mutate).
+func (e *Entry) BodyBinary() []byte { return e.binBody }
 
 // LocationJSON is the JSON shape of a location tuple.
 type LocationJSON struct {
@@ -219,7 +235,13 @@ func newEntry(loc geo.Location, game string, analyses []*core.Analysis,
 		Streamers: streamers,
 	}
 	e.resp = e.computeResponse(hc)
-	e.etag = e.computeETag()
+	e.etag, e.binETag = e.computeETags()
+	// Publish-time marshaling: both representations are rendered here, on
+	// the builder's worker pool, so the request hot path never marshals.
+	// The JSON bytes are exactly mustMarshal(e.resp) — what the handler
+	// used to produce per request — so bodies stay byte-identical.
+	e.body = mustMarshal(e.resp)
+	e.binBody = EncodeLatencyBinary(&e.resp)
 	return e
 }
 
@@ -275,28 +297,31 @@ func (e *Entry) computeResponse(hc histConfig) LatencyResponse {
 	}
 }
 
-// computeETag hashes the entry's identity and full sample with FNV-64a.
+// computeETags hashes the entry's identity and full sample with FNV-64a.
 // It is a pure function of the data, so serial and concurrent builds (and
-// republishes of unchanged data) produce the same tag.
-func (e *Entry) computeETag() string {
+// republishes of unchanged data) produce the same tags. The JSON tag is
+// the historical "t1-" form; the binary representation shares the hash
+// under a distinct "t1b-" prefix, keeping the two cache-incompatible.
+func (e *Entry) computeETags() (jsonTag, binTag string) {
 	h := fnv.New64a()
-	h.Write([]byte(e.Key))             //nolint:errcheck — fnv never fails
-	binary.Write(h, binary.LittleEndian, int64(e.Streamers)) //nolint:errcheck
+	h.Write([]byte(e.Key))                                     //nolint:errcheck — fnv never fails
+	binary.Write(h, binary.LittleEndian, int64(e.Streamers))   //nolint:errcheck
 	binary.Write(h, binary.LittleEndian, int64(len(e.Sorted))) //nolint:errcheck
 	var buf [8]byte
 	for _, v := range e.Sorted {
 		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
 		h.Write(buf[:]) //nolint:errcheck
 	}
-	return fmt.Sprintf("\"t1-%016x\"", h.Sum64())
+	sum := h.Sum64()
+	return fmt.Sprintf("\"t1-%016x\"", sum), fmt.Sprintf("\"t1b-%016x\"", sum)
 }
 
 // combineETags derives the deterministic ETag of a response computed from
 // two entries (/v1/compare).
 func combineETags(a, b string) string {
 	h := fnv.New64a()
-	h.Write([]byte(a))  //nolint:errcheck
-	h.Write([]byte{0})  //nolint:errcheck
-	h.Write([]byte(b))  //nolint:errcheck
+	h.Write([]byte(a)) //nolint:errcheck
+	h.Write([]byte{0}) //nolint:errcheck
+	h.Write([]byte(b)) //nolint:errcheck
 	return fmt.Sprintf("\"t1-%016x\"", h.Sum64())
 }

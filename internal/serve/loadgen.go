@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
@@ -8,6 +9,8 @@ import (
 	"net/http"
 	"net/url"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -19,9 +22,32 @@ import (
 // served {location, game} pairs from /v1/locations, then each client
 // round-robins latency queries (with periodic If-None-Match revalidations)
 // and pair comparisons, recording per-request latency.
+//
+// Multi-target: with several BaseURLs (replicas or -peers processes) the
+// generator routes each {location, game} pair to a fixed backend through a
+// consistent-hash ring (64 virtual slots per target), keeps one connection
+// pool per backend, and tallies per-target stats so the report shows how
+// evenly the keyspace spread.
+//
+// In-process mode: with Handlers set, requests are dispatched straight
+// into the http.Handler stack instead of over TCP. That measures the
+// serving hot path itself — on a one-core container the kernel socket
+// round-trip otherwise dominates and both sides fight for the same CPU.
+// Reports from the two modes are labeled by Mode; compare like with like.
+//
+// Overload: a 503 carrying Retry-After is a *shed*, not a failure — the
+// server is applying admission control. Sheds are counted separately from
+// server errors, the client honors the advertised backoff (capped at
+// ShedBackoffCap so a sweep past the knee still measures), and the run
+// keeps going, which is what makes brownout curves measurable at all.
 type LoadGen struct {
 	// BaseURL is the service root, e.g. "http://127.0.0.1:8080".
 	BaseURL string
+	// BaseURLs adds further targets (after BaseURL, when both are set).
+	BaseURLs []string
+	// Handlers, when non-empty, dispatches in-process instead of over TCP.
+	// Must align 1:1 with the effective target list (or stand alone).
+	Handlers []http.Handler
 	// Clients is the number of concurrent clients (default 32).
 	Clients int
 	// RequestsPerClient is each client's request budget (default 200).
@@ -32,6 +58,22 @@ type LoadGen struct {
 	// CompareEvery makes every k-th request a /v1/compare of two adjacent
 	// pairs (default 8; 0 disables).
 	CompareEvery int
+	// Binary requests the compact binary representation for latency
+	// queries (Accept: application/x-tero-bin).
+	Binary bool
+	// ShedBackoffCap bounds how long a client honors a shed's Retry-After
+	// (default 25ms). The header advertises whole seconds; sleeping the
+	// full second per shed would make an overload sweep mostly measure
+	// sleeping.
+	ShedBackoffCap time.Duration
+}
+
+// TargetReport is one backend's share of a run.
+type TargetReport struct {
+	URL      string
+	Requests int
+	Shed     int
+	Errors   int // 5xx + transport errors
 }
 
 // LoadReport is the outcome of one LoadGen run.
@@ -41,23 +83,44 @@ type LoadReport struct {
 	OK            int // 200s
 	NotModified   int // 304s
 	ClientErrors  int // 4xx
-	ServerErrors  int // 5xx
+	ServerErrors  int // 5xx other than sheds
+	Shed          int // 503 + Retry-After: admission control, not failure
 	TransportErrs int
+	BodyBytes     int64 // total 200-response body bytes
 	Elapsed       time.Duration
 	Throughput    float64 // requests per second
-	P50Ms         float64
+	P50Ms         float64 // of non-shed responses
 	P99Ms         float64
 	MaxMs         float64
+	Targets       []TargetReport
+}
+
+// ErrorRate is the shed+error fraction of all requests.
+func (r LoadReport) ErrorRate() float64 {
+	if r.Requests == 0 {
+		return 0
+	}
+	return float64(r.Shed+r.ServerErrors+r.TransportErrs) / float64(r.Requests)
 }
 
 // String renders the report as one aligned block.
 func (r LoadReport) String() string {
-	return fmt.Sprintf(
-		"clients %d  requests %d  ok %d  304 %d  4xx %d  5xx %d  transport-errors %d\n"+
+	s := fmt.Sprintf(
+		"clients %d  requests %d  ok %d  304 %d  4xx %d  5xx %d  shed %d  transport-errors %d\n"+
 			"elapsed %s  throughput %.0f req/s  p50 %.2f ms  p99 %.2f ms  max %.2f ms",
 		r.Clients, r.Requests, r.OK, r.NotModified, r.ClientErrors,
-		r.ServerErrors, r.TransportErrs, r.Elapsed.Round(time.Millisecond),
+		r.ServerErrors, r.Shed, r.TransportErrs, r.Elapsed.Round(time.Millisecond),
 		r.Throughput, r.P50Ms, r.P99Ms, r.MaxMs)
+	if len(r.Targets) > 1 {
+		var sb strings.Builder
+		sb.WriteString(s)
+		sb.WriteString("\nbalance:")
+		for _, t := range r.Targets {
+			fmt.Fprintf(&sb, "  %s=%d", t.URL, t.Requests)
+		}
+		return sb.String()
+	}
+	return s
 }
 
 // target is one queryable {location, game} pair.
@@ -65,24 +128,157 @@ type target struct {
 	locKey, game string
 }
 
-// discoverTargets reads /v1/locations and flattens it into pairs.
-func (lg *LoadGen) discoverTargets(ctx context.Context, client *http.Client) ([]target, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, lg.BaseURL+"/v1/locations", nil)
-	if err != nil {
-		return nil, err
+// backend is one serving target: a URL plus either a TCP connection pool
+// or an in-process handler.
+type backend struct {
+	url       string
+	h         http.Handler // nil => TCP
+	client    *http.Client
+	transport *http.Transport
+}
+
+// memWriter is the in-process ResponseWriter: it counts body bytes and
+// optionally captures them (discovery needs content; the measuring loop
+// only needs the length). One per client, reused across requests.
+type memWriter struct {
+	hdr     http.Header
+	code    int
+	n       int64
+	capture bool
+	buf     []byte
+}
+
+func (w *memWriter) reset(capture bool) {
+	w.hdr = make(http.Header, 4)
+	w.code = http.StatusOK
+	w.n = 0
+	w.capture = capture
+	w.buf = w.buf[:0]
+}
+
+func (w *memWriter) Header() http.Header  { return w.hdr }
+func (w *memWriter) WriteHeader(code int) { w.code = code }
+func (w *memWriter) Write(p []byte) (int, error) {
+	w.n += int64(len(p))
+	if w.capture {
+		w.buf = append(w.buf, p...)
 	}
-	resp, err := client.Do(req)
+	return len(p), nil
+}
+
+// backends resolves the effective target list.
+func (lg *LoadGen) backends() ([]*backend, error) {
+	urls := make([]string, 0, 1+len(lg.BaseURLs))
+	if lg.BaseURL != "" {
+		urls = append(urls, lg.BaseURL)
+	}
+	urls = append(urls, lg.BaseURLs...)
+	if len(lg.Handlers) > 0 {
+		if len(urls) == 0 {
+			for i := range lg.Handlers {
+				urls = append(urls, fmt.Sprintf("inproc://%d", i))
+			}
+		} else if len(urls) != len(lg.Handlers) {
+			return nil, fmt.Errorf("serve: loadgen: %d handlers for %d target URLs",
+				len(lg.Handlers), len(urls))
+		}
+	}
+	if len(urls) == 0 {
+		return nil, fmt.Errorf("serve: loadgen: no targets (set BaseURL, BaseURLs or Handlers)")
+	}
+	clients := lg.Clients
+	if clients <= 0 {
+		clients = 32
+	}
+	bs := make([]*backend, len(urls))
+	for i, u := range urls {
+		b := &backend{url: u}
+		if len(lg.Handlers) > 0 {
+			b.h = lg.Handlers[i]
+		} else {
+			b.transport = &http.Transport{
+				MaxIdleConns:        clients * 2,
+				MaxIdleConnsPerHost: clients * 2,
+			}
+			b.client = &http.Client{Transport: b.transport, Timeout: 30 * time.Second}
+		}
+		bs[i] = b
+	}
+	return bs, nil
+}
+
+// getOnce performs one GET against a backend. For TCP backends the body is
+// drained (and optionally captured); for in-process backends mw is used.
+func getOnce(ctx context.Context, b *backend, u *url.URL, hdr http.Header,
+	mw *memWriter, capture bool) (status int, respHdr http.Header, n int64, body []byte, err error) {
+	if b.h != nil {
+		mw.reset(capture)
+		req := &http.Request{
+			Method: http.MethodGet, URL: u,
+			Proto: "HTTP/1.1", ProtoMajor: 1, ProtoMinor: 1,
+			Header: hdr, Host: u.Host, RequestURI: u.RequestURI(),
+		}
+		b.h.ServeHTTP(mw, req.WithContext(ctx))
+		return mw.code, mw.hdr, mw.n, mw.buf, nil
+	}
+	req := (&http.Request{
+		Method: http.MethodGet, URL: u,
+		Proto: "HTTP/1.1", ProtoMajor: 1, ProtoMinor: 1,
+		Header: hdr, Host: u.Host,
+	}).WithContext(ctx)
+	resp, err := b.client.Do(req)
+	if err != nil {
+		return 0, nil, 0, nil, err
+	}
+	defer resp.Body.Close()
+	if capture {
+		body, err = io.ReadAll(resp.Body)
+		return resp.StatusCode, resp.Header, int64(len(body)), body, err
+	}
+	n, err = io.Copy(io.Discard, resp.Body)
+	return resp.StatusCode, resp.Header, n, nil, err
+}
+
+// emptyHeader is shared by requests that set nothing; handlers and the
+// transport only read it.
+var emptyHeader = http.Header{}
+
+// binaryHeader asks for the binary representation; read-only like above.
+var binaryHeader = http.Header{"Accept": {ContentTypeBinary}}
+
+// discoverTargets reads /v1/locations from the first backend and flattens
+// it into pairs, retrying briefly through shed responses so a run can
+// start against a gated server.
+func (lg *LoadGen) discoverTargets(ctx context.Context, b *backend) ([]target, error) {
+	u, err := url.Parse(b.url + "/v1/locations")
 	if err != nil {
 		return nil, fmt.Errorf("serve: loadgen discover: %w", err)
 	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("serve: loadgen discover: status %d", resp.StatusCode)
+	var mw memWriter
+	var body []byte
+	for attempt := 0; ; attempt++ {
+		status, _, _, got, err := getOnce(ctx, b, u, emptyHeader, &mw, true)
+		if err != nil {
+			return nil, fmt.Errorf("serve: loadgen discover: %w", err)
+		}
+		if status == http.StatusOK {
+			body = append([]byte(nil), got...)
+			break
+		}
+		if status == http.StatusServiceUnavailable && attempt < 5 {
+			select {
+			case <-time.After(100 * time.Millisecond):
+				continue
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}
+		return nil, fmt.Errorf("serve: loadgen discover: status %d", status)
 	}
 	var listing struct {
 		Locations []LocationSummary `json:"locations"`
 	}
-	if err := json.NewDecoder(resp.Body).Decode(&listing); err != nil {
+	if err := json.NewDecoder(bytes.NewReader(body)).Decode(&listing); err != nil {
 		return nil, fmt.Errorf("serve: loadgen discover: %w", err)
 	}
 	var out []target
@@ -97,26 +293,77 @@ func (lg *LoadGen) discoverTargets(ctx context.Context, client *http.Client) ([]
 	return out, nil
 }
 
-// latencyURL builds the query URL for a target.
-func (lg *LoadGen) latencyURL(t target) string {
+// latencyQuery builds the query string for a target.
+func latencyQuery(t target) string {
 	v := url.Values{}
 	v.Set("location", t.locKey)
 	v.Set("game", t.game)
-	return lg.BaseURL + "/v1/latency?" + v.Encode()
+	return "/v1/latency?" + v.Encode()
 }
 
-// compareURL builds the comparison URL for two targets.
-func (lg *LoadGen) compareURL(a, b target) string {
+// compareQuery builds the comparison query string for two targets.
+func compareQuery(a, b target) string {
 	v := url.Values{}
 	v.Set("a", a.locKey+"::"+a.game)
 	v.Set("b", b.locKey+"::"+b.game)
-	return lg.BaseURL + "/v1/compare?" + v.Encode()
+	return "/v1/compare?" + v.Encode()
+}
+
+// prePair is one pair's precomputed request state: its ring-assigned
+// backend and pre-parsed URLs, so the measuring loop never builds or
+// parses a URL.
+type prePair struct {
+	backend int
+	latURL  *url.URL
+	cmpURL  *url.URL // compare against the next pair (nil when single pair)
+}
+
+// prepare assigns every pair to its ring owner and pre-parses the URLs.
+func prepare(pairs []target, ring *hashRing, backends []*backend) ([]prePair, error) {
+	out := make([]prePair, len(pairs))
+	for i, t := range pairs {
+		bi := ring.owner(t.locKey + "::" + t.game)
+		lat, err := url.Parse(backends[bi].url + latencyQuery(t))
+		if err != nil {
+			return nil, fmt.Errorf("serve: loadgen: %w", err)
+		}
+		out[i] = prePair{backend: bi, latURL: lat}
+		if len(pairs) > 1 {
+			cmp, err := url.Parse(backends[bi].url + compareQuery(t, pairs[(i+1)%len(pairs)]))
+			if err != nil {
+				return nil, fmt.Errorf("serve: loadgen: %w", err)
+			}
+			out[i].cmpURL = cmp
+		}
+	}
+	return out, nil
+}
+
+// targetTally is one client's per-backend counts.
+type targetTally struct {
+	requests, shed, errors int
 }
 
 // clientStats is one client's tally, merged after the run.
 type clientStats struct {
-	requests, ok, notModified, clientErrs, serverErrs, transportErrs int
-	durations                                                        []float64 // ms
+	requests, ok, notModified, clientErrs, serverErrs, shed, transportErrs int
+	bodyBytes                                                              int64
+	durations                                                              []float64 // ms
+	perTarget                                                              []targetTally
+}
+
+// retryAfterDelay parses a Retry-After header (delta-seconds form) into a
+// backoff bounded by cap.
+func retryAfterDelay(header string, cap time.Duration) time.Duration {
+	secs, err := strconv.Atoi(strings.TrimSpace(header))
+	if err != nil || secs < 0 {
+		secs = 1
+	}
+	d := time.Duration(secs) * time.Second
+	if d > cap {
+		d = cap
+	}
+	return d
 }
 
 // Run executes the load test and aggregates the report. It returns an
@@ -139,17 +386,35 @@ func (lg *LoadGen) Run(ctx context.Context) (LoadReport, error) {
 	if compare == 0 {
 		compare = 8
 	}
-
-	transport := &http.Transport{
-		MaxIdleConns:        clients * 2,
-		MaxIdleConnsPerHost: clients * 2,
+	backoffCap := lg.ShedBackoffCap
+	if backoffCap <= 0 {
+		backoffCap = 25 * time.Millisecond
 	}
-	defer transport.CloseIdleConnections()
-	httpClient := &http.Client{Transport: transport, Timeout: 30 * time.Second}
 
-	targets, err := lg.discoverTargets(ctx, httpClient)
+	backends, err := lg.backends()
 	if err != nil {
 		return LoadReport{}, err
+	}
+	defer func() {
+		for _, b := range backends {
+			if b.transport != nil {
+				b.transport.CloseIdleConnections()
+			}
+		}
+	}()
+
+	pairs, err := lg.discoverTargets(ctx, backends[0])
+	if err != nil {
+		return LoadReport{}, err
+	}
+	pre, err := prepare(pairs, newHashRing(len(backends)), backends)
+	if err != nil {
+		return LoadReport{}, err
+	}
+
+	latencyHdr := emptyHeader
+	if lg.Binary {
+		latencyHdr = binaryHeader
 	}
 
 	tallies := make([]clientStats, clients)
@@ -161,51 +426,70 @@ func (lg *LoadGen) Run(ctx context.Context) (LoadReport, error) {
 			defer wg.Done()
 			cs := &tallies[c]
 			cs.durations = make([]float64, 0, perClient)
-			etags := make(map[string]string, len(targets))
+			cs.perTarget = make([]targetTally, len(backends))
+			etags := make([]string, len(pairs)) // last seen latency ETag per pair
+			var mw memWriter
 			for i := 0; i < perClient; i++ {
 				if ctx.Err() != nil {
 					return
 				}
-				t := targets[(c+i)%len(targets)]
-				u := lg.latencyURL(t)
-				var inm string
-				if compare > 0 && i%compare == compare-1 && len(targets) > 1 {
-					t2 := targets[(c+i+1)%len(targets)]
-					u = lg.compareURL(t, t2)
-				} else if revalidate > 0 && i%revalidate == revalidate-1 {
-					inm = etags[u]
+				pi := (c + i) % len(pairs)
+				p := &pre[pi]
+				u, hdr := p.latURL, latencyHdr
+				isLatency := true
+				if compare > 0 && i%compare == compare-1 && p.cmpURL != nil {
+					u, hdr, isLatency = p.cmpURL, emptyHeader, false
+				} else if revalidate > 0 && i%revalidate == revalidate-1 && etags[pi] != "" {
+					h := make(http.Header, 2)
+					if lg.Binary {
+						h.Set("Accept", ContentTypeBinary)
+					}
+					h.Set("If-None-Match", etags[pi])
+					hdr = h
 				}
 				cs.requests++
+				tt := &cs.perTarget[p.backend]
+				tt.requests++
+				b := backends[p.backend]
 				reqStart := time.Now()
-				req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+				status, respHdr, n, _, err := getOnce(ctx, b, u, hdr, &mw, false)
 				if err != nil {
 					cs.transportErrs++
+					tt.errors++
 					continue
 				}
-				if inm != "" {
-					req.Header.Set("If-None-Match", inm)
-				}
-				resp, err := httpClient.Do(req)
-				if err != nil {
-					cs.transportErrs++
-					continue
-				}
-				io.Copy(io.Discard, resp.Body) //nolint:errcheck
-				resp.Body.Close()
-				cs.durations = append(cs.durations,
-					float64(time.Since(reqStart))/float64(time.Millisecond))
+				dur := float64(time.Since(reqStart)) / float64(time.Millisecond)
 				switch {
-				case resp.StatusCode == http.StatusOK:
+				case status == http.StatusOK:
 					cs.ok++
-					if et := resp.Header.Get("ETag"); et != "" {
-						etags[u] = et
+					cs.bodyBytes += n
+					cs.durations = append(cs.durations, dur)
+					if isLatency {
+						if et := respHdr.Get("ETag"); et != "" {
+							etags[pi] = et
+						}
 					}
-				case resp.StatusCode == http.StatusNotModified:
+				case status == http.StatusNotModified:
 					cs.notModified++
-				case resp.StatusCode >= 500:
+					cs.durations = append(cs.durations, dur)
+				case status == http.StatusServiceUnavailable && respHdr.Get("Retry-After") != "":
+					// Admission control shed: honor the (capped) backoff
+					// and keep going — overload is a measured regime, not
+					// a run-ending failure.
+					cs.shed++
+					tt.shed++
+					select {
+					case <-time.After(retryAfterDelay(respHdr.Get("Retry-After"), backoffCap)):
+					case <-ctx.Done():
+						return
+					}
+				case status >= 500:
 					cs.serverErrs++
-				case resp.StatusCode >= 400:
+					tt.errors++
+					cs.durations = append(cs.durations, dur)
+				case status >= 400:
 					cs.clientErrs++
+					cs.durations = append(cs.durations, dur)
 				}
 			}
 		}(c)
@@ -214,6 +498,10 @@ func (lg *LoadGen) Run(ctx context.Context) (LoadReport, error) {
 	elapsed := time.Since(start)
 
 	rep := LoadReport{Clients: clients, Elapsed: elapsed}
+	rep.Targets = make([]TargetReport, len(backends))
+	for i, b := range backends {
+		rep.Targets[i].URL = b.url
+	}
 	var all []float64
 	for i := range tallies {
 		cs := &tallies[i]
@@ -222,7 +510,14 @@ func (lg *LoadGen) Run(ctx context.Context) (LoadReport, error) {
 		rep.NotModified += cs.notModified
 		rep.ClientErrors += cs.clientErrs
 		rep.ServerErrors += cs.serverErrs
+		rep.Shed += cs.shed
 		rep.TransportErrs += cs.transportErrs
+		rep.BodyBytes += cs.bodyBytes
+		for t := range cs.perTarget {
+			rep.Targets[t].Requests += cs.perTarget[t].requests
+			rep.Targets[t].Shed += cs.perTarget[t].shed
+			rep.Targets[t].Errors += cs.perTarget[t].errors
+		}
 		all = append(all, cs.durations...)
 	}
 	if elapsed > 0 {

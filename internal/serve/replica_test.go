@@ -1,0 +1,133 @@
+package serve
+
+import (
+	"context"
+	"net/http"
+	"testing"
+)
+
+// TestReplicasServeIdenticalBodies pins the replication contract: N servers
+// over one shared snapshot answer every route byte-identically, both
+// representations, with matching ETags.
+func TestReplicasServeIdenticalBodies(t *testing.T) {
+	snap := testBuilder().Build()
+	servers := make([]*Server, 3)
+	for i := range servers {
+		ix := NewIndex(0)
+		if n := ix.Swap(snap); n == 0 {
+			t.Fatal("fixture produced no servable entries")
+		}
+		servers[i] = NewServer(ix)
+	}
+
+	paths := []string{
+		"/v1/locations",
+		"/v1/games",
+		"/v1/latency?location=" + milanKey + "&game=Fortnite",
+		"/v1/compare?a=" + milanKey + "::Fortnite&b=tokyo|tokyo|japan::Fortnite",
+	}
+	for _, path := range paths {
+		ref := do(t, servers[0], path)
+		refBin := do(t, servers[0], path, "Accept", ContentTypeBinary)
+		for i, s := range servers[1:] {
+			w := do(t, s, path)
+			if w.Code != ref.Code || w.Body.String() != ref.Body.String() {
+				t.Errorf("replica %d: %s: body differs from replica 0", i+1, path)
+			}
+			if et, ret := w.Header().Get("ETag"), ref.Header().Get("ETag"); et != ret {
+				t.Errorf("replica %d: %s: ETag %q != %q", i+1, path, et, ret)
+			}
+			wb := do(t, s, path, "Accept", ContentTypeBinary)
+			if wb.Body.String() != refBin.Body.String() {
+				t.Errorf("replica %d: %s (binary): body differs from replica 0", i+1, path)
+			}
+		}
+	}
+}
+
+// TestLoadGenMultiTarget runs the generator against a 3-replica in-process
+// fleet and checks ring routing: every request lands, the split covers
+// multiple targets, per-target tallies add up, and an ETag learned from a
+// pair's owner revalidates (affinity means the 304 path still works).
+func TestLoadGenMultiTarget(t *testing.T) {
+	snap := testBuilder().Build()
+	handlers := make([]http.Handler, 3)
+	for i := range handlers {
+		ix := NewIndex(0)
+		ix.Swap(snap)
+		handlers[i] = NewServer(ix)
+	}
+
+	lg := &LoadGen{
+		Handlers:          handlers,
+		Clients:           4,
+		RequestsPerClient: 100,
+	}
+	rep, err := lg.Run(context.Background())
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if rep.Requests != 4*100 {
+		t.Fatalf("Requests = %d, want %d", rep.Requests, 4*100)
+	}
+	if rep.ServerErrors != 0 || rep.TransportErrs != 0 || rep.ClientErrors != 0 {
+		t.Fatalf("errors: %+v", rep)
+	}
+	if rep.NotModified == 0 {
+		t.Error("NotModified = 0: revalidation never hit, ring affinity broken?")
+	}
+	if len(rep.Targets) != 3 {
+		t.Fatalf("Targets = %d entries, want 3", len(rep.Targets))
+	}
+	sum, covered := 0, 0
+	for _, tr := range rep.Targets {
+		sum += tr.Requests
+		if tr.Requests > 0 {
+			covered++
+		}
+	}
+	if sum != rep.Requests {
+		t.Errorf("per-target requests sum to %d, want %d", sum, rep.Requests)
+	}
+	// The fixture has 5 pairs; with 3 targets and 64 vslots the split
+	// should touch at least 2 targets.
+	if covered < 2 {
+		t.Errorf("only %d of 3 targets received traffic", covered)
+	}
+}
+
+// TestLoadGenBinaryMode: binary mode actually switches the latency
+// representation and revalidation still produces 304s against the binary
+// ETag.
+func TestLoadGenBinaryMode(t *testing.T) {
+	s := testServer(t)
+	run := func(binary bool) LoadReport {
+		lg := &LoadGen{
+			Handlers:          []http.Handler{s},
+			Clients:           2,
+			RequestsPerClient: 60,
+			Binary:            binary,
+		}
+		rep, err := lg.Run(context.Background())
+		if err != nil {
+			t.Fatalf("run(binary=%v): %v", binary, err)
+		}
+		if rep.ServerErrors != 0 || rep.ClientErrors != 0 || rep.TransportErrs != 0 {
+			t.Fatalf("run(binary=%v) errors: %+v", binary, rep)
+		}
+		return rep
+	}
+	j, b := run(false), run(true)
+	if b.NotModified == 0 {
+		t.Error("binary mode: no 304s — binary ETag revalidation broken")
+	}
+	if b.OK == 0 || j.OK == 0 {
+		t.Fatal("no 200s")
+	}
+	// The representations have different encodings, so the byte tallies
+	// must differ — proof the Accept header actually switched formats.
+	if j.BodyBytes == b.BodyBytes {
+		t.Errorf("JSON and binary runs moved identical byte totals (%d); Accept ignored?",
+			j.BodyBytes)
+	}
+}

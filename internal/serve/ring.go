@@ -1,0 +1,85 @@
+package serve
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// ringSlots is the number of virtual nodes each target contributes to the
+// consistent-hash ring. 64 slots per target keeps the expected per-target
+// load within a few percent of even for small fleets while the whole ring
+// stays a couple of cache lines.
+const ringSlots = 64
+
+// hashRing maps keys to targets with consistent hashing: each target owns
+// ringSlots pseudo-random points on a 64-bit circle, and a key belongs to
+// the target owning the first point at or after the key's hash. Adding or
+// removing one target remaps only ~1/n of the keyspace, so a replica
+// joining or leaving a serve fleet invalidates only its own share of
+// client affinity (connection pools, ETag caches stay warm elsewhere).
+type hashRing struct {
+	hashes  []uint64 // sorted point hashes
+	targets []int    // targets[i] owns hashes[i]
+}
+
+// ringHash is FNV-64a (matching the repo's other key-hashing choices)
+// finished with a splitmix64 mixer. The mixer matters here where it does
+// not for shard selection: ring point keys are short and highly structured
+// ("t3/v17"), and raw FNV leaves enough correlation between them that a
+// target's 64 points can clump, skewing its keyspace share far from 1/n.
+// The finalizer decorrelates the points; shares land within a few percent
+// of even.
+func ringHash(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s)) //nolint:errcheck
+	z := h.Sum64()
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return z
+}
+
+// newHashRing builds a ring over targets 0..n-1.
+func newHashRing(n int) *hashRing {
+	r := &hashRing{
+		hashes:  make([]uint64, 0, n*ringSlots),
+		targets: make([]int, 0, n*ringSlots),
+	}
+	type point struct {
+		hash   uint64
+		target int
+	}
+	points := make([]point, 0, n*ringSlots)
+	for t := 0; t < n; t++ {
+		for v := 0; v < ringSlots; v++ {
+			points = append(points, point{ringHash(fmt.Sprintf("t%d/v%d", t, v)), t})
+		}
+	}
+	sort.Slice(points, func(i, j int) bool {
+		if points[i].hash != points[j].hash {
+			return points[i].hash < points[j].hash
+		}
+		return points[i].target < points[j].target // deterministic on (absurdly unlikely) collision
+	})
+	for _, p := range points {
+		r.hashes = append(r.hashes, p.hash)
+		r.targets = append(r.targets, p.target)
+	}
+	return r
+}
+
+// owner returns the target responsible for key.
+func (r *hashRing) owner(key string) int {
+	if len(r.hashes) == 0 {
+		return 0
+	}
+	h := ringHash(key)
+	i := sort.Search(len(r.hashes), func(i int) bool { return r.hashes[i] >= h })
+	if i == len(r.hashes) { // wrap past the top of the circle
+		i = 0
+	}
+	return r.targets[i]
+}

@@ -1,0 +1,79 @@
+package serve
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestRingDeterministic: the same fleet size always yields the same ring,
+// and every key maps to the same owner across rebuilds.
+func TestRingDeterministic(t *testing.T) {
+	a, b := newHashRing(5), newHashRing(5)
+	for i := 0; i < 1000; i++ {
+		key := fmt.Sprintf("loc%d::game%d", i, i%7)
+		if a.owner(key) != b.owner(key) {
+			t.Fatalf("key %q: owners differ across identical rings", key)
+		}
+	}
+}
+
+// TestRingOwnerRange: owners are always valid target indices.
+func TestRingOwnerRange(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 8} {
+		r := newHashRing(n)
+		for i := 0; i < 500; i++ {
+			o := r.owner(fmt.Sprintf("k%d", i))
+			if o < 0 || o >= n {
+				t.Fatalf("n=%d: owner(k%d) = %d out of range", n, i, o)
+			}
+		}
+	}
+	// Empty ring degrades to target 0 rather than panicking.
+	if got := newHashRing(0).owner("anything"); got != 0 {
+		t.Fatalf("empty ring owner = %d, want 0", got)
+	}
+}
+
+// TestRingBalance: with 64 virtual slots per target, a large keyspace
+// spreads within a reasonable factor of even.
+func TestRingBalance(t *testing.T) {
+	const n, keys = 4, 20000
+	r := newHashRing(n)
+	counts := make([]int, n)
+	for i := 0; i < keys; i++ {
+		counts[r.owner(fmt.Sprintf("city%d|region%d|country%d::game%d", i, i/10, i/100, i%5))]++
+	}
+	want := keys / n
+	for tgt, c := range counts {
+		if c < want/2 || c > want*2 {
+			t.Errorf("target %d owns %d of %d keys (even share %d): outside 2x band",
+				tgt, c, keys, want)
+		}
+	}
+}
+
+// TestRingStability: adding one target moves only a bounded fraction of
+// the keyspace — the consistent-hashing property the client relies on to
+// keep most connection pools and ETag caches warm across fleet changes.
+func TestRingStability(t *testing.T) {
+	const keys = 10000
+	before, after := newHashRing(4), newHashRing(5)
+	moved := 0
+	for i := 0; i < keys; i++ {
+		key := fmt.Sprintf("k%d", i)
+		ob, oa := before.owner(key), after.owner(key)
+		if ob != oa {
+			moved++
+			// Keys may only move TO the new target; a key hopping between
+			// old targets would invalidate unrelated affinity.
+			if oa != 4 {
+				t.Fatalf("key %q moved %d -> %d (not the new target)", key, ob, oa)
+			}
+		}
+	}
+	// Expect ~1/5 of keys to move; allow a wide band.
+	if moved < keys/10 || moved > keys/2 {
+		t.Errorf("adding 5th target moved %d of %d keys, want roughly %d",
+			moved, keys, keys/5)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"tero/internal/obs"
@@ -15,6 +16,12 @@ import (
 // request counters by route and status class, a latency histogram per
 // route — plus cache hit/miss/eviction counters and the index gauges
 // (index.go). Everything lands in the obs.Default registry.
+//
+// At serving rates the metric *lookups* themselves become hot-path work:
+// obs.Lbl renders a labeled name (an allocation) and the registry resolves
+// it through a map on every call. The route set is closed, so every
+// {route, class} handle is resolved once at init into routeHandles and the
+// per-request cost is one small map hit and two atomic adds.
 var (
 	slog = obs.L("serve")
 
@@ -23,6 +30,36 @@ var (
 	mCacheEvictions = obs.C("serve_cache_evictions_total")
 	mNotModified    = obs.C("serve_not_modified_total")
 )
+
+// routeHandles holds one route's pre-resolved metric handles.
+type routeHandles struct {
+	classes [4]*obs.Counter // 2xx, 3xx, 4xx, 5xx
+	seconds *obs.Histogram
+	shed    *obs.Counter
+}
+
+var statusClasses = [4]string{"2xx", "3xx", "4xx", "5xx"}
+
+// routeHandleTab maps every known route label to its handles.
+var routeHandleTab = func() map[string]*routeHandles {
+	m := make(map[string]*routeHandles)
+	for _, route := range []string{
+		"locations", "games", "latency", "compare", "health", "metrics", "other",
+	} {
+		h := &routeHandles{
+			seconds: obs.H(obs.Lbl("serve_http_seconds", "route", route), obs.DurationBuckets),
+			shed:    obs.C(obs.Lbl("serve_shed_total", "route", route)),
+		}
+		for i, class := range statusClasses {
+			h.classes[i] = obs.C(obs.Lbl("serve_http_requests_total", "route", route, "class", class))
+		}
+		m[route] = h
+	}
+	return m
+}()
+
+// handlesFor returns the pre-resolved handles for a route label.
+func handlesFor(route string) *routeHandles { return routeHandleTab[route] }
 
 // Server is the HTTP layer of the latency-information service. Create it
 // with NewServer, mount it anywhere (it implements http.Handler), and feed
@@ -39,10 +76,16 @@ var (
 //	GET /metrics                       obs.Default text dump
 //
 // Every /v1 response carries a deterministic ETag and honors
-// If-None-Match with 304.
+// If-None-Match with 304. /v1/latency additionally negotiates the compact
+// binary representation via `Accept: application/x-tero-bin`; both
+// representations are rendered at snapshot build time, so the steady-state
+// handler does no marshaling at all. An optional Admission gate
+// (SetAdmission) sheds load with 503 + Retry-After once the configured
+// in-flight or rate limit is exceeded.
 type Server struct {
 	ix      *Index
 	cache   *lruCache
+	adm     atomic.Pointer[Admission]
 	handler http.Handler
 }
 
@@ -61,12 +104,19 @@ func NewServerCache(ix *Index, cacheSize int) *Server {
 	mux.HandleFunc("/v1/games", s.handleGames)
 	mux.HandleFunc("/v1/latency", s.handleLatency)
 	mux.HandleFunc("/v1/compare", s.handleCompare)
-	s.handler = instrument(mux)
+	s.handler = instrument(s.admitted(mux))
 	return s
 }
 
 // Index returns the server's index.
 func (s *Server) Index() *Index { return s.ix }
+
+// SetAdmission installs (or, with nil, removes) the overload gate. Safe to
+// call while serving; in-flight requests keep their slots.
+func (s *Server) SetAdmission(a *Admission) { s.adm.Store(a) }
+
+// Admission returns the current gate, or nil when unguarded.
+func (s *Server) Admission() *Admission { return s.adm.Load() }
 
 // FlushCache empties the response cache (benchmarks use it to measure the
 // cold path; production code never needs it — Swap invalidation is
@@ -81,6 +131,26 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.handler.ServeHTTP(w, r)
 }
 
+// admitted is the overload-gate middleware: when an Admission is installed
+// and the request is not exempt (health, readiness, metrics), it must win
+// a slot or be shed with 503 + Retry-After.
+func (s *Server) admitted(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		a := s.adm.Load()
+		if a == nil || admissionExempt(r.URL.Path) {
+			next.ServeHTTP(w, r)
+			return
+		}
+		release, ok := a.Admit()
+		if !ok {
+			shed(w, routeOf(r.URL.Path), a.RetryAfter())
+			return
+		}
+		defer release()
+		next.ServeHTTP(w, r)
+	})
+}
+
 // statusRecorder captures the status a handler writes (twitchsim idiom).
 type statusRecorder struct {
 	http.ResponseWriter
@@ -93,17 +163,16 @@ func (w *statusRecorder) WriteHeader(code int) {
 }
 
 // instrument is the serving middleware: per-route request counters split
-// by status class and a per-route latency histogram.
+// by status class and a per-route latency histogram, all through handles
+// resolved once at init.
 func instrument(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
 		start := time.Now()
 		next.ServeHTTP(rec, r)
-		route := routeOf(r.URL.Path)
-		obs.C(obs.Lbl("serve_http_requests_total",
-			"route", route, "class", statusClass(rec.code))).Inc()
-		obs.H(obs.Lbl("serve_http_seconds", "route", route),
-			obs.DurationBuckets).Observe(time.Since(start).Seconds())
+		h := handlesFor(routeOf(r.URL.Path))
+		h.classes[classIdx(rec.code)].Inc()
+		h.seconds.Observe(time.Since(start).Seconds())
 	})
 }
 
@@ -126,18 +195,21 @@ func routeOf(path string) string {
 	return "other"
 }
 
-// statusClass maps an HTTP status to its metric label.
-func statusClass(code int) string {
+// classIdx maps an HTTP status to its index in routeHandles.classes.
+func classIdx(code int) int {
 	switch {
 	case code >= 200 && code < 300:
-		return "2xx"
+		return 0
 	case code >= 300 && code < 400:
-		return "3xx"
+		return 1
 	case code >= 400 && code < 500:
-		return "4xx"
+		return 2
 	}
-	return "5xx"
+	return 3
 }
+
+// statusClass maps an HTTP status to its metric label.
+func statusClass(code int) string { return statusClasses[classIdx(code)] }
 
 // errorBody is the JSON error envelope.
 type errorBody struct {
@@ -149,7 +221,7 @@ func writeError(w http.ResponseWriter, code int, format string, args ...any) {
 	w.Header().Set("Content-Type", "application/json; charset=utf-8")
 	w.WriteHeader(code)
 	w.Write(mustMarshal(errorBody{Error: fmt.Sprintf(format, args...)})) //nolint:errcheck
-	w.Write([]byte("\n"))                                               //nolint:errcheck
+	w.Write([]byte("\n"))                                                //nolint:errcheck
 }
 
 // etagMatches implements the If-None-Match comparison: a comma-separated
@@ -168,9 +240,11 @@ func etagMatches(header, etag string) bool {
 	return false
 }
 
-// writeJSON serves a marshaled body with its ETag, answering 304 when the
-// client already holds the current representation.
-func writeJSON(w http.ResponseWriter, r *http.Request, body []byte, etag string) {
+const contentTypeJSON = "application/json; charset=utf-8"
+
+// writeBody serves a pre-rendered body with its ETag and content type,
+// answering 304 when the client already holds the current representation.
+func writeBody(w http.ResponseWriter, r *http.Request, body []byte, etag, contentType string) {
 	h := w.Header()
 	h.Set("ETag", etag)
 	if etagMatches(r.Header.Get("If-None-Match"), etag) {
@@ -178,10 +252,25 @@ func writeJSON(w http.ResponseWriter, r *http.Request, body []byte, etag string)
 		w.WriteHeader(http.StatusNotModified)
 		return
 	}
-	h.Set("Content-Type", "application/json; charset=utf-8")
+	h.Set("Content-Type", contentType)
 	h.Set("Content-Length", strconv.Itoa(len(body)))
 	w.WriteHeader(http.StatusOK)
 	w.Write(body) //nolint:errcheck — nothing to do about a dead client
+}
+
+// writeJSON serves a marshaled JSON body with its ETag.
+func writeJSON(w http.ResponseWriter, r *http.Request, body []byte, etag string) {
+	writeBody(w, r, body, etag, contentTypeJSON)
+}
+
+// wantsBinary reports whether the Accept header selects the binary wire
+// format. Absent or wildcard Accept keeps the JSON default. The exact
+// match is checked first: clients that opt in typically send the bare
+// media type, and the equality test keeps the hot path from scanning a
+// composite header that is not there.
+func wantsBinary(accept string) bool {
+	return accept == ContentTypeBinary ||
+		(accept != "" && strings.Contains(accept, ContentTypeBinary))
 }
 
 func (s *Server) handleRoot(w http.ResponseWriter, r *http.Request) {
@@ -191,7 +280,7 @@ func (s *Server) handleRoot(w http.ResponseWriter, r *http.Request) {
 	}
 	fmt.Fprint(w, "tero latency-information service\n"+
 		"  /v1/locations\n  /v1/games\n"+
-		"  /v1/latency?location=<key>&game=<name>\n"+
+		"  /v1/latency?location=<key>&game=<name>  (Accept: "+ContentTypeBinary+" for binary)\n"+
 		"  /v1/compare?a=<key>::<game>&b=<key>::<game>\n"+
 		"  /healthz  /readyz  /metrics\n")
 }
@@ -242,6 +331,11 @@ func (s *Server) cacheKey(route, rest string) string {
 	return strconv.FormatUint(s.ix.Version(), 10) + "\x00" + route + "\x00" + rest
 }
 
+// handleLatency is the hot path: everything it serves — JSON body, binary
+// body, both ETags — was rendered at snapshot build time, so the
+// steady-state request is query parse, one shard lookup and one Write.
+// (The LRU response cache now backs only /v1/compare, whose bodies are
+// derived per requested pair.)
 func (s *Server) handleLatency(w http.ResponseWriter, r *http.Request) {
 	if s.catalogOr503(w) == nil {
 		return
@@ -259,23 +353,11 @@ func (s *Server) handleLatency(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "no data for {%s, %s}", locKey, game)
 		return
 	}
-	// Fast 304 path: the ETag is precomputed, no body work at all.
-	if etagMatches(r.Header.Get("If-None-Match"), e.etag) {
-		mNotModified.Inc()
-		w.Header().Set("ETag", e.etag)
-		w.WriteHeader(http.StatusNotModified)
+	if wantsBinary(r.Header.Get("Accept")) {
+		writeBody(w, r, e.binBody, e.binETag, ContentTypeBinary)
 		return
 	}
-	ck := s.cacheKey("latency", key)
-	body, etag, hit := s.cache.get(ck)
-	if hit {
-		mCacheHits.Inc()
-	} else {
-		mCacheMisses.Inc()
-		body, etag = mustMarshal(e.resp), e.etag
-		s.cache.add(ck, body, etag)
-	}
-	writeJSON(w, r, body, etag)
+	writeBody(w, r, e.body, e.etag, contentTypeJSON)
 }
 
 // lookupPair resolves one /v1/compare side parameter.

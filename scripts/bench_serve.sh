@@ -1,0 +1,40 @@
+#!/bin/sh
+# Serving-tier benchmark harness: builds cmd/teroserve, runs its
+# -bench-serve suite (tcp_json baseline, in-process hot JSON/binary paths,
+# ring-routed replicas, admission-control brownout sweep) and collects the
+# emitted BENCHPOINT lines into a JSON array.
+#
+# Environment overrides:
+#   BENCH_OUT         output file             (default BENCH_serve.json)
+#   BENCH_STREAMERS   synthetic population    (default 80)
+#   BENCH_DAYS        observation days        (default 1)
+#
+# The smoke invocation in scripts/check.sh runs a tiny world into a
+# throwaway file, just proving the suite still executes end to end.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+OUT="${BENCH_OUT:-BENCH_serve.json}"
+STREAMERS="${BENCH_STREAMERS:-80}"
+DAYS="${BENCH_DAYS:-1}"
+TMPDIR="${TMPDIR:-/tmp}"
+BIN="$TMPDIR/teroserve-bench-$$"
+TXT="$TMPDIR/teroserve-bench-$$.txt"
+trap 'rm -f "$BIN" "$TXT"' EXIT
+
+echo "== build cmd/teroserve =="
+go build -o "$BIN" ./cmd/teroserve
+
+echo "== serve benchmark suite (streamers $STREAMERS, days $DAYS) =="
+"$BIN" -addr 127.0.0.1:0 -streamers "$STREAMERS" -days "$DAYS" -log warn \
+    -bench-serve | tee "$TXT"
+
+grep '^BENCHPOINT ' "$TXT" | sed 's/^BENCHPOINT //' | awk '
+BEGIN { print "[" }
+{ if (NR > 1) printf(",\n"); printf("  %s", $0) }
+END { print "\n]" }' > "$OUT"
+
+N=$(grep -c '"phase"' "$OUT")
+[ "$N" -gt 0 ] || { echo "no BENCHPOINT lines captured" >&2; exit 1; }
+echo "wrote $OUT ($N points)"

@@ -39,7 +39,7 @@ cleanup() {
     rm -f "$TMPDIR/tero-check-$$" "$TMPDIR/teroserve-check-$$" \
         "$OUT" "$OUT.metrics" \
         "$GOLD" "$GOLD.tables" "$CHAOS" "$CHAOS.err" "$CHAOS.tables" \
-        "$SERVE" "$SERVE.hdr" "$SERVE.metrics"
+        "$SERVE" "$SERVE.hdr" "$SERVE.binhdr" "$SERVE.metrics" "$SERVE.shed"
 }
 trap cleanup EXIT
 
@@ -142,13 +142,51 @@ CODE=$(curl -s -o /dev/null -w '%{http_code}' -H "If-None-Match: $ETAG" "$SQUERY
 [ "$CODE" = "304" ] \
     || { echo "ETag replay returned $CODE, want 304" >&2; exit 1; }
 
+# Binary representation: the Accept header must switch the Content-Type
+# and yield the distinct t1b ETag form.
+curl -fsS -D "$SERVE.binhdr" -o /dev/null \
+    -H "Accept: application/x-tero-bin" "$SQUERY" \
+    || { echo "binary latency query failed: $SQUERY" >&2; exit 1; }
+grep -qi '^content-type: *application/x-tero-bin' "$SERVE.binhdr" \
+    || { echo "binary query did not return application/x-tero-bin" >&2; exit 1; }
+BETAG=$(sed -n 's/^[Ee][Tt][Aa][Gg]: *//p' "$SERVE.binhdr" | tr -d '\r' | head -n 1)
+case "$BETAG" in
+    '"t1b-'*) ;;
+    *) echo "binary ETag is $BETAG, want \"t1b-...\" form" >&2; exit 1 ;;
+esac
+# Decode equality: the binary body must decode to exactly the JSON body.
+"$TMPDIR/teroserve-check-$$" -probe-binary "http://$SADDR" \
+    || { echo "binary decode does not match JSON" >&2; exit 1; }
+
 # The serve middleware must have counted those requests on /metrics.
 curl -fsS "http://$SADDR/metrics" > "$SERVE.metrics"
 grep -q '^counter serve_http_requests_total' "$SERVE.metrics" \
     || { echo "/metrics has no serve request counters" >&2; exit 1; }
 grep -q '^counter serve_not_modified_total' "$SERVE.metrics" \
     || { echo "/metrics did not count the 304" >&2; exit 1; }
-echo "serve smoke ok: $SQUERY -> 200, ETag $ETAG replay -> 304"
+echo "serve smoke ok: $SQUERY -> 200, ETag $ETAG replay -> 304, binary OK"
 kill "$SERVE_PID" 2>/dev/null || true
+
+echo "== shed smoke (admission control: overload sheds 503s, run survives) =="
+# A tightly gated server under a load test must shed (Retry-After 503s,
+# counted separately), finish every request, and still exit 0 — sheds are
+# backpressure, not failures.
+"$TMPDIR/teroserve-check-$$" -streamers 12 -days 1 -addr 127.0.0.1:0 -log warn \
+    -shed-rate 1000 -shed-burst 50 -loadtest 16 -loadtest-requests 50 \
+    > "$SERVE.shed" 2>&1 \
+    || { echo "gated loadtest exited non-zero:" >&2; cat "$SERVE.shed" >&2; exit 1; }
+grep -Eq 'shed [1-9][0-9]*' "$SERVE.shed" \
+    || { echo "gated loadtest shed nothing:" >&2; cat "$SERVE.shed" >&2; exit 1; }
+grep -q 'transport-errors 0' "$SERVE.shed" \
+    || { echo "gated loadtest hit transport errors:" >&2; cat "$SERVE.shed" >&2; exit 1; }
+echo "shed smoke ok: $(grep -Eo 'shed [0-9]+' "$SERVE.shed" | head -n 1) of 800 requests, zero hard errors"
+
+echo "== bench_serve.sh smoke (tiny world, throwaway output) =="
+BENCH_OUT="$TMPDIR/tero-bench-serve-smoke-$$.json" \
+    BENCH_STREAMERS=12 BENCH_DAYS=1 sh scripts/bench_serve.sh > /dev/null
+grep -q '"phase"' "$TMPDIR/tero-bench-serve-smoke-$$.json" \
+    || { echo "bench_serve.sh produced no points" >&2; exit 1; }
+rm -f "$TMPDIR/tero-bench-serve-smoke-$$.json"
+echo "bench_serve smoke ok"
 
 echo "OK"
