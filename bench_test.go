@@ -14,6 +14,8 @@ import (
 	"tero/internal/core"
 	"tero/internal/experiments"
 	"tero/internal/geo"
+	"tero/internal/obs"
+	"tero/internal/obs/trace"
 	"tero/internal/serve"
 )
 
@@ -161,4 +163,24 @@ func BenchmarkServeLatencyQuery(b *testing.B) {
 			query(b, etagReq, http.StatusNotModified)
 		}
 	})
+	// Tracing overhead on the hot path: "json" above is the
+	// tracing-disabled baseline (one atomic load per request); these two
+	// measure the tail-sampled default and the keep-everything worst case.
+	traceBench := func(sampleN int) func(b *testing.B) {
+		return func(b *testing.B) {
+			prev := obs.SetLogLevel(obs.LevelWarn)
+			trace.Enable(1)
+			trace.SetSampleN(sampleN)
+			defer func() {
+				trace.Disable()
+				obs.SetLogLevel(prev)
+			}()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				query(b, jsonReq, http.StatusOK)
+			}
+		}
+	}
+	b.Run("json_trace_sampled", traceBench(16))
+	b.Run("json_trace_always", traceBench(1))
 }

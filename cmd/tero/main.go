@@ -14,6 +14,7 @@ import (
 
 	"tero/internal/core"
 	"tero/internal/obs"
+	"tero/internal/obs/trace"
 	"tero/internal/pipeline"
 	"tero/internal/stats"
 	"tero/internal/twitchsim"
@@ -29,7 +30,11 @@ func main() {
 		conc      = flag.Int("concurrency", 0,
 			"pipeline worker parallelism (0 = GOMAXPROCS, 1 = serial)")
 		debugAddr = flag.String("debug-addr", "",
-			"serve /metrics and /debug/pprof/ on this address (e.g. localhost:6060 or :0)")
+			"serve /metrics, /debug/pprof/ and /debug/traces on this address (e.g. localhost:6060 or :0)")
+		traceOn = flag.Bool("trace", false,
+			"record tail-sampled traces (inspect at /debug/traces on -debug-addr)")
+		traceSample = flag.Int("trace-sample", 16,
+			"keep 1 in N unremarkable traces (errors and slowest-per-stage always kept)")
 		metrics = flag.Bool("metrics", false,
 			"print an end-of-run metrics report")
 		logLevel = flag.String("log", "info",
@@ -59,6 +64,11 @@ func main() {
 		fmt.Printf("debug server listening on http://%s (metrics at /metrics, pprof at /debug/pprof/)\n",
 			dbg.Addr)
 	}
+	if *traceOn {
+		// Seeded with the world seed: serial runs replay identical trace IDs.
+		trace.Enable(uint64(*seed))
+		trace.SetSampleN(*traceSample)
+	}
 
 	cfg := worldsim.DefaultConfig(*seed)
 	cfg.Streamers = *streamers
@@ -70,6 +80,9 @@ func main() {
 
 	platform := twitchsim.New(world)
 	defer platform.Close()
+	// Spans carry both clocks: wall for real durations, virtual for where a
+	// reading sits in the simulated observation period.
+	trace.SetVirtualClock(platform.Now)
 	if *faults > 0 {
 		platform.SetFaults(twitchsim.ScaledFaults(*faultSeed, *faults))
 		fmt.Printf("fault injection on: rate %.2f, seed %d\n", *faults, *faultSeed)

@@ -39,6 +39,8 @@ import (
 
 	"tero/internal/core"
 	"tero/internal/obs"
+	"tero/internal/obs/slo"
+	"tero/internal/obs/trace"
 	"tero/internal/pipeline"
 	"tero/internal/serve"
 	"tero/internal/twitchsim"
@@ -85,6 +87,14 @@ func run() int {
 		faults = flag.Float64("faults", 0,
 			"platform fault-injection rate (0 = off, 1 = calibrated default mix)")
 		faultSeed = flag.Int64("fault-seed", 1, "fault-injection schedule seed")
+		debugAddr = flag.String("debug-addr", "",
+			"serve /metrics, /debug/pprof/ and /debug/traces on this address (e.g. localhost:6060 or :0)")
+		traceOn = flag.Bool("trace", false,
+			"record tail-sampled traces across pipeline and serve (inspect at /debug/traces)")
+		traceSample = flag.Int("trace-sample", 16,
+			"keep 1 in N unremarkable traces (errors and slowest-per-stage always kept)")
+		loadTrace = flag.Bool("loadtest-trace", false,
+			"load-test clients root a span per request and propagate traceparent (implies client/server trace joins)")
 	)
 	flag.Parse()
 
@@ -97,6 +107,22 @@ func run() int {
 
 	if *probeBinary != "" {
 		return probeBinaryEquality(*probeBinary)
+	}
+
+	if *traceOn || *loadTrace {
+		// Seeded with the world seed: serial runs replay identical trace IDs.
+		trace.Enable(uint64(*seed))
+		trace.SetSampleN(*traceSample)
+	}
+	if *debugAddr != "" {
+		dbg, err := obs.ServeDebug(*debugAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "debug server: %v\n", err)
+			return 1
+		}
+		defer dbg.ShutdownTimeout(5 * time.Second) //nolint:errcheck
+		fmt.Printf("debug server listening on http://%s (metrics at /metrics, traces at /debug/traces)\n",
+			dbg.Addr)
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -161,6 +187,9 @@ func run() int {
 
 	platform := twitchsim.New(world)
 	defer platform.Close()
+	// Spans carry both clocks: wall for real durations, virtual for where a
+	// reading sits in the simulated observation period.
+	trace.SetVirtualClock(platform.Now)
 	if *faults > 0 {
 		platform.SetFaults(twitchsim.ScaledFaults(*faultSeed, *faults))
 		fmt.Printf("fault injection on: rate %.2f, seed %d\n", *faults, *faultSeed)
@@ -173,10 +202,39 @@ func run() int {
 	builder.MinPoints = *minPoints
 	builder.Concurrency = *conc
 
+	// Declared SLOs, evaluated after every publish (virtual cadence) and on
+	// a wall ticker while serving. Freshness runs on the virtual clock —
+	// "p99 of readings become queryable within 12 virtual hours" — while
+	// serve availability runs on wall time over the 5xx share of requests.
+	slos := slo.NewSet()
+	slos.Add(
+		&slo.Objective{
+			Name:   "freshness_p99",
+			Target: 0.99,
+			SLI: slo.HistogramThreshold{
+				H: pipeline.FreshnessHistogram(), Threshold: 43200,
+			},
+			Windows: []time.Duration{6 * time.Hour, 24 * time.Hour},
+			Clock:   platform.Now,
+		},
+		&slo.Objective{
+			Name:   "serve_availability",
+			Target: 0.999,
+			SLI: slo.CounterRatio{
+				Good: func() float64 { g, _ := serve.RequestTotals(); return g },
+				Bad:  func() float64 { _, b := serve.RequestTotals(); return b },
+			},
+			Windows: []time.Duration{5 * time.Minute, time.Hour},
+		},
+	)
+	for _, s := range srvs {
+		s.SetStatusReport(slos.Report)
+	}
+
 	publish := func() {
 		p.ProcessThumbnails()
 		p.LocateStreamers(platform.Now())
-		n := p.Publish(builder, params)
+		n := p.PublishAt(builder, params, platform.Now())
 		// One Build, N Swaps: the snapshot (and every pre-marshaled body
 		// inside it) is shared, immutable, and identical across replicas.
 		snap := builder.Build()
@@ -184,6 +242,7 @@ func run() int {
 		for _, ix := range ixs {
 			entries = ix.Swap(snap)
 		}
+		slos.Evaluate()
 		fmt.Printf("  published: %d analyses -> %d servable {location, game} entries (version %d, %d replicas)\n",
 			n, entries, ixs[0].Version(), nReplicas)
 	}
@@ -237,6 +296,7 @@ func run() int {
 			Clients:           *loadtest,
 			RequestsPerClient: *loadreqs,
 			Binary:            *loadBinary,
+			Trace:             *loadTrace,
 		}
 		if *loadInproc {
 			for _, s := range srvs {
@@ -269,7 +329,17 @@ func run() int {
 	}
 
 	fmt.Println("serving (Ctrl-C to stop)...")
-	<-ctx.Done()
-	fmt.Println("shutting down")
-	return 0
+	// While serving, keep the wall-window burn rates moving even with no
+	// publishes happening (the availability SLO windows are wall time).
+	sloTick := time.NewTicker(15 * time.Second)
+	defer sloTick.Stop()
+	for {
+		select {
+		case <-sloTick.C:
+			slos.Evaluate()
+		case <-ctx.Done():
+			fmt.Println("shutting down")
+			return 0
+		}
+	}
 }

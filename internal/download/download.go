@@ -37,6 +37,7 @@ import (
 	"tero/internal/kvstore"
 	"tero/internal/objstore"
 	"tero/internal/obs"
+	"tero/internal/obs/trace"
 )
 
 // Observability: API request/429/retry counters, thumbnail fetch outcome
@@ -639,10 +640,21 @@ func (d *Downloader) fetchOnce(id string, tr *tracked, now time.Time) error {
 		mThumbUnchanged.Inc()
 		return nil
 	}
-	// GET the thumbnail body.
+	// GET the thumbnail body. This is where a reading's journey trace is
+	// born: the root span covers CDN fetch to object-store put, and its
+	// context rides the object metadata so the pipeline's extract span
+	// (and everything downstream to publish) joins the same trace.
+	j := trace.StartJourney("download.fetch",
+		trace.A("streamer", id), trace.A("downloader", d.ID))
+	fetchFail := func(err error) error {
+		j.SetError(err.Error())
+		j.End()
+		trace.Finish(j.Context().TraceID)
+		return err
+	}
 	getResp, err := d.HTTP.Get(tr.a.URL)
 	if err != nil {
-		return transient("GET %s: %w", tr.a.URL, err)
+		return fetchFail(transient("GET %s: %w", tr.a.URL, err))
 	}
 	defer getResp.Body.Close()
 	switch {
@@ -650,11 +662,14 @@ func (d *Downloader) fetchOnce(id string, tr *tracked, now time.Time) error {
 		// Went offline between HEAD and GET: same bookkeeping as the HEAD
 		// path — the streamer is dropped and reported, never half-tracked.
 		d.offline(id, "GET")
+		j.SetAttr("outcome", "offline")
+		j.End()
+		trace.Finish(j.Context().TraceID)
 		return nil
 	case getResp.StatusCode >= 500:
-		return transient("GET %s -> %s", tr.a.URL, getResp.Status)
+		return fetchFail(transient("GET %s -> %s", tr.a.URL, getResp.Status))
 	case getResp.StatusCode != http.StatusOK:
-		return fmt.Errorf("download: GET %s -> %s", tr.a.URL, getResp.Status)
+		return fetchFail(fmt.Errorf("download: GET %s -> %s", tr.a.URL, getResp.Status))
 	}
 	// The seq must come from the GET response: the thumbnail may rotate
 	// between HEAD and GET, and keying the stored bytes by the HEAD seq
@@ -662,24 +677,27 @@ func (d *Downloader) fetchOnce(id string, tr *tracked, now time.Time) error {
 	// with the body actually stored.
 	seq := getResp.Header.Get("X-Thumbnail-Seq")
 	if seq == "" {
-		return transient("GET %s: missing X-Thumbnail-Seq", tr.a.URL)
+		return fetchFail(transient("GET %s: missing X-Thumbnail-Seq", tr.a.URL))
 	}
 	if seq == tr.lastSeq {
 		// Already have this one (e.g. the HEAD seq header was dropped):
 		// do not re-store it — a rewrite would re-stamp its download time.
 		mThumbUnchanged.Inc()
+		j.SetAttr("outcome", "unchanged")
+		j.End()
+		trace.Finish(j.Context().TraceID)
 		return nil
 	}
 	body, err := io.ReadAll(getResp.Body)
 	if err != nil {
 		// Truncated mid-body (Content-Length mismatch → unexpected EOF).
-		return transient("GET %s: %w", tr.a.URL, err)
+		return fetchFail(transient("GET %s: %w", tr.a.URL, err))
 	}
 	if want := getResp.Header.Get("X-Thumbnail-Digest"); want != "" {
 		sum := sha256.Sum256(body)
 		if got := hex.EncodeToString(sum[:]); got != want {
 			mCorruptBody.Inc()
-			return transient("GET %s: body digest mismatch", tr.a.URL)
+			return fetchFail(transient("GET %s: body digest mismatch", tr.a.URL))
 		}
 	}
 	if tr.lastSeq != "" {
@@ -699,15 +717,24 @@ func (d *Downloader) fetchOnce(id string, tr *tracked, now time.Time) error {
 	}
 	tr.lastSeq = seq
 	key := fmt.Sprintf("%s/%s.pgm", id, seq)
-	d.Store.Put(ThumbBucket, key, body, map[string]string{
+	meta := map[string]string{
 		"streamer": id,
 		"login":    tr.a.Login,
 		"game":     tr.a.Game,
 		"seq":      seq,
 		"at":       now.UTC().Format(time.RFC3339),
-	})
+	}
+	j.SetAttr("key", key)
+	j.SetAttr("seq", seq)
+	if tc := trace.EncodeContext(j.Context()); tc != "" {
+		meta["trace"] = tc
+	}
+	d.Store.Put(ThumbBucket, key, body, meta)
 	d.Downloads++
 	mThumbDownloads.Inc()
+	// End records the root span; the journey stays open in the store until
+	// the pipeline publishes (or never does — then MaxPending evicts it).
+	j.End()
 	return nil
 }
 

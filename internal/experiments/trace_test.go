@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"tero/internal/obs"
+	"tero/internal/obs/trace"
+)
+
+// TestTracingDoesNotPerturbTables is the tracing analogue of
+// TestMetricsDoNotPerturbTables: the experiment suite renders byte-identical
+// tables whether tracing is off or fully on (Enable + keep-everything
+// sampling). Tracing observes the pipeline; it must never steer it.
+func TestTracingDoesNotPerturbTables(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full suite twice is not short")
+	}
+	ids := []string{"volume", "tab4", "fig4", "fig7", "fig13", "dense"}
+	o := Options{Seed: 9, Scale: 0.15, Concurrency: 4}
+
+	runAll := func() string {
+		var sb strings.Builder
+		for _, id := range ids {
+			tabs, err := Run(id, o)
+			if err != nil {
+				t.Fatalf("%s: %v", id, err)
+			}
+			sb.WriteString(render(tabs))
+		}
+		return sb.String()
+	}
+
+	obs.Reset()
+	prevLevel := obs.SetLogLevel(obs.LevelOff)
+	defer obs.SetLogLevel(prevLevel)
+
+	plain := runAll()
+
+	trace.Enable(9)
+	trace.SetSampleN(1)
+	defer trace.Disable()
+	traced := runAll()
+
+	if plain != traced {
+		t.Fatalf("tables diverge when tracing is enabled: %s", firstDiff(plain, traced))
+	}
+	// Sanity: the traced pass really recorded traces.
+	if len(trace.ActiveStore().Traces()) == 0 {
+		t.Error("traced pass stored no traces")
+	}
+}

@@ -75,13 +75,19 @@ func (g *Gauge) reset() { g.bits.Store(0) }
 // estimated by linear interpolation inside the bucket holding the target
 // rank, clamped to the observed min/max, so they are exact at the bucket
 // boundaries and monotone in q.
+//
+// Each bucket additionally carries an exemplar slot: ObserveExemplar stores
+// an opaque reference (in practice a trace ID) alongside the observation,
+// so a histogram's tail buckets always name the most recent trace that
+// landed there — the link from a p99 on /metrics to a stored trace.
 type Histogram struct {
-	bounds  []float64 // sorted upper bounds; an implicit +Inf bucket follows
-	buckets []atomic.Int64
-	count   atomic.Int64
-	sumBits atomic.Uint64
-	minBits atomic.Uint64 // math.Float64bits of observed min; initialized to +Inf
-	maxBits atomic.Uint64 // observed max; initialized to -Inf
+	bounds    []float64 // sorted upper bounds; an implicit +Inf bucket follows
+	buckets   []atomic.Int64
+	exemplars []atomic.Uint64 // last ObserveExemplar ref per bucket; 0 = unset
+	count     atomic.Int64
+	sumBits   atomic.Uint64
+	minBits   atomic.Uint64 // math.Float64bits of observed min; initialized to +Inf
+	maxBits   atomic.Uint64 // observed max; initialized to -Inf
 }
 
 // DurationBuckets is the default bucket layout for second-valued duration
@@ -103,7 +109,11 @@ func LinearBuckets(start, width float64, count int) []float64 {
 func newHistogram(bounds []float64) *Histogram {
 	bs := append([]float64(nil), bounds...)
 	sort.Float64s(bs)
-	h := &Histogram{bounds: bs, buckets: make([]atomic.Int64, len(bs)+1)}
+	h := &Histogram{
+		bounds:    bs,
+		buckets:   make([]atomic.Int64, len(bs)+1),
+		exemplars: make([]atomic.Uint64, len(bs)+1),
+	}
 	h.minBits.Store(math.Float64bits(math.Inf(1)))
 	h.maxBits.Store(math.Float64bits(math.Inf(-1)))
 	return h
@@ -136,6 +146,48 @@ func (h *Histogram) Observe(v float64) {
 			break
 		}
 	}
+}
+
+// ObserveExemplar records one value and tags its bucket with ref (an
+// opaque exemplar reference, in practice a trace ID). ref 0 observes
+// without tagging, so disabled-tracing callers pay nothing extra.
+func (h *Histogram) ObserveExemplar(v float64, ref uint64) {
+	h.Observe(v)
+	if ref != 0 && !math.IsNaN(v) {
+		h.exemplars[sort.SearchFloat64s(h.bounds, v)].Store(ref)
+	}
+}
+
+// Exemplar is one lit bucket's latest exemplar reference.
+type Exemplar struct {
+	LE  float64 // bucket upper bound; +Inf for the overflow bucket
+	Ref uint64
+}
+
+// Exemplars returns the lit exemplar slots in ascending bucket order.
+func (h *Histogram) Exemplars() []Exemplar {
+	var out []Exemplar
+	for i := range h.exemplars {
+		if ref := h.exemplars[i].Load(); ref != 0 {
+			_, hi := h.bucketRange(i)
+			out = append(out, Exemplar{LE: hi, Ref: ref})
+		}
+	}
+	return out
+}
+
+// CountLE returns the number of observations in buckets whose upper bound
+// is <= bound — exact when bound is a bucket boundary, which is how SLI
+// threshold ratios are meant to be declared.
+func (h *Histogram) CountLE(bound float64) int64 {
+	var n int64
+	for i, b := range h.bounds {
+		if b > bound {
+			break
+		}
+		n += h.buckets[i].Load()
+	}
+	return n
 }
 
 // Count returns the number of observations.
@@ -219,6 +271,7 @@ func (h *Histogram) bucketRange(i int) (lo, hi float64) {
 func (h *Histogram) reset() {
 	for i := range h.buckets {
 		h.buckets[i].Store(0)
+		h.exemplars[i].Store(0)
 	}
 	h.count.Store(0)
 	h.sumBits.Store(0)
@@ -323,6 +376,9 @@ type HistSnap struct {
 	Count         int64
 	Sum, Min, Max float64
 	P50, P90, P99 float64
+	// Exemplars holds the lit exemplar slots (ascending bucket order);
+	// empty for histograms never fed through ObserveExemplar.
+	Exemplars []Exemplar
 }
 
 // Snap is a point-in-time copy of a registry's metrics.
@@ -351,6 +407,7 @@ func (r *Registry) Snapshot() Snap {
 		s.Histograms[name] = HistSnap{
 			Count: h.Count(), Sum: h.Sum(), Min: h.Min(), Max: h.Max(),
 			P50: h.Quantile(0.5), P90: h.Quantile(0.9), P99: h.Quantile(0.99),
+			Exemplars: h.Exemplars(),
 		}
 	}
 	return s
@@ -396,6 +453,16 @@ func (r *Registry) WriteText(w io.Writer) error {
 			"histogram %s count=%d sum=%.6g min=%.6g p50=%.6g p90=%.6g p99=%.6g max=%.6g\n",
 			n, h.Count, h.Sum, h.Min, h.P50, h.P90, h.P99, h.Max); err != nil {
 			return err
+		}
+		for _, ex := range h.Exemplars {
+			le := fmt.Sprintf("%g", ex.LE)
+			if math.IsInf(ex.LE, 1) {
+				le = "+Inf"
+			}
+			if _, err := fmt.Fprintf(w, "exemplar %s le=%s trace=%016x\n",
+				n, le, ex.Ref); err != nil {
+				return err
+			}
 		}
 	}
 	return nil

@@ -1,16 +1,20 @@
 package obs
 
-import "time"
+import (
+	"sync/atomic"
+	"time"
+)
 
 // A Span times one pipeline stage. StartSpan begins the clock; End records
 // the duration into the stage's histogram (`span_seconds{stage=...}` in the
 // Default registry) and, when the global log level admits trace, emits a
-// trace line. A Span is single-use and not safe for concurrent End calls;
-// End is idempotent after the first call.
+// trace line. A Span is single-use; End is idempotent and safe to call from
+// several goroutines concurrently — exactly one call records (the first to
+// win the CAS), the rest return 0.
 type Span struct {
 	stage string
 	start time.Time
-	ended bool
+	ended atomic.Bool
 }
 
 var spanLog = L("span")
@@ -22,11 +26,13 @@ func StartSpan(stage string) *Span {
 
 // End stops the span, records its duration and returns it. The duration is
 // clamped to be non-negative (the monotonic clock makes this a formality).
+// Concurrent and repeated End calls are safe: the atomic CAS lets exactly
+// one caller through, so fan-out code with deferred ends cannot double-
+// record or race.
 func (s *Span) End() time.Duration {
-	if s == nil || s.ended {
+	if s == nil || !s.ended.CompareAndSwap(false, true) {
 		return 0
 	}
-	s.ended = true
 	d := time.Since(s.start)
 	if d < 0 {
 		d = 0
@@ -40,6 +46,9 @@ func (s *Span) End() time.Duration {
 
 // Stage returns the span's stage name.
 func (s *Span) Stage() string { return s.stage }
+
+// Start returns when the span started.
+func (s *Span) Start() time.Time { return s.start }
 
 // Time runs fn inside a span — shorthand for StartSpan + defer End.
 func Time(stage string, fn func()) time.Duration {

@@ -1,0 +1,213 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"html"
+	"net/http"
+	"sort"
+	"strconv"
+	"time"
+
+	"tero/internal/obs"
+)
+
+func init() {
+	// Mounted via the obs debug-route registry (obs cannot import this
+	// package), so any binary importing trace gets /debug/traces on its
+	// DebugServer — and the root index lists it automatically.
+	obs.RegisterDebug("/debug/traces", "stored traces (tail-sampled; ?id=<hex> for detail)",
+		Handler(), true)
+}
+
+// Handler serves the active trace store: an HTML list at the bare path,
+// JSON with ?format=json, and a JSON span tree with ?id=<16-hex trace id>.
+func Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		st := ActiveStore()
+		if id := r.URL.Query().Get("id"); id != "" {
+			serveDetail(w, st, id)
+			return
+		}
+		if r.URL.Query().Get("format") == "json" {
+			serveListJSON(w, st)
+			return
+		}
+		serveListHTML(w, st)
+	})
+}
+
+// spanJSON is one node of the JSON span tree.
+type spanJSON struct {
+	SpanID   string     `json:"span_id"`
+	ParentID string     `json:"parent_id,omitempty"`
+	Name     string     `json:"name"`
+	WallMs   float64    `json:"wall_ms"`
+	Start    string     `json:"start"`
+	VStart   string     `json:"virtual_start,omitempty"`
+	VirtualS float64    `json:"virtual_seconds,omitempty"`
+	Err      string     `json:"error,omitempty"`
+	Attrs    []Attr     `json:"attrs,omitempty"`
+	Children []spanJSON `json:"children,omitempty"`
+}
+
+// traceJSON is the detail (and list-entry) rendering of a trace.
+type traceJSON struct {
+	TraceID  string     `json:"trace_id"`
+	Root     string     `json:"root"`
+	Spans    int        `json:"spans"`
+	WallMs   float64    `json:"wall_ms"`
+	VirtualS float64    `json:"virtual_seconds,omitempty"`
+	Start    string     `json:"start"`
+	Err      bool       `json:"error,omitempty"`
+	Reason   string     `json:"reason"`
+	Tree     []spanJSON `json:"tree,omitempty"`
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+func summarize(t *Trace, withTree bool) traceJSON {
+	tj := traceJSON{
+		TraceID: fmt.Sprintf("%016x", t.ID),
+		Root:    t.Root,
+		Spans:   len(t.Spans),
+		WallMs:  ms(t.Duration()),
+		Start:   t.Start.UTC().Format(time.RFC3339Nano),
+		Err:     t.Err,
+		Reason:  t.Reason,
+	}
+	if !t.VStart.IsZero() && t.VEnd.After(t.VStart) {
+		tj.VirtualS = t.VEnd.Sub(t.VStart).Seconds()
+	}
+	if withTree {
+		tj.Tree = buildTree(t)
+	}
+	return tj
+}
+
+// buildTree nests spans by parent ID; orphans (parent span not stored)
+// surface as additional roots rather than vanishing.
+func buildTree(t *Trace) []spanJSON {
+	nodes := make(map[uint64]*spanJSON, len(t.Spans))
+	order := make([]uint64, 0, len(t.Spans))
+	for i := range t.Spans {
+		s := &t.Spans[i]
+		n := &spanJSON{
+			SpanID: fmt.Sprintf("%016x", s.SpanID),
+			Name:   s.Name,
+			WallMs: ms(s.End.Sub(s.Start)),
+			Start:  s.Start.UTC().Format(time.RFC3339Nano),
+			Err:    s.Err,
+			Attrs:  s.Attrs,
+		}
+		if s.ParentID != 0 {
+			n.ParentID = fmt.Sprintf("%016x", s.ParentID)
+		}
+		if !s.VStart.IsZero() {
+			n.VStart = s.VStart.UTC().Format(time.RFC3339Nano)
+			if s.VEnd.After(s.VStart) {
+				n.VirtualS = s.VEnd.Sub(s.VStart).Seconds()
+			}
+		}
+		nodes[s.SpanID] = n
+		order = append(order, s.SpanID)
+	}
+	var roots []spanJSON
+	// Attach children in recorded order, depth-first at the end so nested
+	// slices are complete before being copied into their parents.
+	children := make(map[uint64][]uint64)
+	for _, id := range order {
+		s := nodes[id]
+		pid, _ := strconv.ParseUint(s.ParentID, 16, 64)
+		if s.ParentID != "" && nodes[pid] != nil {
+			children[pid] = append(children[pid], id)
+		}
+	}
+	var build func(id uint64) spanJSON
+	build = func(id uint64) spanJSON {
+		n := *nodes[id]
+		for _, cid := range children[id] {
+			n.Children = append(n.Children, build(cid))
+		}
+		return n
+	}
+	for _, id := range order {
+		s := nodes[id]
+		pid, _ := strconv.ParseUint(s.ParentID, 16, 64)
+		if s.ParentID == "" || nodes[pid] == nil {
+			roots = append(roots, build(id))
+		}
+	}
+	return roots
+}
+
+func serveDetail(w http.ResponseWriter, st *Store, idHex string) {
+	id, err := strconv.ParseUint(idHex, 16, 64)
+	if err != nil {
+		http.Error(w, "bad trace id (want 16 hex digits)", http.StatusBadRequest)
+		return
+	}
+	t, ok := st.Get(id)
+	if !ok {
+		http.Error(w, "no such trace (evicted or never sampled)", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(summarize(t, true)) //nolint:errcheck — nothing to do about a dead client
+}
+
+func serveListJSON(w http.ResponseWriter, st *Store) {
+	traces := st.Traces()
+	out := make([]traceJSON, len(traces))
+	for i, t := range traces {
+		out[i] = summarize(t, true)
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(struct { //nolint:errcheck
+		Count  int         `json:"count"`
+		Traces []traceJSON `json:"traces"`
+	}{len(out), out})
+}
+
+func serveListHTML(w http.ResponseWriter, st *Store) {
+	traces := st.Traces()
+	// Group counts per root for the header line.
+	byRoot := make(map[string]int)
+	for _, t := range traces {
+		byRoot[t.Root]++
+	}
+	roots := make([]string, 0, len(byRoot))
+	for r := range byRoot {
+		roots = append(roots, r)
+	}
+	sort.Strings(roots)
+
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	fmt.Fprint(w, `<!doctype html><title>tero traces</title><style>
+body{font:14px monospace;margin:1.5em}table{border-collapse:collapse}
+td,th{padding:2px 10px;text-align:left;border-bottom:1px solid #ddd}
+.err{color:#b00}.reason{color:#777}</style><h1>stored traces</h1>`)
+	fmt.Fprintf(w, "<p>%d traces retained", len(traces))
+	for _, r := range roots {
+		fmt.Fprintf(w, " · %s×%d", html.EscapeString(r), byRoot[r])
+	}
+	fmt.Fprint(w, "</p><table><tr><th>trace</th><th>root</th><th>spans</th>"+
+		"<th>wall ms</th><th>virtual s</th><th>kept</th><th>start</th></tr>")
+	for _, t := range traces {
+		tj := summarize(t, false)
+		cls := ""
+		if t.Err {
+			cls = ` class="err"`
+		}
+		fmt.Fprintf(w,
+			`<tr%s><td><a href="?id=%s">%s</a></td><td>%s</td><td>%d</td>`+
+				`<td>%.3f</td><td>%.0f</td><td class="reason">%s</td><td>%s</td></tr>`,
+			cls, tj.TraceID, tj.TraceID, html.EscapeString(t.Root), tj.Spans,
+			tj.WallMs, tj.VirtualS, tj.Reason, tj.Start)
+	}
+	fmt.Fprint(w, "</table>")
+}

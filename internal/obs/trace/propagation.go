@@ -1,0 +1,90 @@
+package trace
+
+import (
+	"encoding/hex"
+	"strings"
+)
+
+// TraceparentHeader is the propagation header name (W3C Trace Context
+// shape: version-traceid-spanid-flags, hex fields).
+const TraceparentHeader = "traceparent"
+
+// Traceparent renders a context as a W3C-style traceparent value. Tero's
+// IDs are 64-bit, so the 128-bit trace-id field is zero-padded on the left.
+func Traceparent(c Context) string {
+	if !c.Valid() {
+		return ""
+	}
+	var b [55]byte
+	copy(b[:], "00-")
+	hexPut(b[3:19], 0)
+	hexPut(b[19:35], c.TraceID)
+	b[35] = '-'
+	hexPut(b[36:52], c.SpanID)
+	copy(b[52:], "-01")
+	return string(b[:])
+}
+
+func hexPut(dst []byte, v uint64) {
+	const digits = "0123456789abcdef"
+	for i := 15; i >= 0; i-- {
+		dst[i] = digits[v&0xf]
+		v >>= 4
+	}
+}
+
+// ParseTraceparent extracts a context from a traceparent header value.
+// Accepts any version field; the low 64 bits of the trace-id are used.
+func ParseTraceparent(h string) (Context, bool) {
+	parts := strings.Split(strings.TrimSpace(h), "-")
+	if len(parts) < 4 || len(parts[1]) != 32 || len(parts[2]) != 16 {
+		return Context{}, false
+	}
+	tid, ok1 := hexU64(parts[1][16:])
+	sid, ok2 := hexU64(parts[2])
+	c := Context{TraceID: tid, SpanID: sid}
+	if !ok1 || !ok2 || !c.Valid() {
+		return Context{}, false
+	}
+	return c, true
+}
+
+func hexU64(s string) (uint64, bool) {
+	b, err := hex.DecodeString(s)
+	if err != nil || len(b) != 8 {
+		return 0, false
+	}
+	var v uint64
+	for _, c := range b {
+		v = v<<8 | uint64(c)
+	}
+	return v, true
+}
+
+// EncodeContext renders a context for in-repo propagation surfaces that
+// are string maps (object-store metadata, measurement documents) —
+// shorter than a full traceparent and unambiguous.
+func EncodeContext(c Context) string {
+	if !c.Valid() {
+		return ""
+	}
+	var b [33]byte
+	hexPut(b[0:16], c.TraceID)
+	b[16] = '.'
+	hexPut(b[17:33], c.SpanID)
+	return string(b[:])
+}
+
+// DecodeContext parses EncodeContext's form.
+func DecodeContext(s string) (Context, bool) {
+	if len(s) != 33 || s[16] != '.' {
+		return Context{}, false
+	}
+	tid, ok1 := hexU64(s[:16])
+	sid, ok2 := hexU64(s[17:])
+	c := Context{TraceID: tid, SpanID: sid}
+	if !ok1 || !ok2 || !c.Valid() {
+		return Context{}, false
+	}
+	return c, true
+}

@@ -1,0 +1,39 @@
+package trace
+
+import (
+	"time"
+
+	"tero/internal/obs"
+)
+
+// Stage couples the metrics span (span_seconds{stage=…} histogram, from
+// PR 2) with a root trace span, so instrumented stages keep their
+// aggregate timings and additionally appear as traces when tracing is on.
+// The zero-cost story is unchanged: with tracing disabled a Stage is
+// exactly an obs.Span.
+type Stage struct {
+	M *obs.Span
+	T *Span
+}
+
+// StartStage begins a stage: always the metrics span, plus an
+// auto-finalized root trace span when tracing is enabled.
+func StartStage(name string, attrs ...Attr) *Stage {
+	g := &Stage{M: obs.StartSpan(name)}
+	if Enabled() {
+		g.T = StartTrace(name, attrs...)
+	}
+	return g
+}
+
+// Context returns the stage trace span's context (zero when not tracing).
+func (g *Stage) Context() Context { return g.T.Context() }
+
+// Child opens a child trace span under the stage (nil when not tracing).
+func (g *Stage) Child(name string, attrs ...Attr) *Span { return g.T.Child(name, attrs...) }
+
+// End closes the trace span (if any) and records the stage duration.
+func (g *Stage) End() time.Duration {
+	g.T.End()
+	return g.M.End()
+}

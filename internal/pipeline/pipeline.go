@@ -45,6 +45,7 @@ import (
 	"tero/internal/location"
 	"tero/internal/objstore"
 	"tero/internal/obs"
+	"tero/internal/obs/trace"
 )
 
 // Observability: stage counters mirror the struct counters below into the
@@ -97,6 +98,11 @@ type Pipeline struct {
 	// Quarantined counts corrupt (undecodable) thumbnails moved to
 	// QuarantineBucket instead of being processed.
 	Quarantined int
+
+	// freshMark is the high-water OCR timestamp (unix seconds) across all
+	// readings already seen by a publish; PublishAt treats readings above it
+	// as newly queryable (freshness observation + journey finalization).
+	freshMark int64
 }
 
 // New wires a pipeline against the platform at baseURL.
@@ -219,7 +225,7 @@ func (p *Pipeline) Anonymize(id string) string {
 // depend on goroutine scheduling; callers may treat it as a warning — the
 // download module has already applied its backoff/release recovery.
 func (p *Pipeline) Tick(now time.Time, pollCoordinator bool) error {
-	sp := obs.StartSpan("pipeline.download")
+	sp := trace.StartStage("pipeline.download")
 	defer sp.End()
 	var errs []error
 	if pollCoordinator {
@@ -253,6 +259,11 @@ type thumbResult struct {
 	streamer, login, game, at string
 	atUnix                    int64
 	atOK                      bool
+	// Tracing: the journey context propagated in the object metadata, plus
+	// the worker-side extraction timings. Workers only capture; span IDs are
+	// allocated in the serial merge so trace trees are deterministic.
+	traceCtx     string
+	wstart, wend time.Time
 }
 
 // ProcessThumbnails drains the thumbnail bucket: extract latency, store the
@@ -262,15 +273,22 @@ type thumbResult struct {
 // results are then merged in thumbnail-key order, so document IDs, counters
 // and pending-location entries are identical to a serial run.
 func (p *Pipeline) ProcessThumbnails() int {
-	sp := obs.StartSpan("pipeline.extract")
+	sp := trace.StartStage("pipeline.extract")
 	defer sp.End()
 	keys := p.Objects.List(download.ThumbBucket, "")
 	if len(keys) == 0 {
 		return 0
 	}
+	traced := trace.Enabled()
 	results := make([]thumbResult, len(keys))
 	p.forEach("extract", len(keys), func(i int) {
-		results[i] = p.extractOne(keys[i])
+		if traced {
+			t0 := time.Now()
+			results[i] = p.extractOne(keys[i])
+			results[i].wstart, results[i].wend = t0, time.Now()
+		} else {
+			results[i] = p.extractOne(keys[i])
+		}
 	})
 
 	// Deterministic merge in key order.
@@ -281,6 +299,11 @@ func (p *Pipeline) ProcessThumbnails() int {
 		if !r.found {
 			continue
 		}
+		// The reading's journey (rooted at download.fetch) continues here:
+		// record the extract span as a child of the propagated context.
+		// Readings that die in this stage have their journey finished now;
+		// measured readings stay open until publish.
+		jctx, _ := trace.DecodeContext(r.traceCtx)
 		if r.quarantined {
 			// Corrupt thumbnail: count it and move it aside so it cannot
 			// poison OCR; the pipeline keeps going on the healthy rest.
@@ -291,6 +314,9 @@ func (p *Pipeline) ProcessThumbnails() int {
 			}
 			p.Objects.Delete(download.ThumbBucket, key)
 			plog.Warn("quarantined corrupt thumbnail", "key", key)
+			trace.RecordSpan(jctx, "pipeline.extract", r.wstart, r.wend,
+				"corrupt thumbnail: pgm decode failed", trace.A("key", key))
+			trace.Finish(jctx.TraceID)
 			n++
 			continue
 		}
@@ -317,17 +343,34 @@ func (p *Pipeline) ProcessThumbnails() int {
 					doc["alt"] = float64(r.ex.Alt)
 					doc["hasAlt"] = true
 				}
+				if ec := trace.RecordSpan(jctx, "pipeline.extract",
+					r.wstart, r.wend, "", trace.A("game", r.game)); ec.Valid() {
+					// The measurement document carries the extract span's
+					// context until PublishAt closes the journey.
+					doc["trace"] = trace.EncodeContext(ec)
+				}
 				meas.Insert(doc)
 			case r.ex.Zero:
 				p.Zero++
 				mZero.Inc()
+				trace.RecordSpan(jctx, "pipeline.extract", r.wstart, r.wend, "",
+					trace.A("outcome", "lobby_zero"))
+				trace.Finish(jctx.TraceID)
 			default:
 				p.Missed++
 				mMissed.Inc()
+				trace.RecordSpan(jctx, "pipeline.extract", r.wstart, r.wend, "",
+					trace.A("outcome", "ocr_miss"))
+				trace.Finish(jctx.TraceID)
 			}
 			// Remember which platform ID maps to the pseudonym until the
 			// location lookup has run, then forget (see LocateStreamers).
 			p.KV.HSet("pending-location", r.streamer, r.login)
+		} else {
+			// Decoded fine but the game is not recognized: journey ends.
+			trace.RecordSpan(jctx, "pipeline.extract", r.wstart, r.wend, "",
+				trace.A("outcome", "unknown_game"))
+			trace.Finish(jctx.TraceID)
 		}
 		// §7: delete the thumbnail as soon as it is processed.
 		p.Objects.Delete(download.ThumbBucket, key)
@@ -351,11 +394,11 @@ func (p *Pipeline) extractOne(key string) thumbResult {
 	if err != nil {
 		// Undecodable PGM (truncated or bit-corrupted download): flag for
 		// quarantine rather than feeding garbage to OCR.
-		return thumbResult{found: true, quarantined: true}
+		return thumbResult{found: true, quarantined: true, traceCtx: obj.Meta["trace"]}
 	}
 	if game == nil {
 		imaging.Recycle(img)
-		return thumbResult{found: true}
+		return thumbResult{found: true, traceCtx: obj.Meta["trace"]}
 	}
 	r := thumbResult{
 		found:    true,
@@ -365,6 +408,7 @@ func (p *Pipeline) extractOne(key string) thumbResult {
 		login:    obj.Meta["login"],
 		game:     game.Name,
 		at:       obj.Meta["at"],
+		traceCtx: obj.Meta["trace"],
 	}
 	imaging.Recycle(img)
 	if t, err := time.Parse(time.RFC3339, r.at); err == nil {
@@ -394,7 +438,7 @@ const (
 // requests touch only that streamer's keys, so the parallel half is
 // conflict-free, and the counters are merged in sorted-streamer order.
 func (p *Pipeline) LocateStreamers(now time.Time) int {
-	sp := obs.StartSpan("pipeline.locate")
+	sp := trace.StartStage("pipeline.locate")
 	defer sp.End()
 	pending := p.KV.HGetAll("pending-location")
 	ids := make([]string, 0, len(pending))
@@ -417,17 +461,28 @@ func (p *Pipeline) LocateStreamers(now time.Time) int {
 		}
 	}
 
-	outcomes := make([]int, len(ids))
+	traced := trace.Enabled()
+	type locResult struct {
+		outcome      int
+		wstart, wend time.Time
+	}
+	outcomes := make([]locResult, len(ids))
 	save := p.Concurrency
 	p.Concurrency = w
 	p.forEach("locate", len(ids), func(i int) {
-		outcomes[i] = p.locateOne(ids[i], pending[ids[i]], now)
+		if traced {
+			outcomes[i].wstart = time.Now()
+		}
+		outcomes[i].outcome = p.locateOne(ids[i], pending[ids[i]], now)
+		if traced {
+			outcomes[i].wend = time.Now()
+		}
 	})
 	p.Concurrency = save
 
 	located := 0
-	for _, o := range outcomes {
-		switch o {
+	for i, o := range outcomes {
+		switch o.outcome {
 		case locLocated:
 			located++
 			p.Located++
@@ -435,6 +490,14 @@ func (p *Pipeline) LocateStreamers(now time.Time) int {
 		case locUnlocated:
 			p.Unlocated++
 			mUnlocated.Inc()
+		}
+		if traced {
+			// Per-streamer child spans under the stage trace, recorded in
+			// sorted-streamer order. Only the pseudonym is attached (§7).
+			out := [...]string{"pending", "located", "unlocated"}[o.outcome]
+			trace.RecordSpan(sp.Context(), "pipeline.locate_one",
+				o.wstart, o.wend, "",
+				trace.A("streamer", p.Anonymize(ids[i])), trace.A("outcome", out))
 		}
 	}
 	mPendingQ.Set(float64(len(p.KV.HGetAll("pending-location"))))
@@ -592,7 +655,7 @@ func pointOf(d docstore.Doc) (core.Point, bool) {
 // Measurements are fetched per streamer through the collection's streamer
 // index rather than a full-collection scan.
 func (p *Pipeline) BuildStreams() []core.Stream {
-	sp := obs.StartSpan("pipeline.build_streams")
+	sp := trace.StartStage("pipeline.build_streams")
 	defer sp.End()
 	meas := p.Docs.C("measurements")
 	var out []core.Stream
@@ -644,7 +707,7 @@ func (p *Pipeline) BuildStreams() []core.Stream {
 // (core.Analyze deep-copies its input), so they run on the worker pool;
 // results keep first-appearance group order.
 func (p *Pipeline) Analyze(params core.Params) []*core.Analysis {
-	sp := obs.StartSpan("pipeline.analyze")
+	sp := trace.StartStage("pipeline.analyze")
 	defer sp.End()
 	streams := p.BuildStreams()
 	type key struct{ streamer, game string }
@@ -657,10 +720,30 @@ func (p *Pipeline) Analyze(params core.Params) []*core.Analysis {
 		}
 		grouped[k] = append(grouped[k], s)
 	}
+	traced := trace.Enabled()
 	out := make([]*core.Analysis, len(order))
+	var timings [][2]time.Time
+	if traced {
+		timings = make([][2]time.Time, len(order))
+	}
 	p.forEach("analyze", len(order), func(i int) {
+		if traced {
+			timings[i][0] = time.Now()
+		}
 		out[i] = core.Analyze(grouped[order[i]], params)
+		if traced {
+			timings[i][1] = time.Now()
+		}
 	})
+	if traced {
+		// Per-{streamer, game} child spans in first-appearance group order
+		// (the streamer field is already the pseudonym).
+		for i, k := range order {
+			trace.RecordSpan(sp.Context(), "pipeline.analyze_group",
+				timings[i][0], timings[i][1], "",
+				trace.A("streamer", k.streamer), trace.A("game", k.game))
+		}
+	}
 	plog.Debug("analysis complete", "groups", len(order))
 	return out
 }

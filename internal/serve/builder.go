@@ -7,7 +7,7 @@ import (
 	"sync/atomic"
 
 	"tero/internal/core"
-	"tero/internal/obs"
+	"tero/internal/obs/trace"
 )
 
 // Builder accumulates analysis output and builds immutable Snapshots for
@@ -82,7 +82,7 @@ func (b *Builder) workers() int {
 // entries on the worker pool, merge in sorted key order, aggregate the
 // catalog. The result shares nothing mutable with the builder.
 func (b *Builder) Build() *Snapshot {
-	sp := obs.StartSpan("serve.build")
+	sp := trace.StartStage("serve.build")
 	defer sp.End()
 
 	b.mu.Lock()

@@ -14,6 +14,7 @@ import (
 	"sync"
 	"time"
 
+	"tero/internal/obs/trace"
 	"tero/internal/stats"
 )
 
@@ -66,6 +67,10 @@ type LoadGen struct {
 	// full second per shed would make an overload sweep mostly measure
 	// sleeping.
 	ShedBackoffCap time.Duration
+	// Trace roots a client span per request and propagates it via the
+	// traceparent header, so the server half of each request joins the
+	// client's trace (no-op while tracing is disabled).
+	Trace bool
 }
 
 // TargetReport is one backend's share of a run.
@@ -451,14 +456,39 @@ func (lg *LoadGen) Run(ctx context.Context) (LoadReport, error) {
 				tt := &cs.perTarget[p.backend]
 				tt.requests++
 				b := backends[p.backend]
+				var tsp *trace.Span
+				if lg.Trace {
+					tsp = trace.StartTrace("loadgen.request",
+						trace.A("client", strconv.Itoa(c)), trace.A("path", u.Path))
+					if tp := trace.Traceparent(tsp.Context()); tp != "" {
+						// The shared header values are read-only; clone
+						// before injecting the per-request traceparent.
+						h2 := make(http.Header, len(hdr)+1)
+						for k, v := range hdr {
+							h2[k] = v
+						}
+						h2.Set(trace.TraceparentHeader, tp)
+						hdr = h2
+					}
+				}
 				reqStart := time.Now()
 				status, respHdr, n, _, err := getOnce(ctx, b, u, hdr, &mw, false)
 				if err != nil {
 					cs.transportErrs++
 					tt.errors++
+					tsp.SetError(err.Error())
+					tsp.End()
 					continue
 				}
 				dur := float64(time.Since(reqStart)) / float64(time.Millisecond)
+				if tsp != nil {
+					tsp.SetAttr("status", strconv.Itoa(status))
+					if status >= 500 && !(status == http.StatusServiceUnavailable &&
+						respHdr.Get("Retry-After") != "") {
+						tsp.SetError(http.StatusText(status))
+					}
+					tsp.End()
+				}
 				switch {
 				case status == http.StatusOK:
 					cs.ok++

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"tero/internal/obs"
+	"tero/internal/obs/trace"
 	"tero/internal/stats"
 )
 
@@ -86,6 +87,7 @@ type Server struct {
 	ix      *Index
 	cache   *lruCache
 	adm     atomic.Pointer[Admission]
+	report  atomic.Pointer[func() string]
 	handler http.Handler
 }
 
@@ -117,6 +119,18 @@ func (s *Server) SetAdmission(a *Admission) { s.adm.Store(a) }
 
 // Admission returns the current gate, or nil when unguarded.
 func (s *Server) Admission() *Admission { return s.adm.Load() }
+
+// SetStatusReport installs a function whose output is appended to the
+// /readyz body — the SLO burn-rate report, typically. Nil removes it. The
+// endpoint stays 200/503 on index readiness alone; the report is
+// informational so a hot burn never flaps the load balancer.
+func (s *Server) SetStatusReport(fn func() string) {
+	if fn == nil {
+		s.report.Store(nil)
+		return
+	}
+	s.report.Store(&fn)
+}
 
 // FlushCache empties the response cache (benchmarks use it to measure the
 // cold path; production code never needs it — Swap invalidation is
@@ -165,15 +179,64 @@ func (w *statusRecorder) WriteHeader(code int) {
 // instrument is the serving middleware: per-route request counters split
 // by status class and a per-route latency histogram, all through handles
 // resolved once at init.
+//
+// With tracing enabled each request additionally runs under a
+// "serve.request" span. An incoming traceparent header joins the request to
+// the caller's trace (the LoadGen client, or anything speaking W3C trace
+// context); otherwise the request roots a fresh trace. The latency
+// histogram records the span's trace ID as a bucket exemplar, so a /metrics
+// reader can jump from "p99 is high" straight to a stored trace. Tracing
+// disabled costs one atomic load and a nil check.
 func instrument(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
 		start := time.Now()
+		var tsp *trace.Span
+		if trace.Enabled() {
+			attrs := []trace.Attr{
+				trace.A("method", r.Method), trace.A("path", r.URL.Path),
+			}
+			if parent, ok := trace.ParseTraceparent(r.Header.Get(trace.TraceparentHeader)); ok {
+				tsp = trace.StartRemoteChild(parent, "serve.request", attrs...)
+			} else {
+				tsp = trace.StartTrace("serve.request", attrs...)
+			}
+			r = r.WithContext(trace.ContextWith(r.Context(), tsp))
+		}
 		next.ServeHTTP(rec, r)
 		h := handlesFor(routeOf(r.URL.Path))
 		h.classes[classIdx(rec.code)].Inc()
-		h.seconds.Observe(time.Since(start).Seconds())
+		secs := time.Since(start).Seconds()
+		if tsp == nil {
+			h.seconds.Observe(secs)
+			return
+		}
+		tsp.SetAttr("status", strconv.Itoa(rec.code))
+		if rec.code >= 500 {
+			tsp.SetError(http.StatusText(rec.code))
+		}
+		tsp.End()
+		h.seconds.ObserveExemplar(secs, tsp.Context().TraceID)
 	})
+}
+
+// RequestTotals sums the serve tier's cumulative request outcomes across
+// every route: bad is what availability SLOs count against the budget —
+// the 5xx class, which already includes requests shed at admission (shed
+// writes its 503 through the instrument middleware, so counting the shed
+// counter again would double-book them). Reads a handful of atomics;
+// cheap enough for per-tick SLO evaluation.
+func RequestTotals() (good, bad float64) {
+	for _, h := range routeHandleTab {
+		for i, c := range h.classes {
+			if i == 3 {
+				bad += float64(c.Value())
+			} else {
+				good += float64(c.Value())
+			}
+		}
+	}
+	return good, bad
 }
 
 // routeOf buckets a request path into its metric label.
@@ -298,6 +361,9 @@ func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 		return
 	}
 	fmt.Fprintln(w, "ready")
+	if fn := s.report.Load(); fn != nil {
+		fmt.Fprint(w, (*fn)())
+	}
 }
 
 // catalogOr503 fetches the catalog, emitting the not-ready error itself.

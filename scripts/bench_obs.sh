@@ -1,0 +1,57 @@
+#!/bin/sh
+# Tracing-overhead benchmark harness: runs the BenchmarkServeLatencyQuery
+# variants (json = tracing disabled, json_trace_sampled = 1-in-16 tail
+# sampling, json_trace_always = keep everything) and writes the per-variant
+# best-of-N ns/op into a JSON report. Best-of-N because the question is
+# intrinsic cost, not scheduler noise.
+#
+# Environment overrides:
+#   BENCH_OUT       output file                      (default BENCH_obs.json)
+#   BENCH_COUNT     -count per variant               (default 5)
+#   BENCH_TIME      -benchtime per run               (default 2s)
+#   BASELINE_NS     ns/op of the json path measured on the SAME machine from
+#                   the pre-tracing tree, for the disabled-overhead check
+#                   (optional; overhead is null when unset)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+OUT="${BENCH_OUT:-BENCH_obs.json}"
+COUNT="${BENCH_COUNT:-5}"
+TIME="${BENCH_TIME:-2s}"
+TMPDIR="${TMPDIR:-/tmp}"
+TXT="$TMPDIR/tero-bench-obs-$$.txt"
+trap 'rm -f "$TXT"' EXIT
+
+echo "== BenchmarkServeLatencyQuery (count $COUNT, benchtime $TIME) =="
+go test -run '^$' -bench 'BenchmarkServeLatencyQuery' \
+    -benchtime "$TIME" -count "$COUNT" . | tee "$TXT"
+
+awk -v baseline="${BASELINE_NS:-}" '
+/^BenchmarkServeLatencyQuery\// {
+    split($1, parts, "/"); sub(/-[0-9]+$/, "", parts[2])
+    v = parts[2]
+    for (i = 2; i <= NF; i++) {
+        if ($(i+1) == "ns/op" && (!(v in best) || $i + 0 < best[v])) best[v] = $i + 0
+        if ($(i+1) == "allocs/op") allocs[v] = $i + 0
+    }
+    if (!(v in order)) { order[v] = ++n; names[n] = v }
+}
+END {
+    if (!("json" in best)) { print "no json variant measured" > "/dev/stderr"; exit 1 }
+    printf("[\n")
+    for (i = 1; i <= n; i++) {
+        v = names[i]
+        printf("  {\"variant\": \"%s\", \"ns_op\": %d, \"allocs_op\": %d", v, best[v], allocs[v])
+        if (v != "json")
+            printf(", \"vs_disabled_pct\": %.1f", (best[v] / best["json"] - 1) * 100)
+        else if (baseline != "")
+            printf(", \"baseline_ns_op\": %d, \"disabled_overhead_pct\": %.1f",
+                   baseline + 0, (best[v] / baseline - 1) * 100)
+        printf("}%s\n", i < n ? "," : "")
+    }
+    printf("]\n")
+}' "$TXT" > "$OUT"
+
+echo "wrote $OUT"
+cat "$OUT"

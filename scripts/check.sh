@@ -29,6 +29,7 @@ OUT="$TMPDIR/tero-check-$$.out"
 GOLD="$TMPDIR/tero-gold-$$.out"
 CHAOS="$TMPDIR/tero-chaos-$$.out"
 SERVE="$TMPDIR/tero-serve-$$.out"
+TRACE="$TMPDIR/tero-trace-$$.out"
 go build -o "$TMPDIR/tero-check-$$" ./cmd/tero
 "$TMPDIR/tero-check-$$" -streamers 15 -days 1 -debug-addr 127.0.0.1:0 -log warn \
     > "$OUT" 2>&1 &
@@ -36,10 +37,13 @@ TERO_PID=$!
 cleanup() {
     kill "$TERO_PID" 2>/dev/null || true
     kill "${SERVE_PID:-}" 2>/dev/null || true
+    kill "${TRACE_PID:-}" 2>/dev/null || true
     rm -f "$TMPDIR/tero-check-$$" "$TMPDIR/teroserve-check-$$" \
         "$OUT" "$OUT.metrics" \
         "$GOLD" "$GOLD.tables" "$CHAOS" "$CHAOS.err" "$CHAOS.tables" \
-        "$SERVE" "$SERVE.hdr" "$SERVE.binhdr" "$SERVE.metrics" "$SERVE.shed"
+        "$SERVE" "$SERVE.hdr" "$SERVE.binhdr" "$SERVE.metrics" "$SERVE.shed" \
+        "$TRACE" "$TRACE.list" "$TRACE.detail" "$TRACE.metrics" "$TRACE.hdr" \
+        "$TRACE.readyz"
 }
 trap cleanup EXIT
 
@@ -180,6 +184,70 @@ grep -Eq 'shed [1-9][0-9]*' "$SERVE.shed" \
 grep -q 'transport-errors 0' "$SERVE.shed" \
     || { echo "gated loadtest hit transport errors:" >&2; cat "$SERVE.shed" >&2; exit 1; }
 echo "shed smoke ok: $(grep -Eo 'shed [0-9]+' "$SERVE.shed" | head -n 1) of 800 requests, zero hard errors"
+
+echo "== trace/SLO smoke (teroserve -trace: traceparent join, journey chain, freshness SLO) =="
+"$TMPDIR/teroserve-check-$$" -streamers 12 -days 1 -addr 127.0.0.1:0 \
+    -debug-addr 127.0.0.1:0 -trace -trace-sample 1 -log warn \
+    > "$TRACE" 2>&1 &
+TRACE_PID=$!
+DADDR=""
+TQUERY=""
+i=0
+while [ $i -lt 300 ]; do
+    DADDR=$(sed -n 's|^debug server listening on http://\([^ ]*\).*|\1|p' "$TRACE" | head -n 1)
+    TQUERY=$(sed -n 's|^sample query: \(http://[^ ]*\)$|\1|p' "$TRACE" | head -n 1)
+    [ -n "$DADDR" ] && [ -n "$TQUERY" ] && break
+    if ! kill -0 "$TRACE_PID" 2>/dev/null; then
+        echo "traced teroserve exited early:" >&2
+        cat "$TRACE" >&2
+        exit 1
+    fi
+    i=$((i + 1))
+    sleep 0.2
+done
+[ -n "$DADDR" ] || { echo "traced run never announced a debug address" >&2; exit 1; }
+[ -n "$TQUERY" ] || { echo "traced run never published a sample query" >&2; exit 1; }
+
+# A query carrying a W3C traceparent must join the caller's trace: the
+# trace shows up in the store under the caller's trace ID with the
+# serve.request span inside it.
+TP="00-0000000000000000deadbeefcafe0001-00000000000000ab-01"
+curl -fsS -o /dev/null -H "traceparent: $TP" "$TQUERY" \
+    || { echo "traced sample query failed: $TQUERY" >&2; exit 1; }
+curl -fsS "http://$DADDR/debug/traces?format=json" > "$TRACE.list"
+grep -q 'deadbeefcafe0001' "$TRACE.list" \
+    || { echo "/debug/traces has no trace under the caller trace ID" >&2; exit 1; }
+curl -fsS "http://$DADDR/debug/traces?id=deadbeefcafe0001" > "$TRACE.detail"
+grep -q '"serve.request"' "$TRACE.detail" \
+    || { echo "joined trace has no serve.request span" >&2; exit 1; }
+# The startup pipeline run was traced: at least one reading journey
+# (download.fetch -> ... -> pipeline.publish) must be stored.
+grep -q '"download.fetch"' "$TRACE.list" \
+    || { echo "no download.fetch journey trace stored" >&2; exit 1; }
+
+# Freshness SLO surface: gauges, burn rates and at least one exemplar on
+# /metrics; trace responses and /metrics must be uncacheable; readyz
+# carries the SLO report lines.
+curl -fsS -D "$TRACE.hdr" "http://$DADDR/metrics" > "$TRACE.metrics"
+grep -q '^gauge pipeline_freshness_latest_virtual_seconds' "$TRACE.metrics" \
+    || { echo "/metrics has no freshness gauge" >&2; exit 1; }
+grep -q '^histogram pipeline_freshness_virtual_seconds' "$TRACE.metrics" \
+    || { echo "/metrics has no freshness histogram" >&2; exit 1; }
+grep -q '^gauge slo_burn_rate' "$TRACE.metrics" \
+    || { echo "/metrics has no SLO burn rates" >&2; exit 1; }
+grep -q '^exemplar ' "$TRACE.metrics" \
+    || { echo "/metrics has no exemplars" >&2; exit 1; }
+grep -qi '^cache-control: *no-store' "$TRACE.hdr" \
+    || { echo "/metrics response is cacheable" >&2; exit 1; }
+curl -fsS -D "$TRACE.hdr" -o /dev/null "http://$DADDR/debug/traces"
+grep -qi '^cache-control: *no-store' "$TRACE.hdr" \
+    || { echo "/debug/traces response is cacheable" >&2; exit 1; }
+SADDR2=$(sed -n 's|^teroserve listening at http://\([^ ]*\).*|\1|p' "$TRACE" | head -n 1)
+curl -fsS "http://$SADDR2/readyz" > "$TRACE.readyz"
+grep -q '^slo ' "$TRACE.readyz" \
+    || { echo "readyz carries no SLO report" >&2; exit 1; }
+echo "trace/SLO smoke ok: traceparent joined, journey stored, freshness + burn rate live"
+kill "$TRACE_PID" 2>/dev/null || true
 
 echo "== bench_serve.sh smoke (tiny world, throwaway output) =="
 BENCH_OUT="$TMPDIR/tero-bench-serve-smoke-$$.json" \
