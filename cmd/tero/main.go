@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"tero/internal/core"
+	"tero/internal/kvstore"
 	"tero/internal/obs"
 	"tero/internal/obs/trace"
 	"tero/internal/pipeline"
@@ -43,6 +44,13 @@ func main() {
 			"platform fault-injection rate (0 = off, 1 = calibrated default mix "+
 				"of 500s, stalls, resets, truncated/corrupt thumbnails, dropped headers)")
 		faultSeed = flag.Int64("fault-seed", 1, "fault-injection schedule seed")
+		kvDir     = flag.String("kv-dir", "",
+			"durable kvstore directory: recover state on start, append-only-log every write "+
+				"(empty = in-memory only)")
+		kvFsync = flag.String("kv-fsync", kvstore.FsyncInterval,
+			"kvstore aof fsync policy: always, interval, never")
+		kvCompact = flag.Int("kv-compact-every", 10000,
+			"kvstore snapshot+compaction threshold in appended commands (0 = never)")
 	)
 	flag.Parse()
 
@@ -89,7 +97,21 @@ func main() {
 	}
 	fmt.Printf("platform serving at %s\n", platform.URL())
 
-	p := pipeline.New(platform.URL(), *workers)
+	var p *pipeline.Pipeline
+	if *kvDir != "" {
+		st, err := kvstore.Open(*kvDir, kvstore.PersistOptions{
+			Fsync: *kvFsync, CompactEvery: *kvCompact})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "kvstore: %v\n", err)
+			os.Exit(1)
+		}
+		defer st.Close()
+		fmt.Printf("kvstore durable at %s (fsync=%s, %d keys recovered)\n",
+			*kvDir, *kvFsync, st.Len())
+		p = pipeline.NewWithKV(platform.URL(), *workers, st)
+	} else {
+		p = pipeline.New(platform.URL(), *workers)
+	}
 	p.Concurrency = *conc
 	totalTicks := cfg.Days * 24 * 30
 	start := time.Now()

@@ -43,7 +43,10 @@ func run() int {
 		faults = flag.Float64("faults", 0,
 			"platform fault-injection rate for the pipeline experiments "+
 				"(0 = off, 1 = calibrated default mix; the chaos experiment defaults to 1)")
-		faultSeed  = flag.Int64("fault-seed", 1, "fault-injection schedule seed")
+		faultSeed = flag.Int64("fault-seed", 1, "fault-injection schedule seed")
+		storeExec = flag.String("store-exec", "",
+			"path to a terokv binary: the chaos-store experiment adds a leg that "+
+				"runs the store as a child process and SIGKILLs it mid-run")
 		cpuprofile = flag.String("cpuprofile", "",
 			"write a CPU profile of the run to this file")
 		memprofile = flag.String("memprofile", "",
@@ -121,7 +124,7 @@ func run() int {
 		}
 	}
 	opts := experiments.Options{Seed: *seed, Scale: *scale, Concurrency: *workers,
-		Faults: *faults, FaultSeed: *faultSeed}
+		Faults: *faults, FaultSeed: *faultSeed, StoreExec: *storeExec}
 	exit := 0
 	for _, id := range args {
 		start := time.Now()

@@ -1,0 +1,97 @@
+// Command terokv runs a standalone Tero kvstore server: the coordination
+// store (App. A/B uses Redis) as its own process, optionally durable
+// (append-only file + snapshots under -dir) and optionally a replica of
+// another terokv (-replicaof). The chaos-store experiment's SIGKILL leg and
+// scripts/check.sh run it as the store that gets killed and recovered.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"tero/internal/kvstore"
+	"tero/internal/obs"
+)
+
+func main() {
+	var (
+		addr = flag.String("addr", "127.0.0.1:0", "listen address")
+		dir  = flag.String("dir", "",
+			"persistence directory (empty = in-memory only)")
+		fsync = flag.String("fsync", kvstore.FsyncInterval,
+			"aof fsync policy: always, interval, never")
+		fsyncEvery = flag.Duration("fsync-every", 100*time.Millisecond,
+			"fsync interval for -fsync interval")
+		compactEvery = flag.Int("compact-every", 10000,
+			"snapshot+compact the log after this many appended commands (0 = never)")
+		replicaOf = flag.String("replicaof", "",
+			"follow the primary at this host:port (full sync, then live stream)")
+		debugAddr = flag.String("debug-addr", "",
+			"serve /metrics and /debug/pprof/ on this address")
+		logLevel = flag.String("log", "info",
+			"log level: trace, debug, info, warn, error, off")
+	)
+	flag.Parse()
+
+	if lv, ok := obs.ParseLevel(*logLevel); ok {
+		obs.SetLogLevel(lv)
+	} else {
+		fmt.Fprintf(os.Stderr, "unknown -log level %q\n", *logLevel)
+		os.Exit(2)
+	}
+	if *debugAddr != "" {
+		dbg, err := obs.ServeDebug(*debugAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "debug server: %v\n", err)
+			os.Exit(1)
+		}
+		defer dbg.ShutdownTimeout(5 * time.Second) //nolint:errcheck
+		fmt.Printf("debug server listening on http://%s\n", dbg.Addr)
+	}
+
+	var store *kvstore.Store
+	if *dir != "" {
+		var err error
+		store, err = kvstore.Open(*dir, kvstore.PersistOptions{
+			Fsync:        *fsync,
+			FsyncEvery:   *fsyncEvery,
+			CompactEvery: *compactEvery,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "open %s: %v\n", *dir, err)
+			os.Exit(1)
+		}
+		defer store.Close()
+		fmt.Printf("terokv durable at %s (fsync=%s, %d keys recovered)\n",
+			*dir, *fsync, store.Len())
+	} else {
+		store = kvstore.New()
+	}
+
+	srv, err := kvstore.Serve(store, *addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "listen %s: %v\n", *addr, err)
+		os.Exit(1)
+	}
+	defer srv.Close()
+	if *replicaOf != "" {
+		if err := srv.ReplicaOf(*replicaOf); err != nil {
+			fmt.Fprintf(os.Stderr, "replicaof %s: %v\n", *replicaOf, err)
+			os.Exit(1)
+		}
+		fmt.Printf("terokv replicating from %s\n", *replicaOf)
+	}
+	// The announcement line the chaos-store exec leg and check.sh parse.
+	fmt.Printf("terokv listening at %s\n", srv.Addr())
+
+	// Run until interrupted; SIGKILL (the chaos path) skips all of this,
+	// which is the point — recovery must work without a goodbye.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("terokv shutting down")
+}

@@ -1,0 +1,336 @@
+package experiments
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"os"
+	"os/exec"
+	"strings"
+	"time"
+
+	"tero/internal/kvstore"
+	"tero/internal/pipeline"
+)
+
+func init() {
+	register("chaos-store",
+		"store-crash durability: kill the kvstore mid-run (restart-from-AOF, replica-failover) vs crash-free golden",
+		runChaosStore)
+}
+
+// runChaosStore is the kill-the-store chaos experiment: the full pipeline
+// coordinates through a kvstore over TCP, and the store itself is crashed
+// mid-run — once recovered by reopening its AOF+snapshot from disk, once by
+// failing over to a live replica, and (when Options.StoreExec names a
+// terokv binary) once as a real child process killed with SIGKILL. Crashes
+// happen at quiescent points (between ticks, no command in flight), the
+// discipline a deployment gets from draining before restart; within it,
+// recovery must be exact: every leg's final tables must be byte-identical
+// to a crash-free golden run.
+func runChaosStore(o Options) ([]*Table, error) {
+	o.Faults = 0 // isolate store crashes from platform fault injection
+	total := volumeTickCount(o)
+	if total < 3 {
+		return nil, fmt.Errorf("chaos-store: %d ticks is too short to crash mid-run", total)
+	}
+	crashTick := total / 3
+
+	renderTabs := func(ts []*Table) string {
+		var sb strings.Builder
+		for _, t := range ts {
+			sb.WriteString(t.String())
+		}
+		return sb.String()
+	}
+
+	summary := &Table{
+		Title:  "Store-crash chaos: crash the kvstore mid-run vs crash-free golden",
+		Header: []string{"leg", "crash tick", "tables byte-identical"},
+	}
+	counters := &Table{
+		Title:  "Store-crash recovery counters (in-process legs)",
+		Header: []string{"leg", "counter", "value"},
+	}
+
+	goldTabs, err := legGolden(o)
+	if err != nil {
+		return nil, fmt.Errorf("chaos-store golden: %w", err)
+	}
+	gold := renderTabs(goldTabs)
+	summary.AddRow("golden (no crash)", "-", "baseline")
+
+	runLeg := func(name string, leg func() ([]*Table, error), watch []string) error {
+		delta := counterDelta()
+		tabs, err := leg()
+		if err != nil {
+			return fmt.Errorf("chaos-store %s: %w", name, err)
+		}
+		d := delta()
+		out := renderTabs(tabs)
+		identical := "yes"
+		if out != gold {
+			identical = "NO"
+			summary.Notes = append(summary.Notes,
+				name+" first diverging line: "+firstDiffLine(gold, out))
+		}
+		summary.AddRow(name, itoa(crashTick), identical)
+		for _, c := range watch {
+			counters.AddRow(name, c, itoa(int(d[c])))
+		}
+		return nil
+	}
+
+	if err := runLeg("restart-from-aof",
+		func() ([]*Table, error) { return legRestart(o, crashTick) },
+		[]string{"kvstore_aof_appends_total", "kvstore_snapshots_total",
+			"kvstore_aof_replayed_total", "kvstore_client_redials_total"}); err != nil {
+		return nil, err
+	}
+	if err := runLeg("replica-failover",
+		func() ([]*Table, error) { return legFailover(o, crashTick) },
+		[]string{"kvstore_repl_full_syncs_total", "kvstore_repl_streamed_total",
+			"kvstore_repl_applied_total", "kvstore_client_redials_total"}); err != nil {
+		return nil, err
+	}
+	if o.StoreExec != "" {
+		if err := runLeg("sigkill-exec",
+			func() ([]*Table, error) { return legExec(o, crashTick) },
+			[]string{"kvstore_client_redials_total"}); err != nil {
+			return nil, err
+		}
+		counters.Notes = append(counters.Notes,
+			"sigkill-exec AOF/replay counters live in the terokv child process, not this registry")
+	}
+	summary.Notes = append(summary.Notes,
+		"crashes land at quiescent points (between ticks); recovery replays the "+
+			"AOF (fsync=always) or promotes a caught-up replica, and the clients "+
+			"redial-and-resume — so the crashed runs measure exactly what the "+
+			"crash-free run measures")
+	return append([]*Table{summary, counters}, goldTabs...), nil
+}
+
+// dialRetry dials the store with a redial budget generous enough to ride
+// out an in-run crash + restart.
+func dialRetry(addr string) (*kvstore.RemoteStore, error) {
+	rs, err := kvstore.DialStore(addr)
+	if err != nil {
+		return nil, err
+	}
+	rs.Client().MaxRedials = 120
+	rs.Client().RedialWait = 50 * time.Millisecond
+	return rs, nil
+}
+
+// legGolden runs crash-free, but still over TCP so every leg shares one
+// transport.
+func legGolden(o Options) ([]*Table, error) {
+	srv, err := kvstore.Serve(kvstore.New(), "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	defer srv.Close()
+	rs, err := dialRetry(srv.Addr())
+	if err != nil {
+		return nil, err
+	}
+	defer rs.Close()
+	return runVolumeWith(o, rs, nil)
+}
+
+// persistOpts is the durability configuration the crash legs run under:
+// fsync-always so a kill at any instant loses nothing, compacting often
+// enough that recovery exercises snapshot load + AOF tail replay.
+func persistOpts() kvstore.PersistOptions {
+	return kvstore.PersistOptions{Fsync: kvstore.FsyncAlways, CompactEvery: 800}
+}
+
+// legRestart crashes the store at crashTick and recovers it from disk: the
+// server is hard-stopped and its store abandoned unclosed (everything is
+// already fsynced), then a fresh store Opens the same directory — snapshot
+// load plus AOF tail replay — and rebinds the same address so the
+// pipeline's clients reconnect and resume.
+func legRestart(o Options, crashTick int) ([]*Table, error) {
+	dir, err := os.MkdirTemp("", "tero-chaos-store-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	st, err := kvstore.Open(dir, persistOpts())
+	if err != nil {
+		return nil, err
+	}
+	srv, err := kvstore.Serve(st, "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	addr := srv.Addr()
+	rs, err := dialRetry(addr)
+	if err != nil {
+		srv.Close()
+		return nil, err
+	}
+	defer rs.Close()
+	defer func() { srv.Close(); st.Close() }()
+
+	onTick := func(i int, p *pipeline.Pipeline) error {
+		if i != crashTick {
+			return nil
+		}
+		srv.Close() // crash: no store.Close, no flush — disk state is what it is
+		st2, err := kvstore.Open(dir, persistOpts())
+		if err != nil {
+			return fmt.Errorf("recovery open: %w", err)
+		}
+		srv2, err := kvstore.Serve(st2, addr)
+		if err != nil {
+			return fmt.Errorf("rebind %s: %w", addr, err)
+		}
+		st, srv = st2, srv2
+		return nil
+	}
+	return runVolumeWith(o, rs, onTick)
+}
+
+// legFailover runs a live replica beside the primary, crashes the primary
+// at crashTick once the replica has applied every logged command, promotes
+// the replica and repoints the pipeline at it.
+func legFailover(o Options, crashTick int) ([]*Table, error) {
+	pst := kvstore.New()
+	srv, err := kvstore.Serve(pst, "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	rst := kvstore.New()
+	repl, err := kvstore.StartReplica(srv.Addr(), rst)
+	if err != nil {
+		srv.Close()
+		return nil, err
+	}
+	rs, err := dialRetry(srv.Addr())
+	if err != nil {
+		srv.Close()
+		return nil, err
+	}
+	defer rs.Close()
+	var frs *kvstore.RemoteStore
+	defer func() {
+		srv.Close()
+		if frs != nil {
+			frs.Close()
+		}
+	}()
+
+	onTick := func(i int, p *pipeline.Pipeline) error {
+		if i != crashTick {
+			return nil
+		}
+		// Quiescent point: no command in flight, so the primary's offset is
+		// final — wait for the replica to catch up to it exactly.
+		deadline := time.Now().Add(10 * time.Second)
+		for repl.Applied() != pst.ReplOffset() {
+			if time.Now().After(deadline) {
+				return fmt.Errorf("replica never caught up: applied %d, primary offset %d",
+					repl.Applied(), pst.ReplOffset())
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+		srv.Close() // primary crashes
+		repl.Stop() // promotion: the replica store is now its own primary
+		rsrv, err := kvstore.Serve(rst, "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		nrs, err := dialRetry(rsrv.Addr())
+		if err != nil {
+			rsrv.Close()
+			return err
+		}
+		p.SetKV(nrs)
+		srv, frs = rsrv, nrs
+		return nil
+	}
+	return runVolumeWith(o, rs, onTick)
+}
+
+// storeProc is a terokv child process.
+type storeProc struct {
+	cmd  *exec.Cmd
+	addr string
+}
+
+// startStoreProc launches terokv and waits for its address announcement.
+func startStoreProc(bin, addr, dir string) (*storeProc, error) {
+	cmd := exec.Command(bin, "-addr", addr, "-dir", dir,
+		"-fsync", kvstore.FsyncAlways, "-compact-every", "800", "-log", "warn")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		return nil, err
+	}
+	got := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		announced := false
+		for sc.Scan() {
+			if a, ok := strings.CutPrefix(sc.Text(), "terokv listening at "); ok && !announced {
+				announced = true
+				got <- a
+			}
+			// Keep draining so the child never blocks on a full pipe.
+		}
+	}()
+	select {
+	case a := <-got:
+		return &storeProc{cmd: cmd, addr: a}, nil
+	case <-time.After(10 * time.Second):
+		cmd.Process.Kill() //nolint:errcheck
+		cmd.Wait()         //nolint:errcheck
+		return nil, errors.New("terokv did not announce its address")
+	}
+}
+
+// kill SIGKILLs the child and reaps it.
+func (p *storeProc) kill() {
+	p.cmd.Process.Kill() //nolint:errcheck
+	p.cmd.Wait()         //nolint:errcheck
+}
+
+// legExec is legRestart with a real process boundary: the store runs as a
+// terokv child, dies by SIGKILL, and a fresh child recovers from the same
+// directory on the same port.
+func legExec(o Options, crashTick int) ([]*Table, error) {
+	dir, err := os.MkdirTemp("", "tero-chaos-exec-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	proc, err := startStoreProc(o.StoreExec, "127.0.0.1:0", dir)
+	if err != nil {
+		return nil, err
+	}
+	defer func() { proc.kill() }()
+	rs, err := dialRetry(proc.addr)
+	if err != nil {
+		return nil, err
+	}
+	defer rs.Close()
+
+	onTick := func(i int, p *pipeline.Pipeline) error {
+		if i != crashTick {
+			return nil
+		}
+		addr := proc.addr
+		proc.kill() // SIGKILL: no shutdown handler runs
+		np, err := startStoreProc(o.StoreExec, addr, dir)
+		if err != nil {
+			return fmt.Errorf("restart terokv: %w", err)
+		}
+		proc = np
+		return nil
+	}
+	return runVolumeWith(o, rs, onTick)
+}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"tero/internal/core"
+	"tero/internal/kvstore"
 	"tero/internal/pipeline"
 	"tero/internal/twitchsim"
 	"tero/internal/worldsim"
@@ -19,6 +20,22 @@ func init() {
 // module, image processing, location module, data analysis — and reports
 // §5.1-style volume and coverage numbers.
 func runVolume(o Options) ([]*Table, error) {
+	return runVolumeWith(o, nil, nil)
+}
+
+// volumeTickCount returns the number of 2-minute ticks a volume run at
+// these options drives, so other experiments (chaos-store) can schedule
+// events at fixed fractions of the run.
+func volumeTickCount(o Options) int {
+	return o.scaled(2) * 24 * 30
+}
+
+// runVolumeWith is the volume driver with two extension points: kv replaces
+// the pipeline's private in-memory store (a RemoteStore over TCP, a durable
+// store), and onTick runs before each tick — the chaos-store experiment's
+// crash/restart hook. Either may be nil.
+func runVolumeWith(o Options, kv kvstore.KV,
+	onTick func(i int, p *pipeline.Pipeline) error) ([]*Table, error) {
 	cfg := worldsim.DefaultConfig(o.Seed)
 	cfg.Streamers = o.scaled(250)
 	cfg.Days = o.scaled(2)
@@ -32,7 +49,12 @@ func runVolume(o Options) ([]*Table, error) {
 	// changing a single row. Raise it so the run is CPU-bound.
 	platform.SetAPIRate(5000, 5000)
 
-	p := pipeline.New(platform.URL(), 4)
+	var p *pipeline.Pipeline
+	if kv != nil {
+		p = pipeline.NewWithKV(platform.URL(), 4, kv)
+	} else {
+		p = pipeline.New(platform.URL(), 4)
+	}
 	p.Concurrency = o.workers()
 	if o.Faults > 0 {
 		f := twitchsim.ScaledFaults(o.FaultSeed, o.Faults)
@@ -60,6 +82,11 @@ func runVolume(o Options) ([]*Table, error) {
 	// 2-minute ticks, processing thumbnails as they accumulate.
 	totalTicks := cfg.Days * 24 * 30
 	for i := 0; i < totalTicks; i++ {
+		if onTick != nil {
+			if err := onTick(i, p); err != nil {
+				return nil, err
+			}
+		}
 		if err := p.Tick(platform.Now(), i%3 == 0); err != nil {
 			// Under fault injection a degraded tick is expected: the
 			// download module has already retried, backed off or released,

@@ -33,6 +33,11 @@ type Options struct {
 	// verifies exactly that.
 	Faults    float64
 	FaultSeed int64
+	// StoreExec is the path to a terokv binary; when set, the chaos-store
+	// experiment adds a leg that runs the store as a real child process
+	// and SIGKILLs it mid-run (scripts/check.sh uses this for a true
+	// kill-9 smoke). Empty = in-process crash simulation only.
+	StoreExec string
 }
 
 // DefaultOptions returns the standard configuration.

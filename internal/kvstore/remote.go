@@ -8,9 +8,11 @@ type KV interface {
 	Set(key, value string)
 	Get(key string) (string, bool)
 	Del(key string) bool
-	HSet(key, field, value string)
+	// HSet reports whether the field was created (vs overwritten).
+	HSet(key, field, value string) bool
 	HGet(key, field string) (string, bool)
-	HDel(key, field string)
+	// HDel reports whether the field existed.
+	HDel(key, field string) bool
 	HGetAll(key string) map[string]string
 	RPush(key string, values ...string) int
 	LPop(key string) (string, bool)
@@ -45,6 +47,10 @@ func DialStore(addr string) (*RemoteStore, error) {
 // Close closes the underlying connection.
 func (r *RemoteStore) Close() error { return r.c.Close() }
 
+// Client exposes the underlying RESP client (e.g. to set its redial
+// budget before a run that expects the store to crash and come back).
+func (r *RemoteStore) Client() *Client { return r.c }
+
 func (r *RemoteStore) do(args ...string) (Reply, bool) {
 	rep, err := r.c.Do(args...)
 	if err != nil {
@@ -75,7 +81,10 @@ func (r *RemoteStore) Del(key string) bool {
 }
 
 // HSet implements KV.
-func (r *RemoteStore) HSet(key, field, value string) { r.do("HSET", key, field, value) }
+func (r *RemoteStore) HSet(key, field, value string) bool {
+	rep, ok := r.do("HSET", key, field, value)
+	return ok && rep.Int == 1
+}
 
 // HGet implements KV.
 func (r *RemoteStore) HGet(key, field string) (string, bool) {
@@ -87,7 +96,10 @@ func (r *RemoteStore) HGet(key, field string) (string, bool) {
 }
 
 // HDel implements KV.
-func (r *RemoteStore) HDel(key, field string) { r.do("HDEL", key, field) }
+func (r *RemoteStore) HDel(key, field string) bool {
+	rep, ok := r.do("HDEL", key, field)
+	return ok && rep.Int == 1
+}
 
 // HGetAll implements KV.
 func (r *RemoteStore) HGetAll(key string) map[string]string {

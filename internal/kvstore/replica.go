@@ -1,0 +1,186 @@
+package kvstore
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Feed is a live subscription to a store's write-command stream, registered
+// atomically with a snapshot cut so a consumer sees every command exactly
+// once: first the snapshot, then the tail. The server's SYNC handler owns
+// one per replica connection.
+type Feed struct {
+	s  *Store
+	ch chan []string
+}
+
+// C returns the command channel. It is closed when the feed is dropped for
+// falling behind (see Store.logCmd) or explicitly Closed.
+func (f *Feed) C() <-chan []string { return f.ch }
+
+// Close unregisters the feed. Safe to call after the store already dropped
+// it.
+func (f *Feed) Close() {
+	s := f.s
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.feeds[f]; ok {
+		delete(s.feeds, f)
+		close(f.ch)
+	}
+	if len(s.feeds) == 0 && s.aof == nil {
+		s.logging = false
+	}
+	mReplReplicas.Set(float64(len(s.feeds)))
+}
+
+// SyncFeed atomically snapshots the store and registers a live feed with
+// the given channel capacity: the returned snapshot commands plus
+// everything later received on the feed reconstruct the store exactly. off
+// is the replication offset at the cut — a replica that applies the
+// snapshot and n feed commands is at offset off+n.
+func (s *Store) SyncFeed(buf int) (snap [][]string, off int64, f *Feed) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	snap = s.snapshotCmdsLocked()
+	f = &Feed{s: s, ch: make(chan []string, buf)}
+	s.feeds[f] = struct{}{}
+	s.logging = true
+	mReplReplicas.Set(float64(len(s.feeds)))
+	return snap, s.replOff, f
+}
+
+// FeedCount returns the number of live replica feeds.
+func (s *Store) FeedCount() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.feeds)
+}
+
+// Replica tails a primary kvstore into a local store: it dials the
+// primary, performs the SYNC handshake (full snapshot, then the live
+// command stream) and applies every command through the store's public API
+// — so a replica opened with Open re-logs the stream into its own AOF and
+// is itself durable. Stop promotes the local store: the apply loop ends
+// and the store simply keeps serving, now as its own primary.
+type Replica struct {
+	store  *Store
+	source string
+	conn   net.Conn
+
+	applied atomic.Int64 // in primary replication-offset terms
+	stopped atomic.Bool
+	done    chan struct{}
+
+	mu  sync.Mutex
+	err error
+}
+
+// StartReplica connects store to the primary at addr and begins applying
+// its command stream. It returns after the full snapshot has been applied,
+// so the replica is immediately no further behind than the primary's
+// offset at the handshake cut.
+func StartReplica(addr string, store *Store) (*Replica, error) {
+	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	r := bufio.NewReader(conn)
+	w := bufio.NewWriter(conn)
+	if err := writeCmd(w, []string{"SYNC"}); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if err := w.Flush(); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	rep, err := readReply(r)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if rep.Kind == '-' {
+		conn.Close()
+		return nil, fmt.Errorf("kvstore: sync refused: %s", rep.Str)
+	}
+	var nsnap int
+	var off int64
+	if rep.Kind != '+' || len(strings.Fields(rep.Str)) != 3 {
+		conn.Close()
+		return nil, fmt.Errorf("kvstore: bad sync handshake %q", rep.Str)
+	}
+	if _, err := fmt.Sscanf(rep.Str, "FULLRESYNC %d %d", &nsnap, &off); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("kvstore: bad sync handshake %q: %v", rep.Str, err)
+	}
+	rp := &Replica{store: store, source: addr, conn: conn, done: make(chan struct{})}
+	for i := 0; i < nsnap; i++ {
+		args, err := readCommand(r)
+		if err != nil {
+			conn.Close()
+			return nil, fmt.Errorf("kvstore: sync snapshot: %w", err)
+		}
+		if err := applyLogged(store, args); err != nil {
+			conn.Close()
+			return nil, fmt.Errorf("kvstore: sync snapshot: %w", err)
+		}
+		mReplApplied.Inc()
+	}
+	rp.applied.Store(off)
+	go rp.applyLoop(r)
+	return rp, nil
+}
+
+// applyLoop tails the live stream until the connection drops or Stop.
+func (r *Replica) applyLoop(br *bufio.Reader) {
+	defer close(r.done)
+	for {
+		args, err := readCommand(br)
+		if err != nil {
+			if !r.stopped.Load() {
+				r.mu.Lock()
+				r.err = err
+				r.mu.Unlock()
+				kvlog.Warn("replica stream ended", "source", r.source, "err", err,
+					"applied", r.applied.Load())
+			}
+			return
+		}
+		if err := applyLogged(r.store, args); err != nil {
+			kvlog.Warn("replica apply failed", "source", r.source,
+				"cmd", strings.Join(args, " "), "err", err)
+			continue
+		}
+		r.applied.Add(1)
+		mReplApplied.Inc()
+	}
+}
+
+// Applied returns the replica's position in the primary's replication
+// offset: equality with the primary's ReplOffset means fully caught up.
+func (r *Replica) Applied() int64 { return r.applied.Load() }
+
+// Source returns the primary address this replica follows.
+func (r *Replica) Source() string { return r.source }
+
+// Err returns the first stream error (nil while healthy or after Stop).
+func (r *Replica) Err() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.err
+}
+
+// Stop detaches from the primary and waits for the apply loop to exit —
+// this is promotion: the local store keeps all applied state and accepts
+// writes as its own primary.
+func (r *Replica) Stop() {
+	r.stopped.Store(true)
+	r.conn.Close()
+	<-r.done
+}

@@ -3,7 +3,9 @@ package kvstore
 import (
 	"bufio"
 	"errors"
+	"fmt"
 	"net"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -18,7 +20,13 @@ type Server struct {
 	mu     sync.Mutex
 	conns  map[net.Conn]struct{}
 	closed bool
+	quit   chan struct{}
 	wg     sync.WaitGroup
+
+	// replMu guards the replica link when this server follows a primary
+	// (REPLICAOF / the terokv -replicaof flag).
+	replMu sync.Mutex
+	repl   *Replica
 }
 
 // Serve starts a server on addr (e.g. "127.0.0.1:0") and returns it; the
@@ -28,7 +36,8 @@ func Serve(store *Store, addr string) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &Server{store: store, ln: ln, conns: make(map[net.Conn]struct{})}
+	s := &Server{store: store, ln: ln, conns: make(map[net.Conn]struct{}),
+		quit: make(chan struct{})}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
@@ -37,7 +46,28 @@ func Serve(store *Store, addr string) (*Server, error) {
 // Addr returns the listening address.
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
-// Close stops the server and closes all connections.
+// ReplicaOf points the server's store at a primary: it stops any existing
+// replica link, then (unless addr is empty — promotion) starts tailing the
+// primary at addr. Matches the wire REPLICAOF command.
+func (s *Server) ReplicaOf(addr string) error {
+	s.replMu.Lock()
+	defer s.replMu.Unlock()
+	if s.repl != nil {
+		s.repl.Stop()
+		s.repl = nil
+	}
+	if addr == "" {
+		return nil
+	}
+	r, err := StartReplica(addr, s.store)
+	if err != nil {
+		return err
+	}
+	s.repl = r
+	return nil
+}
+
+// Close stops the server, any replica link, and all connections.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	if s.closed {
@@ -45,11 +75,13 @@ func (s *Server) Close() error {
 		return nil
 	}
 	s.closed = true
+	close(s.quit)
 	err := s.ln.Close()
 	for c := range s.conns {
 		c.Close()
 	}
 	s.mu.Unlock()
+	s.ReplicaOf("") //nolint:errcheck // stop-only path cannot fail
 	s.wg.Wait()
 	return err
 }
@@ -89,10 +121,72 @@ func (s *Server) handle(conn net.Conn) {
 		if err != nil {
 			return
 		}
+		if len(args) == 1 && strings.ToUpper(args[0]) == "SYNC" {
+			// The connection flips into push mode: snapshot, then the live
+			// command stream, until either side goes away.
+			s.serveSync(w)
+			return
+		}
 		if err := s.dispatch(w, args); err != nil {
 			return
 		}
 		if err := w.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+// serveSync streams a full resync to a replica: a handshake line carrying
+// the snapshot length and the replication offset at the cut, the snapshot
+// commands, then every subsequent write in commit order. The feed is
+// registered atomically with the snapshot (Store.SyncFeed), so the replica
+// misses nothing and sees nothing twice.
+func (s *Server) serveSync(w *bufio.Writer) {
+	snap, off, feed := s.store.SyncFeed(4096)
+	defer feed.Close()
+	if err := writeSimple(w, fmt.Sprintf("FULLRESYNC %d %d", len(snap), off)); err != nil {
+		return
+	}
+	for _, c := range snap {
+		if err := writeCmd(w, c); err != nil {
+			return
+		}
+	}
+	if err := w.Flush(); err != nil {
+		return
+	}
+	mReplFullSync.Inc()
+	for {
+		select {
+		case cmd, ok := <-feed.C():
+			if !ok {
+				return
+			}
+			if err := writeCmd(w, cmd); err != nil {
+				return
+			}
+			mReplStreamed.Inc()
+			// Drain whatever else is queued before flushing once.
+			for drained := false; !drained; {
+				select {
+				case more, ok := <-feed.C():
+					if !ok {
+						w.Flush() //nolint:errcheck
+						return
+					}
+					if err := writeCmd(w, more); err != nil {
+						return
+					}
+					mReplStreamed.Inc()
+				default:
+					drained = true
+				}
+			}
+			mReplPending.Set(float64(len(feed.C())))
+			if err := w.Flush(); err != nil {
+				return
+			}
+		case <-s.quit:
 			return
 		}
 	}
@@ -123,6 +217,19 @@ func (s *Server) dispatch(w *bufio.Writer, args []string) error {
 			return writeError(w, "bad seconds")
 		}
 		s.store.SetEx(args[1], args[3], time.Duration(secs)*time.Second)
+		return writeSimple(w, "OK")
+	case "SETAT":
+		// SET with an absolute expiry deadline (unix nanoseconds) — the
+		// clock-independent form SETEX takes in the AOF and the
+		// replication stream.
+		if !wantArgs(4) {
+			return writeError(w, "SETAT needs key value unixnano")
+		}
+		ns, err := strconv.ParseInt(args[3], 10, 64)
+		if err != nil {
+			return writeError(w, "bad deadline")
+		}
+		s.store.SetAt(args[1], args[2], time.Unix(0, ns))
 		return writeSimple(w, "OK")
 	case "GET":
 		if !wantArgs(2) {
@@ -167,8 +274,10 @@ func (s *Server) dispatch(w *bufio.Writer, args []string) error {
 		if !wantArgs(4) {
 			return writeError(w, "HSET needs key field value")
 		}
-		s.store.HSet(args[1], args[2], args[3])
-		return writeInt(w, 1)
+		if s.store.HSet(args[1], args[2], args[3]) {
+			return writeInt(w, 1) // field created
+		}
+		return writeInt(w, 0) // existing field overwritten
 	case "HGET":
 		if !wantArgs(3) {
 			return writeError(w, "HGET needs key field")
@@ -181,21 +290,31 @@ func (s *Server) dispatch(w *bufio.Writer, args []string) error {
 		if !wantArgs(3) {
 			return writeError(w, "HDEL needs key field")
 		}
-		s.store.HDel(args[1], args[2])
-		return writeInt(w, 1)
+		if s.store.HDel(args[1], args[2]) {
+			return writeInt(w, 1)
+		}
+		return writeInt(w, 0)
 	case "HGETALL":
 		if !wantArgs(2) {
 			return writeError(w, "HGETALL needs key")
 		}
+		// Sorted field order: Go map iteration would make the wire bytes
+		// differ run to run, which AOF replay comparisons and replica
+		// byte-diffing cannot tolerate.
 		h := s.store.HGetAll(args[1])
+		fields := make([]string, 0, len(h))
+		for f := range h {
+			fields = append(fields, f)
+		}
+		sort.Strings(fields)
 		if err := writeArray(w, 2*len(h)); err != nil {
 			return err
 		}
-		for f, v := range h {
+		for _, f := range fields {
 			if err := writeBulk(w, f); err != nil {
 				return err
 			}
-			if err := writeBulk(w, v); err != nil {
+			if err := writeBulk(w, h[f]); err != nil {
 				return err
 			}
 		}
@@ -262,15 +381,61 @@ func (s *Server) dispatch(w *bufio.Writer, args []string) error {
 			return writeInt(w, 1)
 		}
 		return writeInt(w, 0)
+	case "EXPIREAT":
+		if !wantArgs(3) {
+			return writeError(w, "EXPIREAT needs key unixnano")
+		}
+		ns, err := strconv.ParseInt(args[2], 10, 64)
+		if err != nil {
+			return writeError(w, "bad deadline")
+		}
+		if s.store.ExpireAt(args[1], time.Unix(0, ns)) {
+			return writeInt(w, 1)
+		}
+		return writeInt(w, 0)
+	case "REPLICAOF":
+		// REPLICAOF host:port follows a primary; REPLICAOF NO ONE promotes.
+		if len(args) == 3 && strings.EqualFold(args[1], "NO") && strings.EqualFold(args[2], "ONE") {
+			s.ReplicaOf("") //nolint:errcheck // stop-only path cannot fail
+			return writeSimple(w, "OK")
+		}
+		if !wantArgs(2) {
+			return writeError(w, "REPLICAOF needs host:port or NO ONE")
+		}
+		if err := s.ReplicaOf(args[1]); err != nil {
+			return writeError(w, err.Error())
+		}
+		return writeSimple(w, "OK")
+	case "REPLINFO":
+		s.replMu.Lock()
+		repl := s.repl
+		s.replMu.Unlock()
+		if repl != nil {
+			return writeBulk(w, fmt.Sprintf("role=replica source=%s applied=%d offset=%d feeds=%d",
+				repl.Source(), repl.Applied(), s.store.ReplOffset(), s.store.FeedCount()))
+		}
+		return writeBulk(w, fmt.Sprintf("role=primary offset=%d feeds=%d",
+			s.store.ReplOffset(), s.store.FeedCount()))
 	default:
 		return writeError(w, "unknown command "+cmd)
 	}
 }
 
 // Client is a RESP client for the server. It is safe for concurrent use;
-// commands are serialized over one connection.
+// commands are serialized over one connection. With MaxRedials > 0 it
+// transparently reconnects and resends after a transport failure — the
+// reconnect-and-resume a restarted (crash-recovered or failed-over) store
+// needs from its callers. Resending is safe at the coordination layer
+// because the chaos discipline crashes stores at quiescent points and the
+// download path's writes are idempotent per streamer/seq.
 type Client struct {
+	// MaxRedials bounds reconnect attempts per command (0 = fail fast).
+	MaxRedials int
+	// RedialWait is the pause between reconnect attempts (default 50ms).
+	RedialWait time.Duration
+
 	mu   sync.Mutex
+	addr string
 	conn net.Conn
 	r    *bufio.Reader
 	w    *bufio.Writer
@@ -282,23 +447,56 @@ func Dial(addr string) (*Client, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Client{conn: conn, r: bufio.NewReader(conn), w: bufio.NewWriter(conn)}, nil
+	return &Client{addr: addr, conn: conn,
+		r: bufio.NewReader(conn), w: bufio.NewWriter(conn)}, nil
+}
+
+// Addr returns the address the client (re)dials.
+func (c *Client) Addr() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.addr
 }
 
 // Close closes the connection.
 func (c *Client) Close() error { return c.conn.Close() }
 
-// Do sends one command and returns the decoded reply.
+// Do sends one command and returns the decoded reply, redialing and
+// resending on transport errors up to MaxRedials times.
 func (c *Client) Do(args ...string) (Reply, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if err := writeArray(c.w, len(args)); err != nil {
-		return Reply{}, err
-	}
-	for _, a := range args {
-		if err := writeBulk(c.w, a); err != nil {
+	for attempt := 0; ; attempt++ {
+		rep, err := c.doOnce(args)
+		if err == nil || rep.Kind == '-' {
+			// Success, or a server-side error reply: the connection is
+			// healthy, don't retry.
+			return rep, err
+		}
+		c.conn.Close()
+		if attempt >= c.MaxRedials {
 			return Reply{}, err
 		}
+		wait := c.RedialWait
+		if wait <= 0 {
+			wait = 50 * time.Millisecond
+		}
+		time.Sleep(wait)
+		conn, derr := net.DialTimeout("tcp", c.addr, 5*time.Second)
+		if derr != nil {
+			continue // burn an attempt; the server may still be restarting
+		}
+		c.conn = conn
+		c.r = bufio.NewReader(conn)
+		c.w = bufio.NewWriter(conn)
+		mRedials.Inc()
+	}
+}
+
+// doOnce performs one send/receive round; caller holds c.mu.
+func (c *Client) doOnce(args []string) (Reply, error) {
+	if err := writeCmd(c.w, args); err != nil {
+		return Reply{}, err
 	}
 	if err := c.w.Flush(); err != nil {
 		return Reply{}, err

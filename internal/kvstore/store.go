@@ -3,6 +3,13 @@
 // hashes, lists and TTLs, plus a RESP-framed TCP server and client so
 // separate processes can share it, exactly as the paper's coordinator and
 // downloaders do.
+//
+// The store is optionally durable and replicated. Open attaches an
+// append-only file of RESP-framed write commands plus periodic snapshots
+// (aof.go, snapshot.go), and the same command stream feeds live replicas
+// (replica.go, the SYNC/REPLICAOF handshake in server.go). Every mutator
+// that changed state calls logCmd under the write lock, so the AOF, every
+// replica feed and the store itself observe one serialized command order.
 package kvstore
 
 import (
@@ -12,14 +19,51 @@ import (
 	"time"
 )
 
+// list is a deque with a popped-prefix watermark. Slicing `l = l[1:]` on a
+// plain []string pins every popped element in the backing array forever (the
+// dl:queue work queue grows without bound under sustained push/pop); instead
+// LPop blanks the slot — releasing the string — and advances head, and the
+// prefix is compacted away once it dominates the backing array.
+type list struct {
+	head  int
+	elems []string
+}
+
+func (l *list) len() int { return len(l.elems) - l.head }
+
+// vals returns the live window; callers must not retain it across unlocks.
+func (l *list) vals() []string { return l.elems[l.head:] }
+
+// compact drops the popped prefix once it is both non-trivial and at least
+// half the backing array, keeping amortized pop cost O(1).
+func (l *list) compact() {
+	if l.head >= 32 && l.head*2 >= len(l.elems) {
+		n := copy(l.elems, l.elems[l.head:])
+		for i := n; i < len(l.elems); i++ {
+			l.elems[i] = ""
+		}
+		l.elems = l.elems[:n]
+		l.head = 0
+	}
+}
+
 // Store is an in-memory key-value store safe for concurrent use.
 type Store struct {
 	mu      sync.RWMutex
 	strings map[string]string
 	hashes  map[string]map[string]string
-	lists   map[string][]string
+	lists   map[string]*list
 	expiry  map[string]time.Time
 	now     func() time.Time
+
+	// Durability and replication, all manipulated under mu. logging is
+	// true while any sink (AOF or replica feed) is attached; mutators
+	// check it before building the command slice so the pure in-memory
+	// path stays allocation-free.
+	logging bool
+	aof     *aofWriter
+	feeds   map[*Feed]struct{}
+	replOff int64
 }
 
 // New returns an empty store.
@@ -27,9 +71,10 @@ func New() *Store {
 	return &Store{
 		strings: make(map[string]string),
 		hashes:  make(map[string]map[string]string),
-		lists:   make(map[string][]string),
+		lists:   make(map[string]*list),
 		expiry:  make(map[string]time.Time),
 		now:     time.Now,
+		feeds:   make(map[*Feed]struct{}),
 	}
 }
 
@@ -54,6 +99,64 @@ func (s *Store) purge(key string) {
 	delete(s.expiry, key)
 }
 
+func (s *Store) purgeIfExpired(key string) {
+	if s.expired(key) {
+		s.purge(key)
+	}
+}
+
+// dropExpiryIfGone clears a dangling TTL once no value of any type remains
+// under key (a drained list or emptied hash); caller holds Lock.
+func (s *Store) dropExpiryIfGone(key string) {
+	if _, ok := s.strings[key]; ok {
+		return
+	}
+	if _, ok := s.hashes[key]; ok {
+		return
+	}
+	if _, ok := s.lists[key]; ok {
+		return
+	}
+	delete(s.expiry, key)
+}
+
+// logCmd records one applied write command: it advances the replication
+// offset, appends to the AOF and fans out to live replica feeds. Caller
+// holds Lock and has already applied the mutation. A feed that cannot keep
+// up (full channel) is dropped rather than stalling writes; the replica
+// sees its stream close and can re-SYNC.
+func (s *Store) logCmd(args ...string) {
+	s.replOff++
+	if s.aof != nil {
+		s.aof.append(args)
+		if s.aof.compactEvery > 0 && s.aof.appends >= s.aof.compactEvery {
+			s.compactLocked() //nolint:errcheck // best-effort; error is sticky in aof.err
+		}
+	}
+	for f := range s.feeds {
+		select {
+		case f.ch <- args:
+		default:
+			delete(s.feeds, f)
+			close(f.ch)
+			mReplDropped.Inc()
+			mReplReplicas.Set(float64(len(s.feeds)))
+		}
+	}
+	if len(s.feeds) == 0 && s.aof == nil {
+		s.logging = false
+	}
+}
+
+// ReplOffset returns the number of write commands logged so far. It only
+// advances while a sink (AOF or replica feed) is attached, and is the
+// coordinate replicas report their progress in.
+func (s *Store) ReplOffset() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.replOff
+}
+
 // Set stores a string value.
 func (s *Store) Set(key, value string) {
 	s.mu.Lock()
@@ -61,19 +164,36 @@ func (s *Store) Set(key, value string) {
 	s.purgeIfExpired(key)
 	s.strings[key] = value
 	delete(s.expiry, key)
+	if s.logging {
+		s.logCmd("SET", key, value)
+	}
 }
 
 // SetEx stores a string value with a time-to-live.
 func (s *Store) SetEx(key, value string, ttl time.Duration) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.strings[key] = value
-	s.expiry[key] = s.now().Add(ttl)
+	s.setAtLocked(key, value, s.now().Add(ttl))
 }
 
-func (s *Store) purgeIfExpired(key string) {
-	if s.expired(key) {
-		s.purge(key)
+// SetAt stores a string value that expires at an absolute deadline. This is
+// what SETEX/EXPIRE become in the AOF and the replication stream: a
+// relative TTL re-anchored at replay time would resurrect keys for however
+// long recovery was delayed, so the log carries the deadline itself.
+func (s *Store) SetAt(key, value string, deadline time.Time) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.setAtLocked(key, value, deadline)
+}
+
+func (s *Store) setAtLocked(key, value string, deadline time.Time) {
+	// Purge first: an expired prior value of a different type (hash, list)
+	// must not survive alongside the new string.
+	s.purgeIfExpired(key)
+	s.strings[key] = value
+	s.expiry[key] = deadline
+	if s.logging {
+		s.logCmd("SETAT", key, value, strconv.FormatInt(deadline.UnixNano(), 10))
 	}
 }
 
@@ -86,15 +206,23 @@ func (s *Store) Get(key string) (string, bool) {
 	return v, ok
 }
 
-// Del removes a key of any type. It reports whether something was removed.
+// Del removes a key of any type. It reports whether something live was
+// removed; an already-expired key counts as absent.
 func (s *Store) Del(key string) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.purgeIfExpired(key)
 	_, a := s.strings[key]
 	_, b := s.hashes[key]
 	_, c := s.lists[key]
+	if !(a || b || c) {
+		return false
+	}
 	s.purge(key)
-	return a || b || c
+	if s.logging {
+		s.logCmd("DEL", key)
+	}
+	return true
 }
 
 // Incr atomically increments the integer stored at key and returns the new
@@ -113,6 +241,11 @@ func (s *Store) Incr(key string) (int64, error) {
 	}
 	cur++
 	s.strings[key] = strconv.FormatInt(cur, 10)
+	if s.logging {
+		// Logged as INCR, not as the resulting SET: SET would clear a TTL
+		// the original command preserved.
+		s.logCmd("INCR", key)
+	}
 	return cur, nil
 }
 
@@ -141,8 +274,10 @@ func (s *Store) Keys(prefix string) []string {
 	return out
 }
 
-// HSet sets a hash field.
-func (s *Store) HSet(key, field, value string) {
+// HSet sets a hash field. It reports whether the field was created (true)
+// or an existing field was overwritten (false), matching Redis HSET's
+// reply.
+func (s *Store) HSet(key, field, value string) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.purgeIfExpired(key)
@@ -151,7 +286,12 @@ func (s *Store) HSet(key, field, value string) {
 		h = make(map[string]string)
 		s.hashes[key] = h
 	}
+	_, existed := h[field]
 	h[field] = value
+	if s.logging {
+		s.logCmd("HSET", key, field, value)
+	}
+	return !existed
 }
 
 // HGet returns a hash field.
@@ -163,11 +303,29 @@ func (s *Store) HGet(key, field string) (string, bool) {
 	return v, ok
 }
 
-// HDel removes a hash field.
-func (s *Store) HDel(key, field string) {
+// HDel removes a hash field, reporting whether it existed. The hash entry
+// itself is deleted once its last field goes, so fully-drained hashes stop
+// appearing in Keys/Expire/Del.
+func (s *Store) HDel(key, field string) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	delete(s.hashes[key], field)
+	s.purgeIfExpired(key)
+	h, ok := s.hashes[key]
+	if !ok {
+		return false
+	}
+	if _, ok := h[field]; !ok {
+		return false
+	}
+	delete(h, field)
+	if len(h) == 0 {
+		delete(s.hashes, key)
+		s.dropExpiryIfGone(key)
+	}
+	if s.logging {
+		s.logCmd("HDEL", key, field)
+	}
+	return true
 }
 
 // HGetAll returns a copy of the whole hash.
@@ -182,17 +340,38 @@ func (s *Store) HGetAll(key string) map[string]string {
 	return out
 }
 
+// HLen returns the number of fields in a hash.
+func (s *Store) HLen(key string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.purgeIfExpired(key)
+	return len(s.hashes[key])
+}
+
 // LPush prepends values to a list and returns its new length.
 func (s *Store) LPush(key string, values ...string) int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.purgeIfExpired(key)
-	l := s.lists[key]
-	for _, v := range values {
-		l = append([]string{v}, l...)
+	l, ok := s.lists[key]
+	if !ok {
+		l = &list{}
+		s.lists[key] = l
 	}
-	s.lists[key] = l
-	return len(l)
+	for _, v := range values {
+		if l.head > 0 {
+			l.head--
+			l.elems[l.head] = v
+		} else {
+			l.elems = append(l.elems, "")
+			copy(l.elems[1:], l.elems)
+			l.elems[0] = v
+		}
+	}
+	if s.logging {
+		s.logCmd(append([]string{"LPUSH", key}, values...)...)
+	}
+	return l.len()
 }
 
 // RPush appends values to a list and returns its new length.
@@ -200,8 +379,16 @@ func (s *Store) RPush(key string, values ...string) int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.purgeIfExpired(key)
-	s.lists[key] = append(s.lists[key], values...)
-	return len(s.lists[key])
+	l, ok := s.lists[key]
+	if !ok {
+		l = &list{}
+		s.lists[key] = l
+	}
+	l.elems = append(l.elems, values...)
+	if s.logging {
+		s.logCmd(append([]string{"RPUSH", key}, values...)...)
+	}
+	return l.len()
 }
 
 // LPop removes and returns the first element of a list.
@@ -209,12 +396,22 @@ func (s *Store) LPop(key string) (string, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.purgeIfExpired(key)
-	l := s.lists[key]
-	if len(l) == 0 {
+	l, ok := s.lists[key]
+	if !ok || l.len() == 0 {
 		return "", false
 	}
-	v := l[0]
-	s.lists[key] = l[1:]
+	v := l.elems[l.head]
+	l.elems[l.head] = "" // release the string; see type list
+	l.head++
+	if l.len() == 0 {
+		delete(s.lists, key)
+		s.dropExpiryIfGone(key)
+	} else {
+		l.compact()
+	}
+	if s.logging {
+		s.logCmd("LPOP", key)
+	}
 	return v, true
 }
 
@@ -223,12 +420,21 @@ func (s *Store) RPop(key string) (string, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.purgeIfExpired(key)
-	l := s.lists[key]
-	if len(l) == 0 {
+	l, ok := s.lists[key]
+	if !ok || l.len() == 0 {
 		return "", false
 	}
-	v := l[len(l)-1]
-	s.lists[key] = l[:len(l)-1]
+	n := len(l.elems)
+	v := l.elems[n-1]
+	l.elems[n-1] = "" // release before reslicing: cap() keeps the slot alive
+	l.elems = l.elems[:n-1]
+	if l.len() == 0 {
+		delete(s.lists, key)
+		s.dropExpiryIfGone(key)
+	}
+	if s.logging {
+		s.logCmd("RPOP", key)
+	}
 	return v, true
 }
 
@@ -237,7 +443,10 @@ func (s *Store) LLen(key string) int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.purgeIfExpired(key)
-	return len(s.lists[key])
+	if l, ok := s.lists[key]; ok {
+		return l.len()
+	}
+	return 0
 }
 
 // LRange returns a copy of list elements in [start, stop] (inclusive,
@@ -246,7 +455,10 @@ func (s *Store) LRange(key string, start, stop int) []string {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.purgeIfExpired(key)
-	l := s.lists[key]
+	var l []string
+	if e, ok := s.lists[key]; ok {
+		l = e.vals()
+	}
 	n := len(l)
 	if start < 0 {
 		start += n
@@ -269,16 +481,33 @@ func (s *Store) LRange(key string, start, stop int) []string {
 }
 
 // Expire sets a TTL on an existing key; it reports whether the key exists.
+// An already-expired key is purged first, never resurrected.
 func (s *Store) Expire(key string, ttl time.Duration) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	return s.expireAtLocked(key, s.now().Add(ttl))
+}
+
+// ExpireAt sets an absolute expiry deadline on an existing key (the AOF and
+// replication form of Expire; see SetAt).
+func (s *Store) ExpireAt(key string, deadline time.Time) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.expireAtLocked(key, deadline)
+}
+
+func (s *Store) expireAtLocked(key string, deadline time.Time) bool {
+	s.purgeIfExpired(key)
 	_, a := s.strings[key]
 	_, b := s.hashes[key]
 	_, c := s.lists[key]
 	if !(a || b || c) {
 		return false
 	}
-	s.expiry[key] = s.now().Add(ttl)
+	s.expiry[key] = deadline
+	if s.logging {
+		s.logCmd("EXPIREAT", key, strconv.FormatInt(deadline.UnixNano(), 10))
+	}
 	return true
 }
 

@@ -1,0 +1,290 @@
+package kvstore
+
+import (
+	"strconv"
+	"testing"
+	"time"
+)
+
+// Regression tests for the latent store bugs durability exposed: pinned
+// list backing arrays, ghost entries for drained lists/hashes, and expired
+// keys leaking through SetEx/Expire/Del.
+
+func TestDrainedListEntryDeleted(t *testing.T) {
+	s := New()
+	s.RPush("q", "a", "b")
+	s.LPop("q")
+	s.LPop("q")
+	if keys := s.Keys(""); len(keys) != 0 {
+		t.Fatalf("drained list still visible: %v", keys)
+	}
+	if s.Del("q") {
+		t.Fatal("Del of a drained list reported a removal")
+	}
+	if s.Expire("q", time.Hour) {
+		t.Fatal("Expire armed a TTL on a drained list")
+	}
+	// The key is fully reusable.
+	s.RPush("q", "again")
+	if v, ok := s.LPop("q"); !ok || v != "again" {
+		t.Fatal("reuse after drain")
+	}
+}
+
+func TestDrainedHashEntryDeleted(t *testing.T) {
+	s := New()
+	s.HSet("h", "f", "v")
+	if !s.HDel("h", "f") {
+		t.Fatal("HDel of existing field returned false")
+	}
+	if keys := s.Keys(""); len(keys) != 0 {
+		t.Fatalf("drained hash still visible: %v", keys)
+	}
+	if s.HDel("h", "f") {
+		t.Fatal("HDel of missing field returned true")
+	}
+	if s.Expire("h", time.Hour) {
+		t.Fatal("Expire armed a TTL on a drained hash")
+	}
+}
+
+func TestDrainedKeyDropsDanglingTTL(t *testing.T) {
+	s := New()
+	now := time.Unix(1000, 0)
+	s.SetClock(func() time.Time { return now })
+	s.RPush("q", "a")
+	s.Expire("q", time.Hour)
+	s.LPop("q") // drains the list; the TTL must go with it
+	s.RPush("q", "b")
+	now = now.Add(2 * time.Hour) // past the stale deadline
+	if _, ok := s.LPop("q"); !ok {
+		t.Fatal("stale TTL from the drained incarnation expired the new list")
+	}
+}
+
+func TestHSetReportsCreation(t *testing.T) {
+	s := New()
+	if !s.HSet("h", "f", "v1") {
+		t.Fatal("first HSet should report created")
+	}
+	if s.HSet("h", "f", "v2") {
+		t.Fatal("overwrite should not report created")
+	}
+	if v, _ := s.HGet("h", "f"); v != "v2" {
+		t.Fatal("overwrite lost the value")
+	}
+}
+
+func TestListPoppedPrefixReleasedAndCompacted(t *testing.T) {
+	s := New()
+	const n = 4096
+	for i := 0; i < n; i++ {
+		s.RPush("q", strconv.Itoa(i))
+	}
+	for i := 0; i < n-100; i++ {
+		if _, ok := s.LPop("q"); !ok {
+			t.Fatalf("pop %d failed", i)
+		}
+	}
+	s.mu.RLock()
+	l := s.lists["q"]
+	// Popped slots below head must be blanked (string released)...
+	for i := 0; i < l.head; i++ {
+		if l.elems[i] != "" {
+			s.mu.RUnlock()
+			t.Fatalf("popped slot %d still pins %q", i, l.elems[i])
+		}
+	}
+	// ...and the prefix compacted away, not accumulated: with 100 live
+	// elements the backing array must not still hold thousands of slots.
+	if len(l.elems) > 2*(l.len()+32) {
+		s.mu.RUnlock()
+		t.Fatalf("backing array not compacted: %d slots for %d live elements",
+			len(l.elems), l.len())
+	}
+	s.mu.RUnlock()
+	// Sustained push/pop at steady state keeps the array bounded — the
+	// dl:queue pattern that used to grow without bound.
+	for i := 0; i < 10000; i++ {
+		s.RPush("q", "x")
+		s.LPop("q")
+	}
+	s.mu.RLock()
+	l = s.lists["q"]
+	bound := 2*(l.len()+32) + 10000/8 // generous slack for append growth
+	if len(l.elems) > bound {
+		s.mu.RUnlock()
+		t.Fatalf("steady-state backing array grew to %d slots for %d live elements",
+			len(l.elems), l.len())
+	}
+	s.mu.RUnlock()
+}
+
+func TestSetExPurgesExpiredOtherType(t *testing.T) {
+	s := New()
+	now := time.Unix(1000, 0)
+	s.SetClock(func() time.Time { return now })
+	s.HSet("k", "stale", "hash-value")
+	s.Expire("k", time.Second)
+	now = now.Add(2 * time.Second)
+	// SetEx over the expired hash must purge it, not leave a hash and a
+	// string coexisting under one key.
+	s.SetEx("k", "fresh", time.Hour)
+	if v, ok := s.Get("k"); !ok || v != "fresh" {
+		t.Fatalf("string value = %q %v", v, ok)
+	}
+	if h := s.HGetAll("k"); len(h) != 0 {
+		t.Fatalf("expired hash survived SetEx: %v", h)
+	}
+	if _, ok := s.HGet("k", "stale"); ok {
+		t.Fatal("expired hash field visible")
+	}
+	if keys := s.Keys(""); len(keys) != 1 {
+		t.Fatalf("keys = %v", keys)
+	}
+}
+
+func TestExpireNeverResurrects(t *testing.T) {
+	s := New()
+	now := time.Unix(1000, 0)
+	s.SetClock(func() time.Time { return now })
+	s.SetEx("k", "v", time.Second)
+	now = now.Add(2 * time.Second)
+	// The key is dead; Expire must not find it in the raw maps and re-arm
+	// a fresh TTL over the stale value.
+	if s.Expire("k", time.Hour) {
+		t.Fatal("Expire resurrected an expired key")
+	}
+	if _, ok := s.Get("k"); ok {
+		t.Fatal("expired key visible after Expire attempt")
+	}
+	// Same for hashes and lists.
+	s.RPush("l", "a")
+	s.Expire("l", time.Second)
+	now = now.Add(2 * time.Second)
+	if s.Expire("l", time.Hour) {
+		t.Fatal("Expire resurrected an expired list")
+	}
+}
+
+func TestDelExpiredReportsAbsent(t *testing.T) {
+	s := New()
+	now := time.Unix(1000, 0)
+	s.SetClock(func() time.Time { return now })
+	s.SetEx("k", "v", time.Second)
+	now = now.Add(2 * time.Second)
+	if s.Del("k") {
+		t.Fatal("Del reported removing an already-expired key")
+	}
+}
+
+func TestSetAtAndExpireAt(t *testing.T) {
+	s := New()
+	now := time.Unix(1000, 0)
+	s.SetClock(func() time.Time { return now })
+	s.SetAt("k", "v", now.Add(time.Minute))
+	if _, ok := s.Get("k"); !ok {
+		t.Fatal("SetAt value missing before deadline")
+	}
+	now = now.Add(2 * time.Minute)
+	if _, ok := s.Get("k"); ok {
+		t.Fatal("SetAt value visible past deadline")
+	}
+	s.Set("e", "v")
+	if !s.ExpireAt("e", now.Add(time.Second)) {
+		t.Fatal("ExpireAt on live key failed")
+	}
+	now = now.Add(2 * time.Second)
+	if _, ok := s.Get("e"); ok {
+		t.Fatal("ExpireAt deadline ignored")
+	}
+}
+
+func TestServerHGetAllSortedWire(t *testing.T) {
+	_, cl := newServerClient(t)
+	for _, f := range []string{"zeta", "alpha", "mid"} {
+		if _, err := cl.Do("HSET", "h", f, "v-"+f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for try := 0; try < 5; try++ {
+		rep, err := cl.Do("HGETALL", "h")
+		if err != nil || len(rep.Array) != 6 {
+			t.Fatalf("hgetall = %+v, %v", rep, err)
+		}
+		want := []string{"alpha", "mid", "zeta"}
+		for i, f := range want {
+			if rep.Array[2*i].Str != f {
+				t.Fatalf("field %d = %q, want %q (wire order must be sorted)",
+					i, rep.Array[2*i].Str, f)
+			}
+		}
+	}
+}
+
+func TestServerHSetHDelCounts(t *testing.T) {
+	_, cl := newServerClient(t)
+	if rep, _ := cl.Do("HSET", "h", "f", "v1"); rep.Int != 1 {
+		t.Fatalf("HSET create = %d, want 1", rep.Int)
+	}
+	if rep, _ := cl.Do("HSET", "h", "f", "v2"); rep.Int != 0 {
+		t.Fatalf("HSET overwrite = %d, want 0", rep.Int)
+	}
+	if rep, _ := cl.Do("HDEL", "h", "f"); rep.Int != 1 {
+		t.Fatalf("HDEL existing = %d, want 1", rep.Int)
+	}
+	if rep, _ := cl.Do("HDEL", "h", "f"); rep.Int != 0 {
+		t.Fatalf("HDEL missing = %d, want 0", rep.Int)
+	}
+}
+
+func TestServerSetAtExpireAt(t *testing.T) {
+	_, cl := newServerClient(t)
+	future := time.Now().Add(time.Hour).UnixNano()
+	if rep, err := cl.Do("SETAT", "k", "v", strconv.FormatInt(future, 10)); err != nil || rep.Str != "OK" {
+		t.Fatalf("setat = %+v, %v", rep, err)
+	}
+	if v, ok, _ := cl.Get("k"); !ok || v != "v" {
+		t.Fatal("setat value missing")
+	}
+	past := time.Now().Add(-time.Hour).UnixNano()
+	if rep, err := cl.Do("EXPIREAT", "k", strconv.FormatInt(past, 10)); err != nil || rep.Int != 1 {
+		t.Fatalf("expireat = %+v, %v", rep, err)
+	}
+	if _, ok, _ := cl.Get("k"); ok {
+		t.Fatal("key visible past EXPIREAT deadline")
+	}
+}
+
+func TestClientRedialResumes(t *testing.T) {
+	st := New()
+	srv, err := Serve(st, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.Addr()
+	cl, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	cl.MaxRedials = 50
+	cl.RedialWait = 10 * time.Millisecond
+	if err := cl.Set("a", "1"); err != nil {
+		t.Fatal(err)
+	}
+	// Crash the server, restart on the same address with the same store.
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	srv2, err := Serve(st, addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.Close()
+	// The client redials transparently and resumes.
+	v, ok, err := cl.Get("a")
+	if err != nil || !ok || v != "1" {
+		t.Fatalf("get after restart = %q %v %v", v, ok, err)
+	}
+}

@@ -107,7 +107,13 @@ type Pipeline struct {
 
 // New wires a pipeline against the platform at baseURL.
 func New(baseURL string, downloaders int) *Pipeline {
-	kv := kvstore.New()
+	return NewWithKV(baseURL, downloaders, kvstore.New())
+}
+
+// NewWithKV wires a pipeline like New but coordinating through the given
+// store — a RemoteStore over TCP (shared-store deployment) or a durable
+// kvstore.Open store (crash recovery), instead of a private in-memory one.
+func NewWithKV(baseURL string, downloaders int, kv kvstore.KV) *Pipeline {
 	objects := objstore.New()
 	docs := docstore.New()
 	api := download.NewAPIClient(baseURL)
@@ -131,6 +137,17 @@ func New(baseURL string, downloaders int) *Pipeline {
 	}
 	p.Docs.C("measurements").EnsureIndex("streamer")
 	return p
+}
+
+// SetKV repoints the whole pipeline — coordinator and every downloader —
+// at a new store. This is the failover hook: when a primary dies, promote
+// its replica and hand the pipeline the replica's address.
+func (p *Pipeline) SetKV(kv kvstore.KV) {
+	p.KV = kv
+	p.Coordinator.KV = kv
+	for _, d := range p.Downloaders {
+		d.KV = kv
+	}
 }
 
 // workers resolves the effective worker count.

@@ -34,16 +34,18 @@ go build -o "$TMPDIR/tero-check-$$" ./cmd/tero
 "$TMPDIR/tero-check-$$" -streamers 15 -days 1 -debug-addr 127.0.0.1:0 -log warn \
     > "$OUT" 2>&1 &
 TERO_PID=$!
+STORE="$TMPDIR/tero-store-$$.out"
 cleanup() {
     kill "$TERO_PID" 2>/dev/null || true
     kill "${SERVE_PID:-}" 2>/dev/null || true
     kill "${TRACE_PID:-}" 2>/dev/null || true
     rm -f "$TMPDIR/tero-check-$$" "$TMPDIR/teroserve-check-$$" \
+        "$TMPDIR/terokv-check-$$" "$TMPDIR/teroexp-check-$$" \
         "$OUT" "$OUT.metrics" \
         "$GOLD" "$GOLD.tables" "$CHAOS" "$CHAOS.err" "$CHAOS.tables" \
         "$SERVE" "$SERVE.hdr" "$SERVE.binhdr" "$SERVE.metrics" "$SERVE.shed" \
         "$TRACE" "$TRACE.list" "$TRACE.detail" "$TRACE.metrics" "$TRACE.hdr" \
-        "$TRACE.readyz"
+        "$TRACE.readyz" "$STORE"
 }
 trap cleanup EXIT
 
@@ -104,6 +106,25 @@ if ! diff -u "$GOLD.tables" "$CHAOS.tables"; then
     exit 1
 fi
 echo "faulted tables match golden ($(grep -c '^counter twitchsim_faults_injected' "$CHAOS") fault kinds injected)"
+
+echo "== store-crash smoke (chaos-store: SIGKILL terokv mid-run, recovery exact) =="
+# Every chaos-store leg — restart-from-AOF, replica failover, and a real
+# terokv child killed with SIGKILL — must produce tables byte-identical to
+# the crash-free golden, with the recovery counters actually lit.
+go build -o "$TMPDIR/terokv-check-$$" ./cmd/terokv
+go build -o "$TMPDIR/teroexp-check-$$" ./cmd/teroexp
+"$TMPDIR/teroexp-check-$$" -scale 0.1 -workers 4 -metrics \
+    -store-exec "$TMPDIR/terokv-check-$$" chaos-store > "$STORE" 2>&1 \
+    || { echo "chaos-store run failed:" >&2; cat "$STORE" >&2; exit 1; }
+for leg in restart-from-aof replica-failover sigkill-exec; do
+    grep -E "^ *$leg +[0-9]+ +yes" "$STORE" > /dev/null \
+        || { echo "chaos-store leg $leg not byte-identical:" >&2; cat "$STORE" >&2; exit 1; }
+done
+grep -E '^counter kvstore_aof_replayed_total +[1-9]' "$STORE" > /dev/null \
+    || { echo "chaos-store replayed nothing from the AOF" >&2; cat "$STORE" >&2; exit 1; }
+grep -E '^counter kvstore_repl_applied_total +[1-9]' "$STORE" > /dev/null \
+    || { echo "chaos-store replica applied nothing" >&2; cat "$STORE" >&2; exit 1; }
+echo "store-crash smoke ok: all three crash legs byte-identical with golden"
 
 echo "== serve smoke (cmd/teroserve: /healthz, /v1/latency, ETag 304, metrics) =="
 go build -o "$TMPDIR/teroserve-check-$$" ./cmd/teroserve
