@@ -13,7 +13,9 @@ import (
 	"time"
 
 	"tero/internal/core"
+	"tero/internal/dist"
 	"tero/internal/kvstore"
+	"tero/internal/objstore"
 	"tero/internal/obs"
 	"tero/internal/obs/trace"
 	"tero/internal/pipeline"
@@ -51,6 +53,14 @@ func main() {
 			"kvstore aof fsync policy: always, interval, never")
 		kvCompact = flag.Int("kv-compact-every", 10000,
 			"kvstore snapshot+compaction threshold in appended commands (0 = never)")
+		distributed = flag.Int("distributed", 0,
+			"coordinator mode: serve the store on -listen, wait for N teroworker "+
+				"processes, and drive the run through them (0 = single-process)")
+		listen = flag.String("listen", "127.0.0.1:7700",
+			"kvstore+objstore listen address in -distributed mode")
+		objDir = flag.String("obj-dir", "",
+			"spill thumbnail payload bytes to files under this directory "+
+				"(write-through; metadata stays in memory)")
 	)
 	flag.Parse()
 
@@ -97,47 +107,110 @@ func main() {
 	}
 	fmt.Printf("platform serving at %s\n", platform.URL())
 
-	var p *pipeline.Pipeline
+	var st *kvstore.Store
 	if *kvDir != "" {
-		st, err := kvstore.Open(*kvDir, kvstore.PersistOptions{
+		s, err := kvstore.Open(*kvDir, kvstore.PersistOptions{
 			Fsync: *kvFsync, CompactEvery: *kvCompact})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "kvstore: %v\n", err)
 			os.Exit(1)
 		}
-		defer st.Close()
+		defer s.Close()
 		fmt.Printf("kvstore durable at %s (fsync=%s, %d keys recovered)\n",
-			*kvDir, *kvFsync, st.Len())
-		p = pipeline.NewWithKV(platform.URL(), *workers, st)
+			*kvDir, *kvFsync, s.Len())
+		st = s
 	} else {
-		p = pipeline.New(platform.URL(), *workers)
+		st = kvstore.New()
+	}
+	var objects *objstore.Store
+	if *objDir != "" {
+		o, err := objstore.NewSpill(*objDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "objstore: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("objstore spilling payloads under %s\n", *objDir)
+		objects = o
+	} else {
+		objects = objstore.New()
+	}
+	p := pipeline.NewWithKV(platform.URL(), *workers, st)
+	p.Objects = objects
+	for _, d := range p.Downloaders {
+		d.Store = objects
 	}
 	p.Concurrency = *conc
 	totalTicks := cfg.Days * 24 * 30
 	start := time.Now()
 	tickErrs := 0
-	for i := 0; i < totalTicks; i++ {
-		if err := p.Tick(platform.Now(), i%3 == 0); err != nil {
-			// The download module has already applied its per-streamer
-			// backoff/release recovery: a tick error is a degraded round,
-			// not a reason to abandon the whole observation period.
-			tickErrs++
-			if tickErrs <= 5 {
-				fmt.Fprintf(os.Stderr, "pipeline: tick %d degraded: %v\n", i, err)
+	var coord *dist.Coordinator
+	if *distributed > 0 {
+		// Coordinator mode: serve the store (key-value + object buckets on
+		// one wire), wait for the fleet, then drive lockstep rounds through
+		// it. The embedded downloaders stay idle; the workers fetch.
+		srv, err := kvstore.Serve(st, *listen)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "serve %s: %v\n", *listen, err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		srv.AttachObjects(objects)
+		coord = dist.NewCoordinator(p, st, objects)
+		coord.Announce(platform.URL())
+		fmt.Printf("coordinator: store+objects at %s — waiting for %d workers, start each with:\n"+
+			"  teroworker -store %s\n", srv.Addr(), *distributed, srv.Addr())
+		if err := coord.WaitWorkers(*distributed, 60*time.Second); err != nil {
+			fmt.Fprintf(os.Stderr, "%v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("%d workers registered\n", *distributed)
+		for i := 0; i < totalTicks; i++ {
+			if err := coord.Tick(platform.Now(), i, i%3 == 0); err != nil {
+				fmt.Fprintf(os.Stderr, "coordinator: tick %d: %v\n", i, err)
+				os.Exit(1)
 			}
+			if i%(totalTicks/10+1) == 0 {
+				fmt.Printf("  virtual %s — %d thumbnails, %d measurements\n",
+					platform.Now().Format("Jan 2 15:04"), p.Processed, p.Extracted)
+			}
+			platform.Advance(2 * time.Minute)
 		}
-		if i%200 == 0 {
-			p.ProcessThumbnails()
+		coord.EndRun()
+	} else {
+		for i := 0; i < totalTicks; i++ {
+			if err := p.Tick(platform.Now(), i%3 == 0); err != nil {
+				// The download module has already applied its per-streamer
+				// backoff/release recovery: a tick error is a degraded round,
+				// not a reason to abandon the whole observation period.
+				tickErrs++
+				if tickErrs <= 5 {
+					fmt.Fprintf(os.Stderr, "pipeline: tick %d degraded: %v\n", i, err)
+				}
+			}
+			if i%200 == 0 {
+				p.ProcessThumbnails()
+			}
+			if i%(totalTicks/10+1) == 0 {
+				fmt.Printf("  virtual %s — %d thumbnails, %d measurements\n",
+					platform.Now().Format("Jan 2 15:04"), p.Processed, p.Extracted)
+			}
+			platform.Advance(2 * time.Minute)
 		}
-		if i%(totalTicks/10+1) == 0 {
-			fmt.Printf("  virtual %s — %d thumbnails, %d measurements\n",
-				platform.Now().Format("Jan 2 15:04"), p.Processed, p.Extracted)
-		}
-		platform.Advance(2 * time.Minute)
+		p.ProcessThumbnails()
 	}
-	p.ProcessThumbnails()
 	p.LocateStreamers(platform.Now())
 	fmt.Printf("pipeline done in %s\n\n", time.Since(start).Round(time.Millisecond))
+	if coord != nil {
+		fmt.Printf("distributed: %d rounds (%d makeup), %d results ingested (%d deduped), "+
+			"%d workers died, %d claims reaped\n",
+			coord.Rounds, coord.MakeupRounds, coord.Ingested, coord.Deduped,
+			coord.DeadWorkers, coord.ReapedClaims)
+		for _, ws := range coord.Stats() {
+			fmt.Printf("  worker %-12s rounds=%-5d claims=%-5d fetches=%-6d extracted=%d\n",
+				ws.Worker, ws.Rounds, ws.Claims, ws.Fetches, ws.Extracted)
+		}
+		fmt.Println()
+	}
 
 	if tickErrs > 0 {
 		fmt.Printf("degraded ticks:        %d of %d (recovered via retry/release)\n",

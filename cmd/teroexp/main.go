@@ -15,6 +15,8 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
+	"strings"
 	"time"
 
 	"tero/internal/experiments"
@@ -47,6 +49,11 @@ func run() int {
 		storeExec = flag.String("store-exec", "",
 			"path to a terokv binary: the chaos-store experiment adds a leg that "+
 				"runs the store as a child process and SIGKILLs it mid-run")
+		workerExec = flag.String("worker-exec", "",
+			"path to a teroworker binary: the dist-scale experiment runs its fleets "+
+				"as real child processes (empty = in-process workers over TCP)")
+		distFleets = flag.String("dist-fleets", "",
+			"comma-separated fleet sizes for the dist-scale experiment (default 1,2,4,8)")
 		cpuprofile = flag.String("cpuprofile", "",
 			"write a CPU profile of the run to this file")
 		memprofile = flag.String("memprofile", "",
@@ -123,8 +130,20 @@ func run() int {
 			args = append(args, e[0])
 		}
 	}
+	var fleets []int
+	if *distFleets != "" {
+		for _, f := range strings.Split(*distFleets, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil || n < 1 {
+				fmt.Fprintf(os.Stderr, "bad -dist-fleets entry %q\n", f)
+				return 2
+			}
+			fleets = append(fleets, n)
+		}
+	}
 	opts := experiments.Options{Seed: *seed, Scale: *scale, Concurrency: *workers,
-		Faults: *faults, FaultSeed: *faultSeed, StoreExec: *storeExec}
+		Faults: *faults, FaultSeed: *faultSeed, StoreExec: *storeExec,
+		WorkerExec: *workerExec, DistFleets: fleets}
 	exit := 0
 	for _, id := range args {
 		start := time.Now()

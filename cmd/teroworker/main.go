@@ -1,0 +1,66 @@
+// Command teroworker is one distributed-ingest worker: it connects to the
+// coordinator's kvstore address (key-value protocol + object buckets on one
+// wire), registers with a real-time heartbeat, and works lockstep rounds —
+// claim streamers from the shared queue, fetch their thumbnails from the
+// platform CDN, run OCR extraction, push results — until the coordinator
+// signals the end of the run. Run N of these against one `tero
+// -distributed N` coordinator; see README "Running distributed".
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"tero/internal/dist"
+	"tero/internal/obs"
+	"tero/internal/obs/trace"
+)
+
+func main() {
+	var (
+		store = flag.String("store", "",
+			"kvstore address of the coordinator (required), e.g. 127.0.0.1:7700")
+		id = flag.String("id", "",
+			"worker ID (default w<pid>); downloaders are <id>:dl<i>")
+		downloaders = flag.Int("downloaders", 1, "in-worker downloader count")
+		windowStamp = flag.Bool("window-stamp", true,
+			"stamp thumbnails with the CDN's window-open time instead of fetch time "+
+				"(keeps measurement timestamps identical across fleet shapes)")
+		logLevel  = flag.String("log", "warn", "log level: trace, debug, info, warn, error, off")
+		traceOn   = flag.Bool("trace", false, "record tail-sampled traces in this worker")
+		traceSeed = flag.Int64("trace-seed", 1, "trace ID seed when -trace is set")
+	)
+	flag.Parse()
+
+	if *store == "" {
+		fmt.Fprintln(os.Stderr, "teroworker: -store is required")
+		os.Exit(2)
+	}
+	if lv, ok := obs.ParseLevel(*logLevel); ok {
+		obs.SetLogLevel(lv)
+	} else {
+		fmt.Fprintf(os.Stderr, "unknown -log level %q\n", *logLevel)
+		os.Exit(2)
+	}
+	if *id == "" {
+		*id = "w" + strconv.Itoa(os.Getpid())
+	}
+	if *traceOn {
+		trace.Enable(uint64(*traceSeed))
+	}
+
+	fmt.Printf("teroworker %s joining %s\n", *id, *store)
+	err := dist.RunWorker(dist.WorkerConfig{
+		ID:          *id,
+		StoreAddr:   *store,
+		Downloaders: *downloaders,
+		WindowStamp: *windowStamp,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "teroworker %s: %v\n", *id, err)
+		os.Exit(1)
+	}
+	fmt.Printf("teroworker %s done\n", *id)
+}

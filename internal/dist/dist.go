@@ -1,0 +1,135 @@
+// Package dist is the distributed-ingest topology: one coordinator process
+// drives the virtual clock and runs the serial stages (queue seeding,
+// result merge, location, analysis), while N teroworker processes — on the
+// same host or not — claim streamers, fetch thumbnails and run OCR, all
+// coordinating through one kvstore address that serves both the key-value
+// protocol and the object buckets (App. A's Redis + S3 collapsed onto one
+// wire).
+//
+// The protocol is lockstep rounds over plain keys, chosen so a fleet of
+// any size produces byte-identical analysis tables to a single process:
+//
+//   - The coordinator freezes a virtual instant in dist:now, then publishes
+//     a round token in dist:round. Workers poll for the token, do one round
+//     of work at that frozen instant, and check in via dist:done.
+//   - A round is: poll due streamers, then claim a fair quota from
+//     dl:queue (queue/alive+1 — over-claiming is fine, the queue is the
+//     limit). The coordinator repeats rounds at the same instant until the
+//     queue drains, so WHICH VIRTUAL TICK adopts a streamer never depends
+//     on fleet size.
+//   - Workers never touch shared state between rounds; the barrier means
+//     the coordinator reaps crashed workers' claims and snapshots the
+//     queue while everything is quiescent, without locks.
+//
+// Workers prove liveness with real-time heartbeats in dist:beat. A worker
+// whose beat goes stale mid-barrier is declared dead, its claims are
+// requeued, and the survivors re-fetch them within the same virtual tick —
+// the window-stamped metadata (download.Downloader.WindowStamp) makes the
+// re-fetch byte-identical to what the dead worker would have stored.
+package dist
+
+import (
+	"encoding/json"
+
+	"tero/internal/obs"
+)
+
+var dlog = obs.L("dist")
+
+// Store layout of the distributed-run protocol. Everything lives in the
+// same kvstore the download module already coordinates through.
+const (
+	// KeyWorkers is a hash: worker ID -> "1". Registration; the roster the
+	// coordinator barriers on.
+	KeyWorkers = "dist:workers"
+	// KeyBeat is a hash: worker ID -> real-time unix nanoseconds of the
+	// worker's last heartbeat. Liveness is real time — virtual time is
+	// frozen while workers work, so it cannot detect a hung process.
+	KeyBeat = "dist:beat"
+	// KeyPlatform carries the platform base URL from coordinator to
+	// workers; its appearance is the run's start signal.
+	KeyPlatform = "dist:platform"
+	// KeyNow is the frozen virtual instant (RFC3339Nano) of the current
+	// round.
+	KeyNow = "dist:now"
+	// KeyRound is the current round token, "tick.round" — or RoundDone
+	// when the run is over and workers should exit.
+	KeyRound = "dist:round"
+	// KeyDone is a hash: worker ID -> last round token completed.
+	KeyDone = "dist:done"
+	// KeyStats is a hash: worker ID -> WorkerStats JSON, refreshed each
+	// round; the coordinator's balance table reads it.
+	KeyStats = "dist:stats"
+	// KeyClaimTrace is a hash: streamer ID -> W3C traceparent of the
+	// claim's trace, written by the claiming downloader so a reap after a
+	// worker crash can chain onto the same story.
+	KeyClaimTrace = "dist:claimtrace"
+	// ResultBucket is the object bucket workers push extraction results
+	// through, keyed by the thumbnail key: crash-and-refetch overwrites
+	// with identical content instead of duplicating.
+	ResultBucket = "dist-results"
+	// RoundDone is the KeyRound sentinel that tells workers to exit.
+	RoundDone = "done"
+)
+
+// Result is one extracted thumbnail crossing the worker->coordinator
+// boundary, the wire form of pipeline.ThumbResult plus provenance. The
+// coordinator replays it through Pipeline.IngestResult in key order, so a
+// distributed run writes the same documents and counters as a local one.
+type Result struct {
+	Key     string `json:"key"`
+	Outcome string `json:"outcome"` // pipeline.Outcome* constant
+
+	Ms     float64 `json:"ms,omitempty"`
+	Alt    float64 `json:"alt,omitempty"`
+	HasAlt bool    `json:"hasAlt,omitempty"`
+
+	Streamer string `json:"streamer,omitempty"`
+	Login    string `json:"login,omitempty"`
+	Game     string `json:"game,omitempty"`
+	At       string `json:"at,omitempty"`
+	AtUnix   int64  `json:"atUnix,omitempty"`
+	AtOK     bool   `json:"atOK,omitempty"`
+
+	// Traceparent is the worker's dist.extract span context; the
+	// coordinator's ingest span chains onto it, so one journey spans both
+	// processes.
+	Traceparent string `json:"traceparent,omitempty"`
+	// Worker records who extracted it (balance accounting, debugging).
+	Worker string `json:"worker,omitempty"`
+}
+
+// Encode renders the wire form.
+func (r Result) Encode() []byte {
+	b, _ := json.Marshal(r)
+	return b
+}
+
+// DecodeResult parses the wire form.
+func DecodeResult(b []byte) (Result, error) {
+	var r Result
+	err := json.Unmarshal(b, &r)
+	return r, err
+}
+
+// WorkerStats is the per-worker balance record published in KeyStats.
+type WorkerStats struct {
+	Worker    string `json:"worker"`
+	Rounds    int    `json:"rounds"`
+	Claims    int    `json:"claims"`
+	Fetches   int    `json:"fetches"`
+	Extracted int    `json:"extracted"`
+}
+
+// Encode renders the wire form.
+func (s WorkerStats) Encode() string {
+	b, _ := json.Marshal(s)
+	return string(b)
+}
+
+// DecodeWorkerStats parses the wire form.
+func DecodeWorkerStats(s string) (WorkerStats, error) {
+	var w WorkerStats
+	err := json.Unmarshal([]byte(s), &w)
+	return w, err
+}

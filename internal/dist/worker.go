@@ -1,0 +1,335 @@
+package dist
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"time"
+
+	"tero/internal/download"
+	"tero/internal/imageproc"
+	"tero/internal/kvstore"
+	"tero/internal/objstore"
+	"tero/internal/obs"
+	"tero/internal/obs/trace"
+	"tero/internal/pipeline"
+)
+
+var (
+	mWRounds  = obs.C("dist_worker_rounds_total")
+	mWClaims  = obs.C("dist_worker_claims_total")
+	mWExtract = obs.C("dist_worker_extracts_total")
+)
+
+// WorkerConfig configures one ingest worker (the teroworker binary, or an
+// in-process equivalent in tests and single-binary experiment legs).
+type WorkerConfig struct {
+	// ID names the worker; its downloaders are "<ID>:dl<i>", the prefix
+	// the coordinator uses to find a dead worker's claims.
+	ID string
+	// StoreAddr is the kvstore server (with attached object buckets) all
+	// coordination and freight go through.
+	StoreAddr string
+	// Downloaders is the in-worker downloader count (default 1). Claims
+	// spread round-robin across them.
+	Downloaders int
+	// WindowStamp is forwarded to the downloaders (see
+	// download.Downloader.WindowStamp); distributed runs set it so
+	// measurement timestamps are fleet-shape-independent.
+	WindowStamp bool
+	// BeatEvery is the real-time heartbeat cadence (default 25ms).
+	BeatEvery time.Duration
+	// PollWait is the pause between round-token polls (default 500µs).
+	PollWait time.Duration
+	// StartTimeout bounds the wait for the coordinator's platform
+	// announcement (default 30s).
+	StartTimeout time.Duration
+	// Halt, when closed, makes the worker stop dead wherever it is — no
+	// deregistration, no goodbye, heartbeats cease. The in-process crash
+	// the worker-crash tests use; SIGKILL is the cross-process form.
+	Halt <-chan struct{}
+}
+
+func (c *WorkerConfig) defaults() {
+	if c.Downloaders < 1 {
+		c.Downloaders = 1
+	}
+	if c.BeatEvery <= 0 {
+		c.BeatEvery = 25 * time.Millisecond
+	}
+	if c.PollWait <= 0 {
+		c.PollWait = 500 * time.Microsecond
+	}
+	if c.StartTimeout <= 0 {
+		c.StartTimeout = 30 * time.Second
+	}
+}
+
+// pendingThumb is one thumbnail this worker stored and still owes an
+// extraction for.
+type pendingThumb struct {
+	key  string
+	data []byte
+	meta map[string]string
+}
+
+// teeStore wraps the remote object API handed to the downloaders and keeps
+// a local copy of every thumbnail they store, so extraction reads from
+// memory instead of fetching its own write back over the wire.
+type teeStore struct {
+	objstore.API
+	pending []pendingThumb
+}
+
+func (t *teeStore) Put(bucket, key string, data []byte, meta map[string]string) string {
+	etag := t.API.Put(bucket, key, data, meta)
+	if bucket == download.ThumbBucket {
+		cp := make([]byte, len(data))
+		copy(cp, data)
+		m := make(map[string]string, len(meta))
+		for k, v := range meta {
+			m[k] = v
+		}
+		t.pending = append(t.pending, pendingThumb{key: key, data: cp, meta: m})
+	}
+	return etag
+}
+
+// drain returns the accumulated thumbnails in key order and resets the
+// buffer.
+func (t *teeStore) drain() []pendingThumb {
+	p := t.pending
+	t.pending = nil
+	sort.Slice(p, func(i, j int) bool { return p[i].key < p[j].key })
+	return p
+}
+
+// RunWorker joins the fleet at cfg.StoreAddr and works rounds until the
+// coordinator publishes the done sentinel (clean exit) or cfg.Halt closes
+// (simulated crash). See the package comment for the protocol.
+func RunWorker(cfg WorkerConfig) error {
+	cfg.defaults()
+	halted := func() bool {
+		select {
+		case <-cfg.Halt:
+			return true
+		default:
+			return false
+		}
+	}
+
+	kv, err := kvstore.DialStore(cfg.StoreAddr)
+	if err != nil {
+		return fmt.Errorf("dist worker %s: dial store: %w", cfg.ID, err)
+	}
+	defer kv.Close()
+	objects, err := kvstore.DialObjects(cfg.StoreAddr)
+	if err != nil {
+		return fmt.Errorf("dist worker %s: dial objects: %w", cfg.ID, err)
+	}
+	defer objects.Close()
+
+	// Heartbeats get their own connection so a large object frame on the
+	// main one can never delay a beat past the coordinator's deadline.
+	beatKV, err := kvstore.DialStore(cfg.StoreAddr)
+	if err != nil {
+		return fmt.Errorf("dist worker %s: dial beat: %w", cfg.ID, err)
+	}
+	beat := func() { beatKV.HSet(KeyBeat, cfg.ID, strconv.FormatInt(time.Now().UnixNano(), 10)) }
+	beatStop := make(chan struct{})
+	beatExit := make(chan struct{})
+	// First beat lands before the roster entry: the coordinator must never
+	// see a registered worker without a liveness record.
+	beat()
+	kv.HSet(KeyWorkers, cfg.ID, "1")
+	go func() {
+		defer close(beatExit)
+		defer beatKV.Close()
+		t := time.NewTicker(cfg.BeatEvery)
+		defer t.Stop()
+		for {
+			select {
+			case <-beatStop:
+				return
+			case <-cfg.Halt:
+				return
+			case <-t.C:
+				beat()
+			}
+		}
+	}()
+	stopBeats := func() { close(beatStop); <-beatExit }
+
+	// Wait for the run to start.
+	deadline := time.Now().Add(cfg.StartTimeout)
+	var platformURL string
+	for {
+		if halted() {
+			return nil
+		}
+		if u, ok := kv.Get(KeyPlatform); ok {
+			platformURL = u
+			break
+		}
+		if time.Now().After(deadline) {
+			stopBeats()
+			return fmt.Errorf("dist worker %s: no platform announced within %s", cfg.ID, cfg.StartTimeout)
+		}
+		time.Sleep(cfg.PollWait)
+	}
+	_ = platformURL // the assignments carry absolute URLs; nothing to dial here
+
+	tee := &teeStore{API: objects}
+	extractor := imageproc.New()
+	dls := make([]*download.Downloader, cfg.Downloaders)
+	for i := range dls {
+		d := download.NewDownloader(cfg.ID+":dl"+strconv.Itoa(i), kv, tee)
+		d.Claim = download.ClaimNone
+		d.WindowStamp = cfg.WindowStamp
+		d.ClaimTraceKey = KeyClaimTrace
+		dls[i] = d
+	}
+
+	dlog.Info("worker joined", "id", cfg.ID, "store", cfg.StoreAddr,
+		"downloaders", cfg.Downloaders)
+
+	stats := WorkerStats{Worker: cfg.ID}
+	last := ""
+	for {
+		if halted() {
+			return nil
+		}
+		token, ok := kv.Get(KeyRound)
+		if !ok || token == last {
+			time.Sleep(cfg.PollWait)
+			continue
+		}
+		if token == RoundDone {
+			stopBeats()
+			kv.HDel(KeyWorkers, cfg.ID)
+			kv.HDel(KeyBeat, cfg.ID)
+			dlog.Info("worker done", "id", cfg.ID, "rounds", stats.Rounds,
+				"claims", stats.Claims, "extracted", stats.Extracted)
+			return nil
+		}
+		nowStr, _ := kv.Get(KeyNow)
+		now, err := time.Parse(time.RFC3339Nano, nowStr)
+		if err != nil {
+			return fmt.Errorf("dist worker %s: bad %s %q: %w", cfg.ID, KeyNow, nowStr, err)
+		}
+		if err := workRound(cfg, kv, objects, tee, extractor, dls, now, &stats, halted); err != nil {
+			return err
+		}
+		if halted() {
+			return nil // died before checking in: the round stays incomplete
+		}
+		stats.Rounds++
+		mWRounds.Inc()
+		kv.HSet(KeyStats, cfg.ID, stats.Encode())
+		kv.HSet(KeyDone, cfg.ID, token)
+		last = token
+	}
+}
+
+// workRound does one round at the frozen virtual instant now: service due
+// fetches, claim a fair quota from the queue, extract and push everything
+// fetched. Repeat rounds at the same instant are harmless — due times are
+// virtual, so nothing comes due twice.
+func workRound(cfg WorkerConfig, kv kvstore.KV, objects objstore.API, tee *teeStore,
+	extractor *imageproc.Extractor, dls []*download.Downloader,
+	now time.Time, stats *WorkerStats, halted func() bool) error {
+	for _, d := range dls {
+		if err := d.PollOnce(now); err != nil {
+			// Degraded, not fatal: the downloader has already applied its
+			// per-streamer backoff/release recovery.
+			dlog.Warn("poll errors", "worker", cfg.ID, "err", err)
+		}
+	}
+
+	// Balanced claims: adopt while this worker owns fewer streamers than
+	// its ceil-share of everything claimable (already-claimed + queued).
+	// The per-round critical path is the busiest worker's fetch count, so
+	// ownership balance — not just queue fair-share — is what lets a fleet
+	// overlap CDN latency. Workers race LPOP on slightly stale counts, but
+	// the capacity sum (alive x ceil-share - claimed) always covers the
+	// queue, so it still drains within the round; makeup rounds are the
+	// backstop. Reads are racy by a claim or two, which skews balance by
+	// at most that much.
+	qlen := kv.LLen(download.KeyQueue)
+	alive := len(kv.HGetAll(KeyWorkers))
+	if alive < 1 {
+		alive = 1
+	}
+	claimed := len(kv.HGetAll(download.KeyClaimed))
+	target := (claimed + qlen + alive - 1) / alive
+	own := 0
+	for _, d := range dls {
+		own += d.Assigned()
+	}
+	for c := 0; own < target; c++ {
+		if halted() {
+			return nil
+		}
+		d := dls[c%len(dls)]
+		_, adopted, err := d.AdoptOne(now)
+		if !adopted {
+			break
+		}
+		own++
+		stats.Claims++
+		mWClaims.Inc()
+		if err != nil {
+			dlog.Warn("adopt fetch failed", "worker", cfg.ID, "err", err)
+		}
+	}
+
+	// Extract everything fetched this round and push the results. Results
+	// are keyed by thumbnail key: a re-fetch after a crash overwrites with
+	// identical bytes instead of duplicating.
+	for _, p := range tee.drain() {
+		if halted() {
+			return nil
+		}
+		wstart := time.Now()
+		res := pipeline.ExtractThumb(extractor,
+			&objstore.Object{Key: p.key, Data: p.data, Meta: p.meta})
+		wend := time.Now()
+		jctx, _ := trace.DecodeContext(p.meta["trace"])
+		errMsg := ""
+		if res.Outcome == pipeline.OutcomeCorrupt {
+			errMsg = "corrupt thumbnail: pgm decode failed"
+		}
+		ec := trace.RecordSpan(jctx, "dist.extract", wstart, wend, errMsg,
+			trace.A("worker", cfg.ID), trace.A("outcome", res.Outcome))
+		r := Result{
+			Key: p.key, Outcome: res.Outcome,
+			Ms: res.Ms, Alt: res.Alt, HasAlt: res.HasAlt,
+			Streamer: res.Streamer, Login: res.Login, Game: res.Game,
+			At: res.At, AtUnix: res.AtUnix, AtOK: res.AtOK,
+			Traceparent: trace.Traceparent(ec), Worker: cfg.ID,
+		}
+		if res.Outcome == pipeline.OutcomeCorrupt {
+			// Quarantine worker-side so the move happens exactly once, by
+			// whoever decoded it; the coordinator only counts it.
+			objects.Put(pipeline.QuarantineBucket, p.key, p.data, p.meta)
+			dlog.Warn("quarantined corrupt thumbnail", "worker", cfg.ID, "key", p.key)
+		}
+		if res.Outcome == pipeline.OutcomeMeasured {
+			stats.Extracted++
+			mWExtract.Inc()
+		} else {
+			// The reading's journey dies at extraction; measured readings
+			// stay open until the coordinator publishes them.
+			trace.Finish(jctx.TraceID)
+		}
+		objects.Put(ResultBucket, p.key, r.Encode(), nil)
+		// §7: the thumbnail is freight, not data — gone once extracted.
+		objects.Delete(download.ThumbBucket, p.key)
+	}
+	total := 0
+	for _, d := range dls {
+		total += d.Downloads
+	}
+	stats.Fetches = total
+	return nil
+}

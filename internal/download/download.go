@@ -395,14 +395,50 @@ func (c *Coordinator) ActiveCount() int {
 	return len(c.KV.HGetAll(KeyActive))
 }
 
+// ClaimMode selects how a downloader adopts queued streamers in PollOnce.
+type ClaimMode int
+
+const (
+	// ClaimIdleOne claims one assignment per idle poll — the idle-based
+	// load balancing of App. A and the default.
+	ClaimIdleOne ClaimMode = iota
+	// ClaimAll drains the whole queue every poll, whether or not the
+	// downloader had due work. This pins WHICH TICK every streamer is
+	// adopted independently of fleet size — the determinism discipline the
+	// distributed topology's golden runs rely on.
+	ClaimAll
+	// ClaimNone never claims from PollOnce; an external scheduler (a
+	// distributed worker balancing a claim quota across its fleet) calls
+	// AdoptOne explicitly.
+	ClaimNone
+)
+
 // Downloader fetches thumbnails for its assigned streamers. It is
 // deliberately lean: all state handling beyond plain downloading lives in
 // the coordinator and the key-value store.
 type Downloader struct {
 	ID    string
 	KV    kvstore.KV
-	Store *objstore.Store
+	Store objstore.API
 	HTTP  *http.Client
+
+	// Claim selects the queue-adoption policy of PollOnce.
+	Claim ClaimMode
+
+	// WindowStamp, when true, stamps stored thumbnails with the CDN's
+	// X-Thumbnail-At header (the instant the thumbnail window opened)
+	// instead of the local virtual fetch time. Window time is a property of
+	// the data, not of who fetched it when — so runs that re-fetch after a
+	// worker crash, or fetch from a differently-shaped fleet, produce
+	// byte-identical measurement documents.
+	WindowStamp bool
+
+	// ClaimTraceKey, when set (and tracing is enabled), records a W3C
+	// traceparent for every claim this downloader takes into that kv hash
+	// (field = streamer ID). A coordinator reaping the claim after a
+	// worker crash chains its reap span onto this context, so the claim's
+	// story is one trace even across processes.
+	ClaimTraceKey string
 
 	// MaxFetchRetries bounds the in-place retries of one fetch cycle
 	// against transient CDN faults (5xx, stalls, resets, truncated or
@@ -433,7 +469,7 @@ type tracked struct {
 // NewDownloader builds a downloader. The HTTP client must not follow
 // redirects: a redirect to the offline thumbnail is the going-offline
 // signal.
-func NewDownloader(id string, kv kvstore.KV, store *objstore.Store) *Downloader {
+func NewDownloader(id string, kv kvstore.KV, store objstore.API) *Downloader {
 	return &Downloader{
 		ID: id, KV: kv, Store: store,
 		HTTP: &http.Client{
@@ -525,23 +561,64 @@ func (d *Downloader) PollOnce(now time.Time) error {
 		}
 		tr.strikes = 0
 	}
-	if due == 0 {
-		// Idle: adopt one new streamer (claiming one at a time keeps the
-		// fleet balanced — a single fast downloader cannot drain the whole
-		// queue before its peers get a chance).
-		if raw, ok := d.KV.LPop(KeyQueue); ok {
-			if a, err := decodeAssignment(raw); err == nil {
-				d.KV.HSet(KeyClaimed, a.StreamerID, d.ID)
-				tr := &tracked{a: a}
-				d.assigned[a.StreamerID] = tr
-				if err := d.fetch(a.StreamerID, tr, now); err != nil {
-					d.fail(a.StreamerID, tr, now, err)
-					errs = append(errs, fmt.Errorf("streamer %s: %w", a.StreamerID, err))
-				}
+	switch d.Claim {
+	case ClaimNone:
+		// Claims are driven externally via AdoptOne.
+	case ClaimAll:
+		for {
+			_, adopted, err := d.AdoptOne(now)
+			if err != nil {
+				errs = append(errs, err)
+			}
+			if !adopted {
+				break
+			}
+		}
+	default: // ClaimIdleOne
+		if due == 0 {
+			// Idle: adopt one new streamer (claiming one at a time keeps the
+			// fleet balanced — a single fast downloader cannot drain the whole
+			// queue before its peers get a chance).
+			if _, _, err := d.AdoptOne(now); err != nil {
+				errs = append(errs, err)
 			}
 		}
 	}
 	return errors.Join(errs...)
+}
+
+// AdoptOne claims the next queued assignment (if any) and immediately runs
+// its first fetch cycle at virtual time now. It reports whether a queue
+// entry was consumed; a fetch failure is handled with the usual
+// backoff/release discipline and returned for the caller's logs.
+func (d *Downloader) AdoptOne(now time.Time) (Assignment, bool, error) {
+	raw, ok := d.KV.LPop(KeyQueue)
+	if !ok {
+		return Assignment{}, false, nil
+	}
+	a, err := decodeAssignment(raw)
+	if err != nil {
+		// A corrupt queue entry is consumed (so it cannot wedge the queue)
+		// but never claimed.
+		return Assignment{}, true, nil
+	}
+	d.KV.HSet(KeyClaimed, a.StreamerID, d.ID)
+	if d.ClaimTraceKey != "" && trace.Enabled() {
+		// The claim's own micro-trace: its traceparent lands next to the
+		// claim record so a remote reaper can chain onto it.
+		sp := trace.StartTrace("download.claim",
+			trace.A("streamer", a.StreamerID), trace.A("downloader", d.ID))
+		d.KV.HSet(d.ClaimTraceKey, a.StreamerID, trace.Traceparent(sp.Context()))
+		sp.End()
+	}
+	tr := &tracked{a: a}
+	d.assigned[a.StreamerID] = tr
+	if err := d.fetch(a.StreamerID, tr, now); err != nil {
+		d.fail(a.StreamerID, tr, now, err)
+		return a, true, fmt.Errorf("streamer %s: %w", a.StreamerID, err)
+	}
+	tr.strikes = 0
+	return a, true, nil
 }
 
 // retryable wraps transient fetch errors worth an in-place retry.
@@ -717,12 +794,21 @@ func (d *Downloader) fetchOnce(id string, tr *tracked, now time.Time) error {
 	}
 	tr.lastSeq = seq
 	key := fmt.Sprintf("%s/%s.pgm", id, seq)
+	at := now.UTC().Format(time.RFC3339)
+	if d.WindowStamp {
+		// Stamp with the window-open time the CDN reports: a property of
+		// the thumbnail itself, identical no matter which downloader
+		// fetched it or when within the window (see the field's doc).
+		if t, err := time.Parse(time.RFC3339, getResp.Header.Get("X-Thumbnail-At")); err == nil {
+			at = t.UTC().Format(time.RFC3339)
+		}
+	}
 	meta := map[string]string{
 		"streamer": id,
 		"login":    tr.a.Login,
 		"game":     tr.a.Game,
 		"seq":      seq,
-		"at":       now.UTC().Format(time.RFC3339),
+		"at":       at,
 	}
 	j.SetAttr("key", key)
 	j.SetAttr("seq", seq)

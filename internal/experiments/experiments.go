@@ -38,6 +38,14 @@ type Options struct {
 	// and SIGKILLs it mid-run (scripts/check.sh uses this for a true
 	// kill-9 smoke). Empty = in-process crash simulation only.
 	StoreExec string
+	// WorkerExec is the path to a teroworker binary; when set, the
+	// dist-scale experiment runs its fleets as real child processes (and
+	// SIGKILLs one in the crash leg). Empty = in-process workers over real
+	// TCP.
+	WorkerExec string
+	// DistFleets overrides the dist-scale experiment's fleet sizes
+	// (default 1, 2, 4, 8).
+	DistFleets []int
 }
 
 // DefaultOptions returns the standard configuration.

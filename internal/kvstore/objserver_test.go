@@ -1,0 +1,195 @@
+package kvstore
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strconv"
+	"sync"
+	"testing"
+
+	"tero/internal/objstore"
+)
+
+func newObjectServerClient(t *testing.T) (*Server, *objstore.Store, *RemoteObjects) {
+	t.Helper()
+	srv, err := Serve(New(), "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	backing := objstore.New()
+	srv.AttachObjects(backing)
+	ro, err := DialObjects(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ro.Close() })
+	return srv, backing, ro
+}
+
+// TestObjectWireRoundTrip drives the full objstore.API surface over the RESP
+// wire: binary-safe payloads, metadata, etags, listing and deletion must all
+// match what the backing store holds.
+func TestObjectWireRoundTrip(t *testing.T) {
+	_, backing, ro := newObjectServerClient(t)
+
+	// Payload with every byte class RESP framing could trip on.
+	data := []byte("P5\r\n\x00\xff bulk$*-1\r\nframes")
+	meta := map[string]string{"streamer": "s1", "game": "Overwatch 2", "at": "2024-01-01T00:00:00Z"}
+	etag := ro.Put("thumbs", "s1/000017.pgm", data, meta)
+	if etag == "" {
+		t.Fatalf("empty etag (transport err: %v)", ro.Err)
+	}
+	local, err := backing.Get("thumbs", "s1/000017.pgm")
+	if err != nil {
+		t.Fatalf("backing store missed the put: %v", err)
+	}
+	if local.ETag != etag {
+		t.Fatalf("etag over wire %q != backing %q", etag, local.ETag)
+	}
+
+	got, err := ro.Get("thumbs", "s1/000017.pgm")
+	if err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	if !bytes.Equal(got.Data, data) {
+		t.Fatalf("payload corrupted over wire: %q != %q", got.Data, data)
+	}
+	if got.ETag != etag || got.ModTime.IsZero() {
+		t.Fatalf("etag/modtime lost: %q, %v", got.ETag, got.ModTime)
+	}
+	if len(got.Meta) != len(meta) {
+		t.Fatalf("meta = %v, want %v", got.Meta, meta)
+	}
+	for k, v := range meta {
+		if got.Meta[k] != v {
+			t.Fatalf("meta[%s] = %q, want %q", k, got.Meta[k], v)
+		}
+	}
+
+	head, err := ro.Head("thumbs", "s1/000017.pgm")
+	if err != nil {
+		t.Fatalf("Head: %v", err)
+	}
+	if head.Data != nil || head.ETag != etag || head.Meta["game"] != "Overwatch 2" {
+		t.Fatalf("Head = %+v", head)
+	}
+
+	ro.Put("thumbs", "s1/000002.pgm", []byte("x"), nil)
+	ro.Put("other", "s1/000099.pgm", []byte("y"), nil)
+	if keys := ro.List("thumbs", "s1/"); len(keys) != 2 ||
+		keys[0] != "s1/000002.pgm" || keys[1] != "s1/000017.pgm" {
+		t.Fatalf("List = %v", keys)
+	}
+	if n := ro.Size("thumbs"); n != 2 {
+		t.Fatalf("Size = %d, want 2", n)
+	}
+
+	if err := ro.Delete("thumbs", "s1/000017.pgm"); err != nil {
+		t.Fatalf("Delete: %v", err)
+	}
+	if err := ro.Delete("thumbs", "s1/000017.pgm"); !errors.Is(err, objstore.ErrNotFound) {
+		t.Fatalf("second Delete = %v, want ErrNotFound", err)
+	}
+	if _, err := ro.Get("thumbs", "s1/000017.pgm"); !errors.Is(err, objstore.ErrNotFound) {
+		t.Fatalf("Get after delete = %v, want ErrNotFound", err)
+	}
+}
+
+// TestObjectWireNoStore: O* commands against a server without an attached
+// object store fail loudly instead of pretending.
+func TestObjectWireNoStore(t *testing.T) {
+	srv, err := Serve(New(), "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	cl, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cl.Close() })
+	if _, err := cl.Do("OGET", "thumbs", "k"); err == nil {
+		t.Fatal("OGET without an attached object store should error")
+	}
+}
+
+// TestLPopClaimContention is the distributed claim race in miniature: many
+// real client connections hammer LPOP on one queue — as a teroworker fleet
+// does at the top of every round — and every item must be claimed exactly
+// once. Runs under -race via the normal test build.
+func TestLPopClaimContention(t *testing.T) {
+	srv, cl := newServerClient(t)
+
+	const items = 1000
+	const clients = 8
+	vals := make([]string, items)
+	for i := range vals {
+		vals[i] = "item-" + strconv.Itoa(i)
+	}
+	if rep, err := cl.Do(append([]string{"RPUSH", "q"}, vals...)...); err != nil || rep.Int != items {
+		t.Fatalf("seed RPUSH: %v %v", rep, err)
+	}
+
+	claims := make([][]string, clients)
+	var wg sync.WaitGroup
+	wg.Add(clients)
+	for c := 0; c < clients; c++ {
+		go func(c int) {
+			defer wg.Done()
+			conn, err := Dial(srv.Addr())
+			if err != nil {
+				t.Errorf("client %d dial: %v", c, err)
+				return
+			}
+			defer conn.Close()
+			for {
+				rep, err := conn.Do("LPOP", "q")
+				if err != nil {
+					t.Errorf("client %d LPOP: %v", c, err)
+					return
+				}
+				if rep.Null {
+					return // drained
+				}
+				claims[c] = append(claims[c], rep.Str)
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	seen := make(map[string]int, items)
+	total := 0
+	for c := range claims {
+		total += len(claims[c])
+		for _, v := range claims[c] {
+			seen[v]++
+		}
+	}
+	if total != items {
+		t.Fatalf("claimed %d items, want %d", total, items)
+	}
+	for i := range vals {
+		if n := seen[vals[i]]; n != 1 {
+			t.Fatalf("%s claimed %d times", vals[i], n)
+		}
+	}
+	if rep, err := cl.Do("LLEN", "q"); err != nil || rep.Int != 0 {
+		t.Fatalf("queue not drained: %v %v", rep, err)
+	}
+	// The race only counts as exercised if the pops actually interleaved.
+	busiest, idlest := 0, items
+	for c := range claims {
+		if len(claims[c]) > busiest {
+			busiest = len(claims[c])
+		}
+		if len(claims[c]) < idlest {
+			idlest = len(claims[c])
+		}
+	}
+	t.Logf("claim spread across %d clients: min %d, max %d", clients, idlest, busiest)
+	if busiest == items {
+		fmt.Println("warning: one client claimed everything; contention not exercised")
+	}
+}

@@ -10,6 +10,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"tero/internal/objstore"
 )
 
 // Server exposes a Store over TCP with RESP framing.
@@ -27,6 +29,9 @@ type Server struct {
 	// (REPLICAOF / the terokv -replicaof flag).
 	replMu sync.Mutex
 	repl   *Replica
+
+	// objects, when attached, serves the O* object commands (objserver.go).
+	objects *objstore.Store
 }
 
 // Serve starts a server on addr (e.g. "127.0.0.1:0") and returns it; the
@@ -198,6 +203,9 @@ func (s *Server) dispatch(w *bufio.Writer, args []string) error {
 		return writeError(w, "empty command")
 	}
 	cmd := strings.ToUpper(args[0])
+	if handled, err := s.dispatchObject(w, cmd, args); handled {
+		return err
+	}
 	wantArgs := func(n int) bool { return len(args) == n }
 	switch cmd {
 	case "PING":

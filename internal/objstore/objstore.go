@@ -8,10 +8,23 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"errors"
+	"net/url"
+	"os"
+	"path/filepath"
 	"sort"
 	"strings"
 	"sync"
 	"time"
+
+	"tero/internal/obs"
+)
+
+// Spill observability: write-through file traffic when a disk directory is
+// configured (see NewSpill).
+var (
+	mSpillWrites = obs.C("objstore_spill_writes_total")
+	mSpillBytes  = obs.C("objstore_spill_bytes_total")
+	mSpillReads  = obs.C("objstore_spill_reads_total")
 )
 
 // ErrNotFound is returned when a bucket or object does not exist.
@@ -24,18 +37,64 @@ type Object struct {
 	ETag    string
 	ModTime time.Time
 	Meta    map[string]string
+
+	// spilled marks payloads that live on disk rather than in Data.
+	spilled bool
 }
 
-// Store is an in-memory object store.
+// API is the object-store surface the rest of the system programs against:
+// implemented by the in-memory/spilling *Store and by the RESP wire client
+// (kvstore.RemoteObjects), so the same download/extract code runs embedded
+// or against a shared store over TCP.
+type API interface {
+	Put(bucket, key string, data []byte, meta map[string]string) string
+	Get(bucket, key string) (*Object, error)
+	Head(bucket, key string) (*Object, error)
+	Delete(bucket, key string) error
+	List(bucket, prefix string) []string
+	Size(bucket string) int
+}
+
+// Store is an in-memory object store, optionally spilling payload bytes to
+// disk (metadata and keys always stay in memory).
 type Store struct {
 	mu      sync.RWMutex
 	buckets map[string]map[string]*Object
 	now     func() time.Time
+
+	// dir, when non-empty, is the spill directory: payloads are written
+	// through to dir/<bucket>/<escaped key> and only read back on Get, so
+	// a coordinator holding every in-flight thumbnail does not keep the
+	// bytes resident.
+	dir string
 }
+
+var _ API = (*Store)(nil)
 
 // New returns an empty store.
 func New() *Store {
 	return &Store{buckets: make(map[string]map[string]*Object), now: time.Now}
+}
+
+// NewSpill returns a store that writes payloads through to files under dir
+// (one file per object, keyed by bucket and escaped object key), keeping
+// only metadata in memory. Objects survive in memory-index terms only for
+// the store's lifetime — the directory is a RAM bound, not a durability
+// mechanism.
+func NewSpill(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	s := New()
+	s.dir = dir
+	return s, nil
+}
+
+// spillPath maps bucket/key to the payload file. Keys are query-escaped into
+// a single flat file name, so key separators ("id/seq.pgm") and any hostile
+// path bytes cannot escape the bucket directory.
+func (s *Store) spillPath(bucket, key string) string {
+	return filepath.Join(s.dir, url.QueryEscape(bucket), url.QueryEscape(key))
 }
 
 // SetClock overrides the store's time source.
@@ -75,7 +134,20 @@ func (s *Store) Put(bucket, key string, data []byte, meta map[string]string) str
 		b = make(map[string]*Object)
 		s.buckets[bucket] = b
 	}
-	b[key] = &Object{Key: key, Data: cp, ETag: etag, ModTime: s.now(), Meta: metaCp}
+	o := &Object{Key: key, Data: cp, ETag: etag, ModTime: s.now(), Meta: metaCp}
+	if s.dir != "" {
+		p := s.spillPath(bucket, key)
+		if err := os.MkdirAll(filepath.Dir(p), 0o755); err == nil {
+			if err := os.WriteFile(p, cp, 0o644); err == nil {
+				o.Data, o.spilled = nil, true
+				mSpillWrites.Inc()
+				mSpillBytes.Add(int64(len(cp)))
+			}
+		}
+		// On any write failure the payload simply stays in memory: spill is
+		// a RAM optimization, never a correctness dependency.
+	}
+	b[key] = o
 	return etag
 }
 
@@ -88,6 +160,15 @@ func (s *Store) Get(bucket, key string) (*Object, error) {
 		return nil, ErrNotFound
 	}
 	cp := *o
+	if o.spilled {
+		data, err := os.ReadFile(s.spillPath(bucket, key))
+		if err != nil {
+			return nil, err
+		}
+		mSpillReads.Inc()
+		cp.Data, cp.spilled = data, false
+		return &cp, nil
+	}
 	cp.Data = append([]byte(nil), o.Data...)
 	return &cp, nil
 }
@@ -113,8 +194,12 @@ func (s *Store) Delete(bucket, key string) error {
 	if !ok {
 		return ErrNotFound
 	}
-	if _, ok := b[key]; !ok {
+	o, ok := b[key]
+	if !ok {
 		return ErrNotFound
+	}
+	if o.spilled {
+		os.Remove(s.spillPath(bucket, key)) //nolint:errcheck // best-effort cleanup
 	}
 	delete(b, key)
 	return nil

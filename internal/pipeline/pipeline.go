@@ -21,7 +21,6 @@
 package pipeline
 
 import (
-	"bytes"
 	"crypto/sha256"
 	"encoding/hex"
 	"errors"
@@ -37,10 +36,8 @@ import (
 	"tero/internal/core"
 	"tero/internal/docstore"
 	"tero/internal/download"
-	"tero/internal/games"
 	"tero/internal/geo"
 	"tero/internal/imageproc"
-	"tero/internal/imaging"
 	"tero/internal/kvstore"
 	"tero/internal/location"
 	"tero/internal/objstore"
@@ -54,15 +51,15 @@ import (
 var (
 	plog = obs.L("pipeline")
 
-	mProcessed    = obs.C("pipeline_thumbs_processed_total")
-	mExtracted    = obs.C("pipeline_measurements_total")
-	mZero         = obs.C("pipeline_lobby_zero_total")
-	mMissed       = obs.C("pipeline_extract_miss_total")
-	mQuarantined  = obs.C("pipeline_thumbs_quarantined_total")
-	mLocated      = obs.C("pipeline_located_total")
-	mUnlocated    = obs.C("pipeline_unlocated_total")
-	mStreams      = obs.G("pipeline_streams_built")
-	mPendingQ     = obs.G("pipeline_pending_location")
+	mProcessed   = obs.C("pipeline_thumbs_processed_total")
+	mExtracted   = obs.C("pipeline_measurements_total")
+	mZero        = obs.C("pipeline_lobby_zero_total")
+	mMissed      = obs.C("pipeline_extract_miss_total")
+	mQuarantined = obs.C("pipeline_thumbs_quarantined_total")
+	mLocated     = obs.C("pipeline_located_total")
+	mUnlocated   = obs.C("pipeline_unlocated_total")
+	mStreams     = obs.G("pipeline_streams_built")
+	mPendingQ    = obs.G("pipeline_pending_location")
 )
 
 // QuarantineBucket holds thumbnails that failed to decode (truncated or
@@ -74,7 +71,7 @@ const QuarantineBucket = "thumbs-quarantine"
 // Pipeline is a fully wired Tero instance.
 type Pipeline struct {
 	KV      kvstore.KV
-	Objects *objstore.Store
+	Objects objstore.API
 	Docs    *docstore.Store
 
 	Coordinator *download.Coordinator
@@ -266,16 +263,11 @@ func (p *Pipeline) Tick(now time.Time, pollCoordinator bool) error {
 	return nil
 }
 
-// thumbResult is the pure outcome of extracting one thumbnail, computed by
-// a worker; all side effects are deferred to the merge step.
+// thumbResult wraps the pure ThumbResult (extract.go) with the in-process
+// bookkeeping the local merge needs.
 type thumbResult struct {
-	found                     bool // object read succeeded
-	ok                        bool // decoded and game recognized
-	quarantined               bool // PGM failed to decode: corrupt thumbnail
-	ex                        imageproc.Extraction
-	streamer, login, game, at string
-	atUnix                    int64
-	atOK                      bool
+	found bool // object read succeeded
+	res   ThumbResult
 	// Tracing: the journey context propagated in the object metadata, plus
 	// the worker-side extraction timings. Workers only capture; span IDs are
 	// allocated in the serial merge so trace trees are deterministic.
@@ -308,8 +300,9 @@ func (p *Pipeline) ProcessThumbnails() int {
 		}
 	})
 
-	// Deterministic merge in key order.
-	meas := p.Docs.C("measurements")
+	// Deterministic merge in key order: counters, documents and
+	// pending-location entries via IngestResult (shared with the
+	// distributed coordinator), object moves and trace spans here.
 	n := 0
 	for i, key := range keys {
 		r := &results[i]
@@ -321,11 +314,11 @@ func (p *Pipeline) ProcessThumbnails() int {
 		// Readings that die in this stage have their journey finished now;
 		// measured readings stay open until publish.
 		jctx, _ := trace.DecodeContext(r.traceCtx)
-		if r.quarantined {
+		switch r.res.Outcome {
+		case OutcomeCorrupt:
 			// Corrupt thumbnail: count it and move it aside so it cannot
 			// poison OCR; the pipeline keeps going on the healthy rest.
-			p.Quarantined++
-			mQuarantined.Inc()
+			p.IngestResult(r.res, trace.Context{})
 			if obj, err := p.Objects.Get(download.ThumbBucket, key); err == nil {
 				p.Objects.Put(QuarantineBucket, key, obj.Data, obj.Meta)
 			}
@@ -336,54 +329,21 @@ func (p *Pipeline) ProcessThumbnails() int {
 			trace.Finish(jctx.TraceID)
 			n++
 			continue
-		}
-		if r.ok {
-			p.Processed++
-			mProcessed.Inc()
-			switch {
-			case r.ex.OK:
-				p.Extracted++
-				mExtracted.Inc()
-				doc := docstore.Doc{
-					"streamer": p.Anonymize(r.streamer),
-					"login":    r.login, // kept transiently for location lookup
-					"game":     r.game,
-					"at":       r.at,
-					"ms":       float64(r.ex.Value),
-				}
-				if r.atOK {
-					// Parsed once here so the analysis hot loop never
-					// re-parses RFC3339 strings (see BuildStreams).
-					doc["atUnix"] = r.atUnix
-				}
-				if r.ex.HasAlt {
-					doc["alt"] = float64(r.ex.Alt)
-					doc["hasAlt"] = true
-				}
-				if ec := trace.RecordSpan(jctx, "pipeline.extract",
-					r.wstart, r.wend, "", trace.A("game", r.game)); ec.Valid() {
-					// The measurement document carries the extract span's
-					// context until PublishAt closes the journey.
-					doc["trace"] = trace.EncodeContext(ec)
-				}
-				meas.Insert(doc)
-			case r.ex.Zero:
-				p.Zero++
-				mZero.Inc()
-				trace.RecordSpan(jctx, "pipeline.extract", r.wstart, r.wend, "",
-					trace.A("outcome", "lobby_zero"))
-				trace.Finish(jctx.TraceID)
-			default:
-				p.Missed++
-				mMissed.Inc()
-				trace.RecordSpan(jctx, "pipeline.extract", r.wstart, r.wend, "",
-					trace.A("outcome", "ocr_miss"))
-				trace.Finish(jctx.TraceID)
-			}
-			// Remember which platform ID maps to the pseudonym until the
-			// location lookup has run, then forget (see LocateStreamers).
-			p.KV.HSet("pending-location", r.streamer, r.login)
-		} else {
+		case OutcomeMeasured:
+			ec := trace.RecordSpan(jctx, "pipeline.extract",
+				r.wstart, r.wend, "", trace.A("game", r.res.Game))
+			p.IngestResult(r.res, ec)
+		case OutcomeZero:
+			p.IngestResult(r.res, trace.Context{})
+			trace.RecordSpan(jctx, "pipeline.extract", r.wstart, r.wend, "",
+				trace.A("outcome", "lobby_zero"))
+			trace.Finish(jctx.TraceID)
+		case OutcomeMiss:
+			p.IngestResult(r.res, trace.Context{})
+			trace.RecordSpan(jctx, "pipeline.extract", r.wstart, r.wend, "",
+				trace.A("outcome", "ocr_miss"))
+			trace.Finish(jctx.TraceID)
+		default: // OutcomeUnknown
 			// Decoded fine but the game is not recognized: journey ends.
 			trace.RecordSpan(jctx, "pipeline.extract", r.wstart, r.wend, "",
 				trace.A("outcome", "unknown_game"))
@@ -406,32 +366,11 @@ func (p *Pipeline) extractOne(key string) thumbResult {
 	if err != nil {
 		return thumbResult{}
 	}
-	game := games.ByName(obj.Meta["game"])
-	img, err := imaging.DecodePGM(bytes.NewReader(obj.Data))
-	if err != nil {
-		// Undecodable PGM (truncated or bit-corrupted download): flag for
-		// quarantine rather than feeding garbage to OCR.
-		return thumbResult{found: true, quarantined: true, traceCtx: obj.Meta["trace"]}
-	}
-	if game == nil {
-		imaging.Recycle(img)
-		return thumbResult{found: true, traceCtx: obj.Meta["trace"]}
-	}
-	r := thumbResult{
+	return thumbResult{
 		found:    true,
-		ok:       true,
-		ex:       p.Extractor.Extract(img, game),
-		streamer: obj.Meta["streamer"],
-		login:    obj.Meta["login"],
-		game:     game.Name,
-		at:       obj.Meta["at"],
+		res:      ExtractThumb(p.Extractor, obj),
 		traceCtx: obj.Meta["trace"],
 	}
-	imaging.Recycle(img)
-	if t, err := time.Parse(time.RFC3339, r.at); err == nil {
-		r.atUnix, r.atOK = t.Unix(), true
-	}
-	return r
 }
 
 // relocateEvery is how often a streamer's profiles are re-examined: a

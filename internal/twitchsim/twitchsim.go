@@ -49,6 +49,10 @@ type Platform struct {
 	// faults is the active fault injector; nil when injection is off.
 	faults atomic.Pointer[faultInjector]
 
+	// cdnLatency is a fixed real-time service delay (ns) added to every
+	// CDN request; see SetCDNLatency.
+	cdnLatency atomic.Int64
+
 	// Requests counters (observability in tests).
 	APIRequests, CDNRequests, Throttled int
 	// FaultsInjected counts injected faults of every kind.
@@ -184,6 +188,21 @@ func (p *Platform) Advance(d time.Duration) {
 	p.mu.Lock()
 	p.now = p.now.Add(d)
 	p.mu.Unlock()
+}
+
+// SetCDNLatency adds a fixed real-time service delay to every CDN request
+// (thumbnail and offline endpoints). The virtual clock never advances
+// during the delay and no data changes, so any latency setting produces
+// identical tables — it exists to give each fetch a realistic RTT that a
+// distributed worker fleet can overlap, where a single serial process
+// cannot.
+func (p *Platform) SetCDNLatency(d time.Duration) { p.cdnLatency.Store(int64(d)) }
+
+// cdnWait applies the configured CDN service delay.
+func (p *Platform) cdnWait() {
+	if d := p.cdnLatency.Load(); d > 0 {
+		time.Sleep(time.Duration(d))
+	}
 }
 
 // SetRenderOptions overrides thumbnail corruption settings.
@@ -344,6 +363,7 @@ func (p *Platform) handleUsers(w http.ResponseWriter, r *http.Request) {
 }
 
 func (p *Platform) handleThumb(w http.ResponseWriter, r *http.Request) {
+	p.cdnWait()
 	p.mu.Lock()
 	p.CDNRequests++
 	p.mu.Unlock()
@@ -373,6 +393,10 @@ func (p *Platform) handleThumb(w http.ResponseWriter, r *http.Request) {
 	} else {
 		w.Header().Set("X-Thumbnail-Seq", strconv.Itoa(idx))
 	}
+	// When this thumbnail window opened — a property of the data, not of
+	// the request. Downloaders with WindowStamp use it so re-fetches after
+	// crashes stamp identically.
+	w.Header().Set("X-Thumbnail-At", gs.Times[idx].UTC().Format(time.RFC3339))
 	w.Header().Set("Content-Type", "image/x-portable-graymap")
 	if r.Method == http.MethodHead {
 		return
@@ -411,6 +435,7 @@ func (p *Platform) handleThumb(w http.ResponseWriter, r *http.Request) {
 }
 
 func (p *Platform) handleOffline(w http.ResponseWriter, r *http.Request) {
+	p.cdnWait()
 	w.Header().Set("Content-Type", "image/x-portable-graymap")
 	fmt.Fprint(w, "P5\n1 1\n255\n\x00")
 }

@@ -1,0 +1,41 @@
+#!/bin/sh
+# Distributed-ingest scaling benchmark: runs the dist-scale experiment with
+# real teroworker child processes (one simulated platform, N worker
+# processes over TCP) and writes the DISTBENCH measurements — wall time,
+# speedup and byte-identity per fleet size, plus the kill-one-worker crash
+# leg — as a JSON array to BENCH_dist.json.
+#
+# Environment overrides:
+#   BENCH_OUT     output file   (default BENCH_dist.json)
+#   BENCH_SCALE   -scale        (default 1)
+#   BENCH_FLEETS  -dist-fleets  (default 1,2,4,8)
+#
+# scripts/check.sh runs the same experiment at a tiny scale directly; this
+# script is the committed-numbers run.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+OUT="${BENCH_OUT:-BENCH_dist.json}"
+SCALE="${BENCH_SCALE:-1}"
+FLEETS="${BENCH_FLEETS:-1,2,4,8}"
+TMP="${TMPDIR:-/tmp}"
+WORKER="$TMP/teroworker-bench-$$"
+EXP="$TMP/teroexp-bench-$$"
+TXT="$TMP/tero-bench-dist-$$.txt"
+trap 'rm -f "$WORKER" "$EXP" "$TXT"' EXIT
+
+go build -o "$WORKER" ./cmd/teroworker
+go build -o "$EXP" ./cmd/teroexp
+
+echo "== dist-scale (scale $SCALE, fleets $FLEETS, real worker processes) =="
+"$EXP" -scale "$SCALE" -dist-fleets "$FLEETS" -worker-exec "$WORKER" -log warn \
+    dist-scale | tee "$TXT"
+
+{
+    echo "["
+    grep '^DISTBENCH ' "$TXT" | sed 's/^DISTBENCH /  /' | sed '$!s/$/,/'
+    echo "]"
+} > "$OUT"
+
+echo "wrote $OUT ($(grep -c '"fleet"' "$OUT") legs)"

@@ -35,17 +35,19 @@ go build -o "$TMPDIR/tero-check-$$" ./cmd/tero
     > "$OUT" 2>&1 &
 TERO_PID=$!
 STORE="$TMPDIR/tero-store-$$.out"
+DIST="$TMPDIR/tero-dist-$$.out"
 cleanup() {
     kill "$TERO_PID" 2>/dev/null || true
     kill "${SERVE_PID:-}" 2>/dev/null || true
     kill "${TRACE_PID:-}" 2>/dev/null || true
     rm -f "$TMPDIR/tero-check-$$" "$TMPDIR/teroserve-check-$$" \
         "$TMPDIR/terokv-check-$$" "$TMPDIR/teroexp-check-$$" \
+        "$TMPDIR/teroworker-check-$$" \
         "$OUT" "$OUT.metrics" \
         "$GOLD" "$GOLD.tables" "$CHAOS" "$CHAOS.err" "$CHAOS.tables" \
         "$SERVE" "$SERVE.hdr" "$SERVE.binhdr" "$SERVE.metrics" "$SERVE.shed" \
         "$TRACE" "$TRACE.list" "$TRACE.detail" "$TRACE.metrics" "$TRACE.hdr" \
-        "$TRACE.readyz" "$STORE"
+        "$TRACE.readyz" "$STORE" "$DIST"
 }
 trap cleanup EXIT
 
@@ -125,6 +127,27 @@ grep -E '^counter kvstore_aof_replayed_total +[1-9]' "$STORE" > /dev/null \
 grep -E '^counter kvstore_repl_applied_total +[1-9]' "$STORE" > /dev/null \
     || { echo "chaos-store replica applied nothing" >&2; cat "$STORE" >&2; exit 1; }
 echo "store-crash smoke ok: all three crash legs byte-identical with golden"
+
+echo "== dist smoke (coordinator + 2 real teroworker processes, tables match golden) =="
+# Boots the shared store on a :0 port, runs fleets of 1 and 2 teroworker
+# child processes plus the kill-one-worker crash leg; every leg's analysis
+# tables must match the single-process golden byte for byte, with the
+# coordinator's dist_* counters lit.
+go build -o "$TMPDIR/teroworker-check-$$" ./cmd/teroworker
+"$TMPDIR/teroexp-check-$$" -scale 0.05 -metrics -dist-fleets 1,2 \
+    -worker-exec "$TMPDIR/teroworker-check-$$" dist-scale > "$DIST" 2>&1 \
+    || { echo "dist-scale run failed:" >&2; cat "$DIST" >&2; exit 1; }
+for leg in "fleet=1 " "fleet=2 " "fleet=2, 1 killed"; do
+    grep -E "^$leg.* yes" "$DIST" > /dev/null \
+        || { echo "dist leg '$leg' not byte-identical:" >&2; cat "$DIST" >&2; exit 1; }
+done
+grep -E '^counter dist_rounds_total +[1-9]' "$DIST" > /dev/null \
+    || { echo "dist run drove no rounds" >&2; cat "$DIST" >&2; exit 1; }
+grep -E '^counter dist_results_ingested_total +[1-9]' "$DIST" > /dev/null \
+    || { echo "dist run ingested nothing" >&2; cat "$DIST" >&2; exit 1; }
+grep -E '^counter dist_workers_dead_total +[1-9]' "$DIST" > /dev/null \
+    || { echo "dist crash leg never declared the killed worker dead" >&2; cat "$DIST" >&2; exit 1; }
+echo "dist smoke ok: fleets of real worker processes byte-identical with golden"
 
 echo "== serve smoke (cmd/teroserve: /healthz, /v1/latency, ETag 304, metrics) =="
 go build -o "$TMPDIR/teroserve-check-$$" ./cmd/teroserve
