@@ -1,0 +1,326 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"tero/internal/core"
+	"tero/internal/pipeline"
+	"tero/internal/serve"
+	"tero/internal/stats"
+	"tero/internal/twitchsim"
+	"tero/internal/worldsim"
+)
+
+// benchIngestOpts carries the -bench-ingest flag set into the driver.
+type benchIngestOpts struct {
+	seed               int64
+	streamers, days    int
+	workers, conc      int
+	minPoints          int
+	windowSec          int64
+	windows            int
+	anomalyThresholdMs float64
+	duty               float64
+	pace               time.Duration
+	clients            int
+}
+
+// ingestPoint is one BENCHPOINT line of the write-heavy benchmark: the
+// ingest half (readings consumed, publish latency, the resulting virtual
+// ingest-to-queryable freshness) and the concurrent read half measured by
+// the same LoadGen the serving suite uses.
+type ingestPoint struct {
+	Phase          string  `json:"phase"` // "ingest_full" or "ingest_delta"
+	Readings       int     `json:"readings"`
+	Ticks          int     `json:"ticks"`
+	Publishes      int     `json:"publishes"`
+	PublishSkipped int     `json:"publish_skipped"`
+	PublishP50Ms   float64 `json:"publish_p50_ms"`
+	PublishP99Ms   float64 `json:"publish_p99_ms"`
+	PublishTotalS  float64 `json:"publish_total_s"`
+	FreshnessP50S  float64 `json:"freshness_p50_s"`
+	FreshnessP99S  float64 `json:"freshness_p99_s"`
+	Entries        int     `json:"entries"`
+	Reads          int     `json:"reads"`
+	ReadsPerSec    float64 `json:"reads_per_s"`
+	ReadP50Ms      float64 `json:"read_p50_ms"`
+	ReadP99Ms      float64 `json:"read_p99_ms"`
+	DeltasPerSec   float64 `json:"deltas_per_s"` // readings ingested per wall second
+	ElapsedS       float64 `json:"elapsed_s"`
+}
+
+// pendingTick records readings extracted at one virtual instant that have
+// not yet been made queryable by a publish.
+type pendingTick struct {
+	atUnix int64
+	n      int
+}
+
+// runBenchIngest measures the write-heavy regime the streaming index was
+// built for: an identical world is replayed twice at the same ingest rate —
+// once through the legacy analyze-everything + full-rebuild publish path,
+// once through the O(new readings) delta path — while LoadGen clients read
+// the index concurrently the whole time.
+//
+// Both phases publish under the same wall-clock duty-cycle budget (publish
+// work may consume at most -ingest-duty of elapsed wall time). A full
+// rebuild gets more expensive as history grows, so the budget spaces
+// rebuilds further and further apart and freshness decays; a delta costs
+// O(new readings) regardless of history, so it keeps publishing at nearly
+// every tick. Freshness here is virtual seconds from a reading's extraction
+// tick to the publish that first covered it, computed identically for both
+// phases (over all extracted readings, located or not), so the two numbers
+// are directly comparable.
+func runBenchIngest(ctx context.Context, opts benchIngestOpts, ix *serve.Index, srv *serve.Server) int {
+	params := core.DefaultParams()
+	fmt.Printf("ingest benchmark: %d streamers, %d days, publish duty %.2f, %d read clients\n",
+		opts.streamers, opts.days, opts.duty, opts.clients)
+
+	var pts []ingestPoint
+	okAll := true
+	for _, ph := range []struct {
+		name      string
+		streaming bool
+	}{
+		{"ingest_full", false},
+		{"ingest_delta", true},
+	} {
+		pt, ok := runIngestPhase(ctx, opts, params, ix, srv, ph.name, ph.streaming)
+		okAll = okAll && ok
+		pts = append(pts, pt)
+		b, err := json.Marshal(pt)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bench-ingest: marshal point: %v\n", err)
+			return 1
+		}
+		fmt.Printf("BENCHPOINT %s\n", b)
+	}
+
+	if len(pts) == 2 && pts[0].PublishP50Ms > 0 && pts[1].PublishP50Ms > 0 {
+		fmt.Printf("ingest summary: publish p50 %.2f ms -> %.2f ms (%.1fx), freshness p99 %.0fs -> %.0fs\n",
+			pts[0].PublishP50Ms, pts[1].PublishP50Ms,
+			pts[0].PublishP50Ms/pts[1].PublishP50Ms,
+			pts[0].FreshnessP99S, pts[1].FreshnessP99S)
+	}
+	if !okAll {
+		fmt.Fprintln(os.Stderr, "bench-ingest: hard errors encountered (see phases above)")
+		return 1
+	}
+	return 0
+}
+
+// runIngestPhase replays one world through one publish strategy. The serving
+// index and server are reused across phases (each phase swaps in its own
+// snapshots); readings, publishes and freshness are tallied locally so the
+// two phases report from identical accounting.
+func runIngestPhase(ctx context.Context, o benchIngestOpts, params core.Params,
+	ix *serve.Index, srv *serve.Server, phase string, streaming bool) (ingestPoint, bool) {
+
+	cfg := worldsim.DefaultConfig(o.seed)
+	cfg.Streamers = o.streamers
+	cfg.Days = o.days
+	cfg.LocatableFrac = 0.6
+	world := worldsim.New(cfg)
+	platform := twitchsim.New(world)
+	defer platform.Close()
+
+	p := pipeline.New(platform.URL(), o.workers)
+	p.Concurrency = o.conc
+	b := serve.NewBuilder(params)
+	b.MinPoints = o.minPoints
+	b.Concurrency = o.conc
+	if streaming {
+		b.WindowSec = o.windowSec
+		b.Windows = o.windows
+		b.AnomalyThresholdMs = o.anomalyThresholdMs
+		b.EnableStreaming()
+	}
+
+	const tickEvery = 2 * time.Minute
+	totalTicks := o.days * 24 * 30
+
+	var (
+		publishMs    []float64
+		freshS       []float64
+		pending      []pendingTick
+		publishes    int
+		skipped      int
+		readings     int
+		publishSpent time.Duration
+	)
+	start := time.Now()
+
+	// Concurrent readers: started as soon as the index first serves entries,
+	// cancelled after the final publish. In-process dispatch, so the read
+	// latencies measure the serving hot path contending with ingest, not the
+	// kernel's loopback.
+	lgCtx, lgCancel := context.WithCancel(ctx)
+	defer lgCancel()
+	var (
+		wg        sync.WaitGroup
+		rep       serve.LoadReport
+		lgErr     error
+		lgStarted bool
+	)
+	maybeStartReads := func() {
+		if lgStarted || ix.Len() == 0 {
+			return
+		}
+		lgStarted = true
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			lg := &serve.LoadGen{
+				Handlers: []http.Handler{srv},
+				Clients: o.clients,
+				// A large-but-bounded budget (LoadGen preallocates its
+				// latency buffer from this); short phases end by cancel,
+				// long ones sample a ~2M-requests-per-client window.
+				RequestsPerClient: 1 << 21,
+			}
+			rep, lgErr = lg.Run(lgCtx)
+		}()
+	}
+
+	publish := func(force bool) {
+		now := platform.Now()
+		t0 := time.Now()
+		swapped := true
+		if streaming {
+			n := p.PublishDeltaAt(b, now)
+			if n == 0 && !force && ix.Ready() {
+				// Nothing servable changed: the snapshot on the wire is
+				// already what a rebuild would produce, so this attempt
+				// covered everything extracted so far without building.
+				swapped = false
+			} else {
+				snap, _ := b.BuildDelta()
+				ix.Swap(snap)
+			}
+		} else {
+			p.PublishAt(b, params, now)
+			ix.Swap(b.Build())
+		}
+		d := time.Since(t0)
+		publishSpent += d
+		// Every reading extracted before this attempt is now covered —
+		// either queryable, deferred for a location that may never come, or
+		// definitively unservable. Both phases flush here, so the freshness
+		// distributions are directly comparable; what separates them is how
+		// often the duty budget lets each strategy reach this point.
+		nowU := now.Unix()
+		for _, pt := range pending {
+			f := float64(nowU - pt.atUnix)
+			for i := 0; i < pt.n; i++ {
+				freshS = append(freshS, f)
+			}
+		}
+		pending = pending[:0]
+		if !swapped {
+			skipped++
+			return
+		}
+		publishes++
+		publishMs = append(publishMs, float64(d)/float64(time.Millisecond))
+		maybeStartReads()
+	}
+
+	tickErrs := 0
+	ticks := 0
+	for i := 0; i < totalTicks && ctx.Err() == nil; i++ {
+		ticks++
+		prevExtracted := p.Extracted
+		if err := p.Tick(platform.Now(), i%3 == 0); err != nil {
+			tickErrs++
+			if tickErrs <= 3 {
+				fmt.Fprintf(os.Stderr, "bench-ingest %s: tick %d degraded: %v\n", phase, i, err)
+			}
+		}
+		// Write-heavy: extract at thumbnail cadence instead of batching
+		// extraction up for the next republish. Location rounds run here
+		// too — they are upstream pipeline work whose cost is identical for
+		// both publish strategies, so they stay outside the duty budget.
+		p.ProcessThumbnails()
+		p.LocateStreamers(platform.Now())
+		if d := p.Extracted - prevExtracted; d > 0 {
+			pending = append(pending, pendingTick{platform.Now().Unix(), d})
+			readings += d
+		}
+		// The duty cycle is the only thing pacing publishes: republish at
+		// every tick the budget allows.
+		if float64(publishSpent) <= o.duty*float64(time.Since(start)) {
+			publish(false)
+		} else {
+			skipped++
+		}
+		platform.Advance(tickEvery)
+		if o.pace > 0 {
+			time.Sleep(o.pace)
+		}
+	}
+	publish(true)
+	elapsed := time.Since(start)
+
+	lgCancel()
+	wg.Wait()
+
+	pt := ingestPoint{
+		Phase:          phase,
+		Readings:       readings,
+		Ticks:          ticks,
+		Publishes:      publishes,
+		PublishSkipped: skipped,
+		PublishTotalS:  publishSpent.Seconds(),
+		Entries:        ix.Len(),
+		ElapsedS:       elapsed.Seconds(),
+	}
+	sort.Float64s(publishMs)
+	if v, ok := stats.PercentileOK(publishMs, 50); ok {
+		pt.PublishP50Ms = v
+	}
+	if v, ok := stats.PercentileOK(publishMs, 99); ok {
+		pt.PublishP99Ms = v
+	}
+	sort.Float64s(freshS)
+	if v, ok := stats.PercentileOK(freshS, 50); ok {
+		pt.FreshnessP50S = v
+	}
+	if v, ok := stats.PercentileOK(freshS, 99); ok {
+		pt.FreshnessP99S = v
+	}
+	if elapsed > 0 {
+		pt.DeltasPerSec = float64(readings) / elapsed.Seconds()
+	}
+
+	ok := true
+	if lgErr != nil {
+		fmt.Fprintf(os.Stderr, "bench-ingest %s: loadgen: %v\n", phase, lgErr)
+		ok = false
+	} else if lgStarted {
+		pt.Reads = rep.Requests
+		pt.ReadsPerSec = rep.Throughput
+		pt.ReadP50Ms = rep.P50Ms
+		pt.ReadP99Ms = rep.P99Ms
+		rep.Mixed = &serve.MixedReport{
+			DeltasPerSec:   pt.DeltasPerSec,
+			FreshnessP50S:  pt.FreshnessP50S,
+			FreshnessP99S:  pt.FreshnessP99S,
+			PublishP50Ms:   pt.PublishP50Ms,
+			PublishP99Ms:   pt.PublishP99Ms,
+			PublishSkipped: pt.PublishSkipped,
+		}
+		fmt.Printf("-- %s:\n%s\n", phase, rep)
+		ok = rep.ServerErrors == 0 && rep.TransportErrs == 0
+	} else {
+		fmt.Fprintf(os.Stderr, "bench-ingest %s: index never became servable (increase -streamers or -days)\n", phase)
+		ok = false
+	}
+	return pt, ok
+}

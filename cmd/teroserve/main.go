@@ -95,6 +95,30 @@ func run() int {
 			"keep 1 in N unremarkable traces (errors and slowest-per-stage always kept)")
 		loadTrace = flag.Bool("loadtest-trace", false,
 			"load-test clients root a span per request and propagate traceparent (implies client/server trace joins)")
+		deltas = flag.Bool("deltas", false,
+			"streaming index: publish O(new readings) deltas into windowed sketches instead of full snapshot rebuilds")
+		windowDur = flag.Duration("window", time.Hour,
+			"streaming index: sliding-window width (virtual)")
+		windows = flag.Int("windows", serve.DefaultWindows,
+			"streaming index: windows retained per {location, game}")
+		anomalyThreshold = flag.Float64("anomaly-threshold", serve.DefaultAnomalyThresholdMs,
+			"streaming index: Wasserstein-1 ms distance (window vs trailing baseline) that flags an anomaly")
+		spikeGame = flag.String("spike-game", "",
+			"inject a shared-infrastructure latency event for this game slug (e.g. lol); empty = off")
+		spikeMs = flag.Float64("spike-ms", 150,
+			"extra latency during the injected event")
+		spikeAfter = flag.Duration("spike-after", 12*time.Hour,
+			"virtual time into the observation when the injected event starts")
+		spikeDuration = flag.Duration("spike-duration", 6*time.Hour,
+			"virtual duration of the injected event")
+		benchIngest = flag.Bool("bench-ingest", false,
+			"run the write-heavy ingest benchmark (full rebuilds vs streaming deltas under concurrent reads) and exit")
+		ingestDuty = flag.Float64("ingest-duty", 0.25,
+			"bench-ingest: publish wall-time budget as a fraction of elapsed wall time")
+		ingestPace = flag.Duration("ingest-pace", 0,
+			"bench-ingest: wall sleep per virtual tick (0 = drive as fast as the CPU allows)")
+		ingestClients = flag.Int("ingest-clients", 4,
+			"bench-ingest: concurrent read clients hammering the index during ingest")
 	)
 	flag.Parse()
 
@@ -176,11 +200,31 @@ func run() int {
 		fmt.Printf("teroserve listening at %s (not ready until first publish)\n", baseURL)
 	}
 
+	if *benchIngest {
+		return runBenchIngest(ctx, benchIngestOpts{
+			seed: *seed, streamers: *streamers, days: *days,
+			workers: *workers, conc: *conc, minPoints: *minPoints,
+			windowSec: int64(windowDur.Seconds()), windows: *windows,
+			anomalyThresholdMs: *anomalyThreshold,
+			duty:               *ingestDuty, pace: *ingestPace, clients: *ingestClients,
+		}, ixs[0], srvs[0])
+	}
+
 	// Producer side: world, platform, pipeline — as in cmd/tero.
 	cfg := worldsim.DefaultConfig(*seed)
 	cfg.Streamers = *streamers
 	cfg.Days = *days
 	cfg.LocatableFrac = 0.6
+	if *spikeGame != "" {
+		cfg.SharedEvent = &worldsim.SharedEvent{
+			GameSlug: *spikeGame,
+			Start:    cfg.Start.Add(*spikeAfter),
+			Duration: *spikeDuration,
+			ExtraMs:  *spikeMs,
+		}
+		fmt.Printf("shared event: +%.0f ms on %s, %s into the period for %s\n",
+			*spikeMs, *spikeGame, *spikeAfter, *spikeDuration)
+	}
 	fmt.Printf("generating world: %d streamers, %d days (seed %d)...\n",
 		cfg.Streamers, cfg.Days, cfg.Seed)
 	world := worldsim.New(cfg)
@@ -201,6 +245,14 @@ func run() int {
 	builder := serve.NewBuilder(params)
 	builder.MinPoints = *minPoints
 	builder.Concurrency = *conc
+	if *deltas {
+		builder.WindowSec = int64(windowDur.Seconds())
+		builder.Windows = *windows
+		builder.AnomalyThresholdMs = *anomalyThreshold
+		builder.EnableStreaming()
+		fmt.Printf("streaming index on: %s windows x %d, anomaly threshold %.0f ms\n",
+			*windowDur, *windows, *anomalyThreshold)
+	}
 
 	// Declared SLOs, evaluated after every publish (virtual cadence) and on
 	// a wall ticker while serving. Freshness runs on the virtual clock —
@@ -231,10 +283,40 @@ func run() int {
 		s.SetStatusReport(slos.Report)
 	}
 
-	publish := func() {
+	var lastExtracted, lastLocated int
+	publish := func(force bool) {
 		p.ProcessThumbnails()
 		p.LocateStreamers(platform.Now())
-		n := p.PublishAt(builder, params, platform.Now())
+		now := platform.Now()
+		if *deltas {
+			// Streaming path: consume only the new readings, re-render only
+			// the dirty {location, game} entries, and when nothing at all
+			// changed skip the build and the N swaps entirely — the served
+			// snapshot is already exactly what a rebuild would produce.
+			n := p.PublishDeltaAt(builder, now)
+			if n == 0 && !force && ixs[0].Ready() {
+				serve.MarkPublishSkipped()
+				return
+			}
+			snap, st := builder.BuildDelta()
+			entries := 0
+			for _, ix := range ixs {
+				entries = ix.Swap(snap)
+			}
+			slos.Evaluate()
+			fmt.Printf("  delta published: %d readings -> %d entries (%d rebuilt, %d reused, %d anomaly windows, version %d, %d replicas)\n",
+				n, entries, st.Rebuilt, st.Reused, st.Anomalies, ixs[0].Version(), nReplicas)
+			return
+		}
+		// Batch path keeps the same skip contract: a refresh tick that saw no
+		// new extractions or locations would rebuild a byte-identical
+		// snapshot, so don't.
+		if p.Extracted == lastExtracted && p.Located == lastLocated && !force && ixs[0].Ready() {
+			serve.MarkPublishSkipped()
+			return
+		}
+		lastExtracted, lastLocated = p.Extracted, p.Located
+		n := p.PublishAt(builder, params, now)
 		// One Build, N Swaps: the snapshot (and every pre-marshaled body
 		// inside it) is shared, immutable, and identical across replicas.
 		snap := builder.Build()
@@ -269,11 +351,11 @@ func run() int {
 		// from the previous snapshot while the new one is built and
 		// swapped in.
 		if i > 0 && i%refreshTicks == 0 {
-			publish()
+			publish(false)
 		}
 		platform.Advance(tickEvery)
 	}
-	publish()
+	publish(true)
 	fmt.Printf("pipeline done in %s (%d measurements, %d located, %d degraded ticks)\n",
 		time.Since(start).Round(time.Millisecond), p.Extracted, p.Located, tickErrs)
 

@@ -154,6 +154,34 @@ func (c *Collection) Find(filter func(Doc) bool) []Doc {
 	return out
 }
 
+// FindAfter returns copies of the documents inserted after sequence seq
+// (0 means from the beginning), in insertion-ID order, plus the current
+// sequence to pass to the next call. It is the cursor primitive behind the
+// streaming publish path: each delta publish consumes only the documents
+// that arrived since the previous one instead of re-scanning the
+// collection. Documents deleted since insertion are simply absent.
+func (c *Collection) FindAfter(seq int) ([]Doc, int) {
+	mFind.Inc()
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if seq >= c.nextID {
+		return nil, c.nextID
+	}
+	boundary := fmt.Sprintf("doc%08d", seq)
+	ids := make([]string, 0, c.nextID-seq)
+	for id := range c.docs {
+		if id > boundary {
+			ids = append(ids, id)
+		}
+	}
+	sort.Strings(ids)
+	out := make([]Doc, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, c.docs[id].clone())
+	}
+	return out, c.nextID
+}
+
 // FindEq returns documents whose field equals value, using an index when
 // one exists.
 func (c *Collection) FindEq(field string, value any) []Doc {

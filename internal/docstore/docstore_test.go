@@ -191,3 +191,38 @@ func TestConcurrentInserts(t *testing.T) {
 		seen[d.ID()] = true
 	}
 }
+
+func TestFindAfterCursor(t *testing.T) {
+	s := New()
+	c := s.C("m")
+	for i := 0; i < 5; i++ {
+		c.Insert(Doc{"i": i})
+	}
+	first, seq := c.FindAfter(0)
+	if len(first) != 5 {
+		t.Fatalf("initial batch = %d docs, want 5", len(first))
+	}
+	for i, d := range first {
+		if d["i"] != i {
+			t.Fatalf("doc %d out of insertion order: %v", i, d["i"])
+		}
+	}
+	// Drained: same cursor returns nothing.
+	if again, seq2 := c.FindAfter(seq); len(again) != 0 || seq2 != seq {
+		t.Fatalf("drained cursor returned %d docs, seq %d->%d", len(again), seq, seq2)
+	}
+	c.Insert(Doc{"i": 5})
+	c.Insert(Doc{"i": 6})
+	next, seq3 := c.FindAfter(seq)
+	if len(next) != 2 || next[0]["i"] != 5 || next[1]["i"] != 6 {
+		t.Fatalf("incremental batch wrong: %v", next)
+	}
+	if seq3 <= seq {
+		t.Fatalf("sequence did not advance: %d -> %d", seq, seq3)
+	}
+	// Copies, not aliases.
+	next[0]["i"] = 99
+	if d, _ := c.Get(next[0].ID()); d["i"] == 99 {
+		t.Fatal("FindAfter returned aliased document")
+	}
+}

@@ -1,0 +1,181 @@
+package pipeline
+
+import (
+	"testing"
+	"time"
+
+	"tero/internal/core"
+	"tero/internal/docstore"
+	"tero/internal/geo"
+	"tero/internal/kvstore"
+	"tero/internal/serve"
+)
+
+// deltaPipeline wires the minimal state PublishDeltaAt touches: the
+// document store (measurements) and the KV location records.
+func deltaPipeline() *Pipeline {
+	p := &Pipeline{KV: kvstore.New(), Docs: docstore.New(), Salt: "s"}
+	p.Docs.C("measurements").EnsureIndex("streamer")
+	return p
+}
+
+func (p *Pipeline) setLocation(t *testing.T, anon string, loc geo.Location, at time.Time) {
+	t.Helper()
+	enc := encodeLocation(loc)
+	p.KV.HSet("lochist:"+anon, at.UTC().Format(time.RFC3339), enc)
+	p.KV.Set("loc:"+anon, enc)
+}
+
+func insertMeasurement(p *Pipeline, streamer, game string, atUnix int64, ms float64) {
+	at := time.Unix(atUnix, 0).UTC()
+	p.Docs.C("measurements").Insert(docstore.Doc{
+		"streamer": streamer,
+		"game":     game,
+		"at":       at.Format(time.RFC3339),
+		"atUnix":   atUnix,
+		"ms":       ms,
+	})
+}
+
+func TestPublishDeltaAtCursorAndLocation(t *testing.T) {
+	p := deltaPipeline()
+	loc := geo.Location{City: "Milan", Region: "Lombardy", Country: "Italy"}
+	base := int64(1_650_000_000)
+	p.setLocation(t, "known", loc, time.Unix(base-3600, 0))
+
+	b := serve.NewBuilder(core.DefaultParams())
+	b.EnableStreaming()
+
+	// Batch 1: one located streamer, one not-yet-located.
+	for i := 0; i < 5; i++ {
+		insertMeasurement(p, "known", "Dota 2", base+int64(i*60), 50)
+		insertMeasurement(p, "pending", "Dota 2", base+int64(i*60), 90)
+	}
+	now := time.Unix(base+3600, 0).UTC()
+	if n := p.PublishDeltaAt(b, now); n != 5 {
+		t.Fatalf("first delta observed %d want 5 (only located readings)", n)
+	}
+	if len(p.deferred) != 5 {
+		t.Fatalf("deferred %d want 5", len(p.deferred))
+	}
+
+	// Nothing new: the cursor yields zero without rescanning, and the
+	// deferred readings stay deferred.
+	if n := p.PublishDeltaAt(b, now); n != 0 {
+		t.Fatalf("idle delta observed %d want 0", n)
+	}
+
+	// The pending streamer gets located: its deferred readings enter the
+	// index on the next delta.
+	loc2 := geo.Location{City: "Tokyo", Region: "Tokyo", Country: "Japan"}
+	p.setLocation(t, "pending", loc2, time.Unix(base-3600, 0))
+	if n := p.PublishDeltaAt(b, now); n != 5 {
+		t.Fatalf("post-location delta observed %d want 5", n)
+	}
+	if len(p.deferred) != 0 {
+		t.Fatalf("deferred %d want 0", len(p.deferred))
+	}
+
+	snap, _ := b.BuildDelta()
+	if len(snap.Entries) != 2 {
+		t.Fatalf("entries %d want 2", len(snap.Entries))
+	}
+	if e, ok := snap.Lookup(serve.EntryKey(loc2, "Dota 2")); !ok || e.N() != 5 {
+		t.Fatalf("tokyo entry missing or wrong size")
+	}
+}
+
+func TestPublishDeltaAtDropsDefinitiveUnknown(t *testing.T) {
+	p := deltaPipeline()
+	base := int64(1_650_000_000)
+	insertMeasurement(p, "ghost", "Dota 2", base, 70)
+	// A location round ran and definitively failed for this streamer.
+	p.KV.Set("loc:ghost", "")
+
+	b := serve.NewBuilder(core.DefaultParams())
+	b.EnableStreaming()
+	if n := p.PublishDeltaAt(b, time.Unix(base+600, 0).UTC()); n != 0 {
+		t.Fatalf("observed %d want 0", n)
+	}
+	if len(p.deferred) != 0 {
+		t.Fatalf("definitively unlocatable reading was deferred, not dropped")
+	}
+}
+
+func TestPublishDeltaAtExpiredReading(t *testing.T) {
+	p := deltaPipeline()
+	loc := geo.Location{Country: "Italy"}
+	base := int64(1_650_000_000)
+	p.setLocation(t, "s", loc, time.Unix(base-3600, 0))
+
+	b := serve.NewBuilder(core.DefaultParams())
+	b.WindowSec = 600
+	b.Windows = 3
+	b.EnableStreaming()
+
+	insertMeasurement(p, "s", "Dota 2", base, 50)
+	if n := p.PublishDeltaAt(b, time.Unix(base, 0).UTC()); n != 1 {
+		t.Fatalf("observed %d want 1", n)
+	}
+	// A reading far behind the retention horizon: consumed but expired.
+	insertMeasurement(p, "s", "Dota 2", base-10_000, 40)
+	if n := p.PublishDeltaAt(b, time.Unix(base+60, 0).UTC()); n != 0 {
+		t.Fatalf("expired delta observed %d want 0", n)
+	}
+	snap, _ := b.BuildDelta()
+	if e, ok := snap.Lookup(serve.EntryKey(loc, "Dota 2")); !ok || e.N() != 1 {
+		t.Fatal("index should hold exactly the one in-retention reading")
+	}
+}
+
+// TestPublishDeltaMatchesFullOverPipelineData pins the equivalence at the
+// pipeline level: deltas consumed batch by batch produce the same snapshot
+// bytes as one streaming builder fed everything at once.
+func TestPublishDeltaMatchesFullOverPipelineData(t *testing.T) {
+	p := deltaPipeline()
+	locs := []geo.Location{
+		{City: "Milan", Region: "Lombardy", Country: "Italy"},
+		{City: "Tokyo", Region: "Tokyo", Country: "Japan"},
+	}
+	base := int64(1_650_000_000)
+	p.setLocation(t, "a", locs[0], time.Unix(base-3600, 0))
+	p.setLocation(t, "b", locs[1], time.Unix(base-3600, 0))
+
+	inc := serve.NewBuilder(core.DefaultParams())
+	inc.EnableStreaming()
+	now := time.Unix(base+7200, 0).UTC()
+	for batch := 0; batch < 4; batch++ {
+		for i := 0; i < 10; i++ {
+			at := base + int64(batch*900+i*60)
+			insertMeasurement(p, "a", "Dota 2", at, float64(40+i))
+			insertMeasurement(p, "b", "League of Legends", at, float64(80+i))
+		}
+		p.PublishDeltaAt(inc, now)
+	}
+	incSnap, _ := inc.BuildDelta()
+
+	full := serve.NewBuilder(core.DefaultParams())
+	full.EnableStreaming()
+	p2 := deltaPipeline()
+	p2.setLocation(t, "a", locs[0], time.Unix(base-3600, 0))
+	p2.setLocation(t, "b", locs[1], time.Unix(base-3600, 0))
+	for batch := 3; batch >= 0; batch-- { // reversed arrival order
+		for i := 0; i < 10; i++ {
+			at := base + int64(batch*900+i*60)
+			insertMeasurement(p2, "a", "Dota 2", at, float64(40+i))
+			insertMeasurement(p2, "b", "League of Legends", at, float64(80+i))
+		}
+	}
+	p2.PublishDeltaAt(full, now)
+	fullSnap := full.Build()
+
+	if len(incSnap.Entries) != len(fullSnap.Entries) {
+		t.Fatalf("entry counts differ: %d vs %d", len(incSnap.Entries), len(fullSnap.Entries))
+	}
+	for i := range incSnap.Entries {
+		a, b := incSnap.Entries[i], fullSnap.Entries[i]
+		if a.Key != b.Key || a.ETag() != b.ETag() || string(a.BodyJSON()) != string(b.BodyJSON()) {
+			t.Errorf("entry %s differs between incremental and full pipeline publish", a.Key)
+		}
+	}
+}

@@ -100,6 +100,14 @@ type Pipeline struct {
 	// readings already seen by a publish; PublishAt treats readings above it
 	// as newly queryable (freshness observation + journey finalization).
 	freshMark int64
+
+	// Streaming-publish cursor state (PublishDeltaAt): streamSeq is the
+	// measurement-collection sequence already consumed, deferred holds
+	// readings whose streamer has no location yet — they re-enter the next
+	// delta once a location round resolves them (or are dropped when the
+	// lookup definitively fails).
+	streamSeq int
+	deferred  []pendingReading
 }
 
 // New wires a pipeline against the platform at baseURL.

@@ -1,0 +1,83 @@
+package serve
+
+import (
+	"tero/internal/geo"
+	"tero/internal/sketch"
+	"tero/internal/stats"
+)
+
+// Anomaly is one flagged window of the streaming index: a {location, game}
+// whose latency distribution inside the window sits more than the
+// configured Wasserstein-1 distance from the trailing baseline (the merge
+// of every other live window of the same group). It is the streaming
+// counterpart of the paper's offline behavior analysis — instead of
+// fitting a model after the fact, a distribution shift is flagged the
+// moment its window's sketch diverges.
+type Anomaly struct {
+	Location         LocationJSON `json:"location"`
+	Game             string       `json:"game"`
+	WindowStartUnix  int64        `json:"window_start_unix"`
+	WindowEndUnix    int64        `json:"window_end_unix"`
+	N                int          `json:"n"`
+	BaselineN        int          `json:"baseline_n"`
+	WindowMedianMs   float64      `json:"window_median_ms"`
+	BaselineMedianMs float64      `json:"baseline_median_ms"`
+	WassersteinMs    float64      `json:"wasserstein_ms"`
+}
+
+// anomaliesResponse is the /v1/anomalies body.
+type anomaliesResponse struct {
+	Count     int       `json:"count"`
+	Anomalies []Anomaly `json:"anomalies"`
+}
+
+// detectAnomalies evaluates every live window of one group against its
+// trailing baseline. Pure function of the ring state (the baseline is
+// derived by exact subtraction, not a second merge pass), so the feed is
+// identical between full and incremental builds — the same property the
+// entry bodies are pinned to. Windows are emitted in ascending start
+// order. O(windows × sketch buckets).
+func detectAnomalies(loc geo.Location, game string, win *sketch.Windowed, thresholdMs float64, minN int) []Anomaly {
+	snaps := win.Snapshots()
+	if len(snaps) < 2 {
+		return nil // a lone window has no baseline to diverge from
+	}
+	total := win.Merged()
+	var out []Anomaly
+	for _, ws := range snaps {
+		if ws.Sketch.Count() < uint64(minN) {
+			continue
+		}
+		base := sketch.Subtract(total, ws.Sketch)
+		if base.Count() < uint64(minN) {
+			continue
+		}
+		d := sketch.Wasserstein1(ws.Sketch, base)
+		if d <= thresholdMs {
+			continue
+		}
+		out = append(out, Anomaly{
+			Location:         locationJSON(loc),
+			Game:             game,
+			WindowStartUnix:  ws.Start,
+			WindowEndUnix:    ws.Start + win.Width(),
+			N:                int(ws.Sketch.Count()),
+			BaselineN:        int(base.Count()),
+			WindowMedianMs:   stats.Sanitize(ws.Sketch.Quantile(50)),
+			BaselineMedianMs: stats.Sanitize(base.Quantile(50)),
+			WassersteinMs:    stats.Sanitize(d),
+		})
+	}
+	return out
+}
+
+// hasAnomalyWindow reports whether a window start is already flagged in a
+// group's previous anomaly set (for counting newly flagged windows).
+func hasAnomalyWindow(anoms []Anomaly, start int64) bool {
+	for _, a := range anoms {
+		if a.WindowStartUnix == start {
+			return true
+		}
+	}
+	return false
+}

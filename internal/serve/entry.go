@@ -36,6 +36,7 @@ import (
 
 	"tero/internal/core"
 	"tero/internal/geo"
+	"tero/internal/sketch"
 	"tero/internal/stats"
 )
 
@@ -82,11 +83,18 @@ type Entry struct {
 	Location geo.Location
 	Game     string
 	// Sorted is the ascending kept-latency sample of the distribution
-	// (core.Distribution output). Never empty.
+	// (core.Distribution output). Never empty for batch entries; nil for
+	// streaming entries, which carry a sketch instead.
 	Sorted []float64
-	// Streamers counts the non-discarded, high-quality analyses that
-	// contributed points.
+	// Streamers counts the contributing streamers: for batch entries the
+	// non-discarded high-quality analyses, for streaming entries the
+	// distinct streamer pseudonyms seen for the group.
 	Streamers int
+
+	// Streaming-entry state: the merged window sketch the response was
+	// derived from (serves /v1/compare) and the retained reading count.
+	sk *sketch.Sketch
+	n  int
 
 	resp    LatencyResponse
 	body    []byte // resp marshaled as JSON at build time
@@ -96,7 +104,34 @@ type Entry struct {
 }
 
 // N returns the sample size.
-func (e *Entry) N() int { return len(e.Sorted) }
+func (e *Entry) N() int {
+	if e.Sorted == nil {
+		return e.n
+	}
+	return len(e.Sorted)
+}
+
+// medianMs returns the served median for either entry flavor.
+func (e *Entry) medianMs() float64 {
+	if e.Sorted == nil && e.sk != nil {
+		return stats.Sanitize(e.sk.Quantile(50))
+	}
+	med, _ := stats.PercentileOK(e.Sorted, 50)
+	return stats.Sanitize(med)
+}
+
+// compareDistance computes the 1-Wasserstein distance between two entries:
+// exact over raw samples for batch entries, sketch-level for streaming
+// ones. A mix of flavors cannot share an index, so it reports undefined.
+func compareDistance(a, b *Entry) (float64, bool) {
+	if a.sk != nil && b.sk != nil {
+		return sketch.Wasserstein1(a.sk, b.sk), true
+	}
+	if a.Sorted != nil && b.Sorted != nil {
+		return stats.Wasserstein1OK(a.Sorted, b.Sorted)
+	}
+	return 0, false
+}
 
 // ETag returns the entry's deterministic ETag: a hash of the full sample
 // and identity, so identical data always revalidates and any republish
@@ -314,6 +349,103 @@ func (e *Entry) computeETags() (jsonTag, binTag string) {
 	}
 	sum := h.Sum64()
 	return fmt.Sprintf("\"t1-%016x\"", sum), fmt.Sprintf("\"t1b-%016x\"", sum)
+}
+
+// newStreamEntry computes the read-optimized record for one streaming
+// group from its window ring: every served statistic is derived from the
+// merged sketch (exact moments and bounds, Alpha-accurate quantiles and
+// histogram). Returns nil when fewer than minPoints readings are retained.
+// Pure function of the ring state and streamer count — which are pure
+// functions of the reading multiset — so full and incremental builds over
+// the same readings render byte-identical bodies and ETags.
+func newStreamEntry(loc geo.Location, game string, win *sketch.Windowed,
+	streamers, minPoints int, hc histConfig) *Entry {
+	merged := win.Merged()
+	n := int(merged.Count())
+	if n < minPoints || n == 0 {
+		return nil
+	}
+	e := &Entry{
+		Key:       EntryKey(loc, game),
+		Location:  loc,
+		Game:      game,
+		Streamers: streamers,
+		sk:        merged,
+		n:         n,
+	}
+	e.resp = e.computeStreamResponse(hc)
+	// The ETag hashes the full ring fingerprint — the canonical state the
+	// body is a function of — under the same wire prefixes as batch tags.
+	sum := win.Fingerprint()
+	h := fnv.New64a()
+	h.Write([]byte(e.Key))                                   //nolint:errcheck — fnv never fails
+	binary.Write(h, binary.LittleEndian, int64(e.Streamers)) //nolint:errcheck
+	binary.Write(h, binary.LittleEndian, sum)                //nolint:errcheck
+	tag := h.Sum64()
+	e.etag = fmt.Sprintf("\"t1-%016x\"", tag)
+	e.binETag = fmt.Sprintf("\"t1b-%016x\"", tag)
+	e.body = mustMarshal(e.resp)
+	e.binBody = EncodeLatencyBinary(&e.resp)
+	return e
+}
+
+// computeStreamResponse derives the served statistics from the merged
+// sketch, mirroring computeResponse's shape: same quantile set, same fixed
+// histogram layout, same CDF edges, every float sanitized.
+func (e *Entry) computeStreamResponse(hc histConfig) LatencyResponse {
+	hc = hc.orDefault()
+	qs := make([]QuantileJSON, 0, len(quantileProbs))
+	for _, p := range quantileProbs {
+		qs = append(qs, QuantileJSON{P: p, Ms: stats.Sanitize(e.sk.Quantile(p))})
+	}
+
+	width := (hc.hi - hc.lo) / float64(hc.bins)
+	counts := make([]int, hc.bins)
+	under, over := 0, 0
+	e.sk.ForEach(func(v float64, c uint64) {
+		switch {
+		case v < hc.lo:
+			under += int(c)
+		case v >= hc.hi:
+			over += int(c)
+		default:
+			i := int((v - hc.lo) / (hc.hi - hc.lo) * float64(hc.bins))
+			if i >= hc.bins {
+				i = hc.bins - 1
+			}
+			counts[i] += int(c)
+		}
+	})
+
+	edges := make([]float64, hc.bins+1)
+	for i := range edges {
+		edges[i] = hc.lo + width*float64(i)
+	}
+	cdf := e.sk.CDF(edges)
+	for i := range cdf {
+		cdf[i] = stats.Sanitize(cdf[i])
+	}
+
+	return LatencyResponse{
+		Location:  locationJSON(e.Location),
+		Game:      e.Game,
+		N:         e.n,
+		Streamers: e.Streamers,
+		MeanMs:    stats.Sanitize(e.sk.Mean()),
+		StdMs:     stats.Sanitize(e.sk.Std()),
+		MinMs:     stats.Sanitize(e.sk.Min()),
+		MaxMs:     stats.Sanitize(e.sk.Max()),
+		Quantiles: qs,
+		Histogram: HistogramJSON{
+			LoMs:       hc.lo,
+			HiMs:       hc.hi,
+			BinWidthMs: width,
+			Counts:     counts,
+			Under:      under,
+			Over:       over,
+		},
+		CDF: CDFJSON{AtMs: edges, P: cdf},
+	}
 }
 
 // combineETags derives the deterministic ETag of a response computed from

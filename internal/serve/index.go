@@ -47,12 +47,15 @@ type GameSummary struct {
 type Catalog struct {
 	Locations []LocationSummary
 	Games     []GameSummary
+	// Anomalies is the streaming index's flagged-window feed (empty for
+	// batch snapshots), ordered by entry key then window start.
+	Anomalies []Anomaly
 	// Entries and Points are the snapshot totals.
 	Entries int
 	Points  int
 
-	locationsBody, gamesBody []byte
-	locationsETag, gamesETag string
+	locationsBody, gamesBody, anomaliesBody []byte
+	locationsETag, gamesETag, anomaliesETag string
 }
 
 // locationsResponse and gamesResponse are the listing bodies.
@@ -69,7 +72,13 @@ type gamesResponse struct {
 // newCatalog aggregates the sorted entry list into listing summaries.
 // entries must already be sorted by Key (Builder.Build guarantees it).
 func newCatalog(entries []*Entry) *Catalog {
-	c := &Catalog{Entries: len(entries)}
+	return newCatalogWith(entries, nil)
+}
+
+// newCatalogWith additionally attaches the streaming anomaly feed, whose
+// body and ETag are rendered once here like every other listing.
+func newCatalogWith(entries []*Entry, anoms []Anomaly) *Catalog {
+	c := &Catalog{Entries: len(entries), Anomalies: anoms}
 	locIdx := make(map[string]int)
 	gameIdx := make(map[string]*GameSummary)
 	var gameNames []string
@@ -107,6 +116,11 @@ func newCatalog(entries []*Entry) *Catalog {
 	c.gamesBody = mustMarshal(gamesResponse{Count: len(c.Games), Games: c.Games})
 	c.locationsETag = bodyETag(c.locationsBody)
 	c.gamesETag = bodyETag(c.gamesBody)
+	if anoms == nil {
+		anoms = []Anomaly{} // marshal as [], never null
+	}
+	c.anomaliesBody = mustMarshal(anomaliesResponse{Count: len(anoms), Anomalies: anoms})
+	c.anomaliesETag = bodyETag(c.anomaliesBody)
 	return c
 }
 
@@ -252,6 +266,7 @@ func (ix *Index) Swap(s *Snapshot) int {
 	gIndexLocations.Set(float64(len(cat.Locations)))
 	gIndexGames.Set(float64(len(cat.Games)))
 	gIndexVersion.Set(float64(v))
+	gAnomalyActive.Set(float64(len(cat.Anomalies)))
 	slog.Info("snapshot swapped", "version", v, "entries", cat.Entries,
 		"locations", len(cat.Locations), "games", len(cat.Games), "points", cat.Points)
 	return cat.Entries

@@ -98,6 +98,22 @@ type LoadReport struct {
 	P99Ms         float64
 	MaxMs         float64
 	Targets       []TargetReport
+	// Mixed, when set, describes the concurrent write side of a mixed
+	// read/write run (the -bench-ingest driver fills it in): the report
+	// then carries both halves of the workload in one block.
+	Mixed *MixedReport
+}
+
+// MixedReport is the write-side summary of a mixed read/write load run:
+// ingest rate into the streaming index and the resulting ingest-to-
+// queryable freshness percentiles (virtual seconds).
+type MixedReport struct {
+	DeltasPerSec   float64 // readings ingested per wall second
+	FreshnessP50S  float64
+	FreshnessP99S  float64
+	PublishP50Ms   float64 // publish (build+swap) wall latency
+	PublishP99Ms   float64
+	PublishSkipped int // publishes withheld by the duty-cycle budget
 }
 
 // ErrorRate is the shed+error fraction of all requests.
@@ -123,7 +139,14 @@ func (r LoadReport) String() string {
 		for _, t := range r.Targets {
 			fmt.Fprintf(&sb, "  %s=%d", t.URL, t.Requests)
 		}
-		return sb.String()
+		s = sb.String()
+	}
+	if m := r.Mixed; m != nil {
+		s += fmt.Sprintf(
+			"\nmixed: reads %.0f/s  deltas %.0f/s  freshness p50 %.0fs p99 %.0fs (virtual)"+
+				"  publish p50 %.2f ms p99 %.2f ms  skipped %d",
+			r.Throughput, m.DeltasPerSec, m.FreshnessP50S, m.FreshnessP99S,
+			m.PublishP50Ms, m.PublishP99Ms, m.PublishSkipped)
 	}
 	return s
 }

@@ -45,7 +45,7 @@ var statusClasses = [4]string{"2xx", "3xx", "4xx", "5xx"}
 var routeHandleTab = func() map[string]*routeHandles {
 	m := make(map[string]*routeHandles)
 	for _, route := range []string{
-		"locations", "games", "latency", "compare", "health", "metrics", "other",
+		"locations", "games", "latency", "compare", "anomalies", "health", "metrics", "other",
 	} {
 		h := &routeHandles{
 			seconds: obs.H(obs.Lbl("serve_http_seconds", "route", route), obs.DurationBuckets),
@@ -106,6 +106,7 @@ func NewServerCache(ix *Index, cacheSize int) *Server {
 	mux.HandleFunc("/v1/games", s.handleGames)
 	mux.HandleFunc("/v1/latency", s.handleLatency)
 	mux.HandleFunc("/v1/compare", s.handleCompare)
+	mux.HandleFunc("/v1/anomalies", s.handleAnomalies)
 	s.handler = instrument(s.admitted(mux))
 	return s
 }
@@ -250,6 +251,8 @@ func routeOf(path string) string {
 		return "latency"
 	case path == "/v1/compare":
 		return "compare"
+	case path == "/v1/anomalies":
+		return "anomalies"
 	case path == "/healthz", path == "/readyz":
 		return "health"
 	case path == "/metrics":
@@ -345,6 +348,7 @@ func (s *Server) handleRoot(w http.ResponseWriter, r *http.Request) {
 		"  /v1/locations\n  /v1/games\n"+
 		"  /v1/latency?location=<key>&game=<name>  (Accept: "+ContentTypeBinary+" for binary)\n"+
 		"  /v1/compare?a=<key>::<game>&b=<key>::<game>\n"+
+		"  /v1/anomalies\n"+
 		"  /healthz  /readyz  /metrics\n")
 }
 
@@ -389,6 +393,17 @@ func (s *Server) handleGames(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, r, cat.gamesBody, cat.gamesETag)
+}
+
+// handleAnomalies serves the streaming index's flagged-window feed. The
+// body is rendered at catalog build time like the other listings; batch
+// snapshots serve an empty feed.
+func (s *Server) handleAnomalies(w http.ResponseWriter, r *http.Request) {
+	cat := s.catalogOr503(w)
+	if cat == nil {
+		return
+	}
+	writeJSON(w, r, cat.anomaliesBody, cat.anomaliesETag)
 }
 
 // cacheKey namespaces a response-cache key with the index version, so a
@@ -475,7 +490,7 @@ func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	mCacheMisses.Inc()
-	dist, ok := stats.Wasserstein1OK(a.Sorted, b.Sorted)
+	dist, ok := compareDistance(a, b)
 	if !ok {
 		// Entries always hold at least one finite point, so this is
 		// unreachable in practice — but the API must never emit NaN.
@@ -484,12 +499,11 @@ func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	side := func(e *Entry) CompareSideJSON {
-		med, _ := stats.PercentileOK(e.Sorted, 50)
 		return CompareSideJSON{
 			Location: locationJSON(e.Location),
 			Game:     e.Game,
 			N:        e.N(),
-			MedianMs: stats.Sanitize(med),
+			MedianMs: e.medianMs(),
 		}
 	}
 	body = mustMarshal(CompareResponse{

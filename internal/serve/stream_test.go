@@ -1,0 +1,366 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"net/http/httptest"
+	"net/url"
+	"sync"
+	"testing"
+
+	"tero/internal/core"
+	"tero/internal/geo"
+)
+
+// streamReading is one synthetic located OCR reading for streaming tests.
+type streamReading struct {
+	streamer string
+	loc      geo.Location
+	game     string
+	atUnix   int64
+	ms       float64
+}
+
+var streamLocs = []geo.Location{
+	{City: "Milan", Region: "Lombardy", Country: "Italy"},
+	{City: "Tokyo", Region: "Tokyo", Country: "Japan"},
+	{Region: "Quebec", Country: "Canada"},
+}
+
+// makeStreamReadings builds a deterministic reading set spanning several
+// groups and more virtual time than the test ring retains, so eviction and
+// late-drop paths are exercised by the identity test.
+func makeStreamReadings(seed int64, n int) []streamReading {
+	rng := rand.New(rand.NewSource(seed))
+	games := []string{"League of Legends", "Dota 2"}
+	base := int64(1_650_000_000)
+	out := make([]streamReading, n)
+	for i := range out {
+		out[i] = streamReading{
+			streamer: string(rune('a' + rng.Intn(8))),
+			loc:      streamLocs[rng.Intn(len(streamLocs))],
+			game:     games[rng.Intn(len(games))],
+			// 3x the 600s-by-6 test ring span: old readings expire.
+			atUnix: base + rng.Int63n(3 * 600 * 6),
+			ms:     float64(10 + rng.Intn(300)),
+		}
+	}
+	return out
+}
+
+func newStreamBuilder(conc int) *Builder {
+	b := NewBuilder(core.DefaultParams())
+	b.Concurrency = conc
+	b.WindowSec = 600
+	b.Windows = 6
+	b.EnableStreaming()
+	return b
+}
+
+func feedReadings(b *Builder, rs []streamReading) {
+	for _, r := range rs {
+		b.ObserveReading(r.streamer, r.loc, r.game, r.atUnix, r.ms)
+	}
+}
+
+// assertSnapshotsIdentical pins full byte identity: bodies (JSON and
+// binary), ETags, and the catalog listings including the anomaly feed.
+func assertSnapshotsIdentical(t *testing.T, a, b *Snapshot, label string) {
+	t.Helper()
+	if len(a.Entries) != len(b.Entries) {
+		t.Fatalf("%s: entry counts differ: %d vs %d", label, len(a.Entries), len(b.Entries))
+	}
+	for i, ea := range a.Entries {
+		eb := b.Entries[i]
+		if ea.Key != eb.Key {
+			t.Fatalf("%s: entry %d key %q vs %q", label, i, ea.Key, eb.Key)
+		}
+		if !bytes.Equal(ea.BodyJSON(), eb.BodyJSON()) {
+			t.Errorf("%s: %s JSON bodies differ:\n%s\n%s", label, ea.Key, ea.BodyJSON(), eb.BodyJSON())
+		}
+		if !bytes.Equal(ea.BodyBinary(), eb.BodyBinary()) {
+			t.Errorf("%s: %s binary bodies differ", label, ea.Key)
+		}
+		if ea.ETag() != eb.ETag() || ea.ETagBinary() != eb.ETagBinary() {
+			t.Errorf("%s: %s ETags differ: %s/%s vs %s/%s", label, ea.Key,
+				ea.ETag(), ea.ETagBinary(), eb.ETag(), eb.ETagBinary())
+		}
+	}
+	ca, cb := a.Catalog, b.Catalog
+	if !bytes.Equal(ca.locationsBody, cb.locationsBody) {
+		t.Errorf("%s: locations bodies differ", label)
+	}
+	if !bytes.Equal(ca.gamesBody, cb.gamesBody) {
+		t.Errorf("%s: games bodies differ", label)
+	}
+	if !bytes.Equal(ca.anomaliesBody, cb.anomaliesBody) {
+		t.Errorf("%s: anomalies bodies differ", label)
+	}
+	if ca.anomaliesETag != cb.anomaliesETag {
+		t.Errorf("%s: anomalies ETags differ", label)
+	}
+}
+
+// TestIncrementalMatchesFullRebuild is the PR's core guarantee: the delta
+// path — readings fed in batches with a BuildDelta after each — produces
+// snapshots byte-identical to a from-scratch Build() over the same
+// readings fed in a *different* order, at different concurrency.
+func TestIncrementalMatchesFullRebuild(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42} {
+		rs := makeStreamReadings(seed, 1500)
+
+		inc := newStreamBuilder(4)
+		var last *Snapshot
+		for i := 0; i < len(rs); i += 100 {
+			end := i + 100
+			if end > len(rs) {
+				end = len(rs)
+			}
+			feedReadings(inc, rs[i:end])
+			last, _ = inc.BuildDelta()
+		}
+
+		full := newStreamBuilder(1)
+		shuffled := append([]streamReading(nil), rs...)
+		rng := rand.New(rand.NewSource(seed + 1000))
+		rng.Shuffle(len(shuffled), func(i, j int) {
+			shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+		})
+		feedReadings(full, shuffled)
+		ref := full.Build()
+
+		assertSnapshotsIdentical(t, last, ref, "incremental vs full")
+
+		// And the incremental builder's own from-scratch Build agrees with
+		// its cached delta output.
+		assertSnapshotsIdentical(t, last, inc.Build(), "delta cache vs own rebuild")
+	}
+}
+
+// TestDeltaPointerReuse pins the perf contract: a group untouched between
+// deltas keeps its *Entry pointer-identical across snapshots, and an
+// untouched index returns the previous snapshot itself.
+func TestDeltaPointerReuse(t *testing.T) {
+	b := newStreamBuilder(2)
+	at := int64(1_650_000_000)
+	for i := 0; i < 20; i++ {
+		b.ObserveReading("s1", streamLocs[0], "Dota 2", at+int64(i*60), 50)
+		b.ObserveReading("s2", streamLocs[1], "Dota 2", at+int64(i*60), 80)
+	}
+	s1, st1 := b.BuildDelta()
+	if st1.Rebuilt != 2 || st1.Reused != 0 {
+		t.Fatalf("first delta: %+v", st1)
+	}
+
+	// Touch only the Milan group.
+	b.ObserveReading("s1", streamLocs[0], "Dota 2", at+3000, 55)
+	s2, st2 := b.BuildDelta()
+	if st2.Rebuilt != 1 || st2.Reused != 1 {
+		t.Fatalf("second delta: %+v", st2)
+	}
+	find := func(s *Snapshot, key string) *Entry {
+		e, ok := s.Lookup(key)
+		if !ok {
+			t.Fatalf("missing %s", key)
+		}
+		return e
+	}
+	tokyoKey := EntryKey(streamLocs[1], "Dota 2")
+	milanKey := EntryKey(streamLocs[0], "Dota 2")
+	if find(s1, tokyoKey) != find(s2, tokyoKey) {
+		t.Error("clean group's entry was rebuilt, not reused pointer-identical")
+	}
+	if find(s1, milanKey) == find(s2, milanKey) {
+		t.Error("dirty group's entry was not rebuilt")
+	}
+
+	// No changes at all: the previous snapshot comes back as-is.
+	s3, st3 := b.BuildDelta()
+	if s3 != s2 {
+		t.Error("unchanged delta did not return the previous snapshot")
+	}
+	if st3.Rebuilt != 0 || st3.Reused != 2 {
+		t.Fatalf("third delta: %+v", st3)
+	}
+}
+
+// TestStreamAnomalyFeed seeds one shifted window among a stable baseline
+// and checks it is flagged, served at /v1/anomalies, and revalidates.
+func TestStreamAnomalyFeed(t *testing.T) {
+	b := newStreamBuilder(1)
+	b.AnomalyThresholdMs = 25
+	b.AnomalyMinN = 8
+	at := int64(1_650_000_000) / 600 * 600 // window-aligned
+	// 5 calm windows at ~50ms, one spiked window at ~150ms.
+	for w := 0; w < 6; w++ {
+		base := 50.0
+		if w == 3 {
+			base = 150
+		}
+		for i := 0; i < 10; i++ {
+			b.ObserveReading("s1", streamLocs[0], "Dota 2", at+int64(w*600+i*30), base+float64(i%5))
+		}
+	}
+	snap, st := b.BuildDelta()
+	if st.Anomalies != 1 || st.NewAnomalies != 1 {
+		t.Fatalf("delta stats: %+v", st)
+	}
+	anoms := snap.Catalog.Anomalies
+	if len(anoms) != 1 {
+		t.Fatalf("anomalies = %d want 1", len(anoms))
+	}
+	a := anoms[0]
+	if a.WindowStartUnix != at+3*600 {
+		t.Errorf("flagged window start %d want %d", a.WindowStartUnix, at+3*600)
+	}
+	if a.WassersteinMs < 50 || a.WassersteinMs > 150 {
+		t.Errorf("W1 = %.1f out of plausible range", a.WassersteinMs)
+	}
+	if a.WindowMedianMs <= a.BaselineMedianMs {
+		t.Errorf("window median %.1f not above baseline %.1f", a.WindowMedianMs, a.BaselineMedianMs)
+	}
+
+	// Served end to end.
+	ix := NewIndex(4)
+	ix.Swap(snap)
+	srv := NewServer(ix)
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, httptest.NewRequest("GET", "/v1/anomalies", nil))
+	if rec.Code != 200 {
+		t.Fatalf("GET /v1/anomalies = %d", rec.Code)
+	}
+	var resp struct {
+		Count     int       `json:"count"`
+		Anomalies []Anomaly `json:"anomalies"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Count != 1 || len(resp.Anomalies) != 1 {
+		t.Fatalf("served feed: %+v", resp)
+	}
+	etag := rec.Header().Get("ETag")
+	req := httptest.NewRequest("GET", "/v1/anomalies", nil)
+	req.Header.Set("If-None-Match", etag)
+	rec2 := httptest.NewRecorder()
+	srv.ServeHTTP(rec2, req)
+	if rec2.Code != 304 {
+		t.Fatalf("revalidation = %d want 304", rec2.Code)
+	}
+}
+
+// TestStreamServedRoutes drives the full HTTP surface over a streaming
+// snapshot: latency JSON + binary, compare, listings.
+func TestStreamServedRoutes(t *testing.T) {
+	b := newStreamBuilder(2)
+	at := int64(1_650_000_000)
+	for i := 0; i < 30; i++ {
+		b.ObserveReading("s1", streamLocs[0], "Dota 2", at+int64(i*60), float64(40+i%20))
+		b.ObserveReading("s2", streamLocs[1], "Dota 2", at+int64(i*60), float64(90+i%20))
+	}
+	snap, _ := b.BuildDelta()
+	ix := NewIndex(4)
+	ix.Swap(snap)
+	srv := NewServer(ix)
+
+	get := func(path, accept string) *httptest.ResponseRecorder {
+		req := httptest.NewRequest("GET", path, nil)
+		if accept != "" {
+			req.Header.Set("Accept", accept)
+		}
+		rec := httptest.NewRecorder()
+		srv.ServeHTTP(rec, req)
+		return rec
+	}
+
+	milanKey := streamLocs[0].Key()
+	rec := get("/v1/latency?location="+url.QueryEscape(milanKey)+"&game=dota+2", "")
+	if rec.Code != 200 {
+		t.Fatalf("latency JSON = %d: %s", rec.Code, rec.Body.String())
+	}
+	var lr LatencyResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &lr); err != nil {
+		t.Fatal(err)
+	}
+	if lr.N != 30 || lr.Streamers != 1 {
+		t.Fatalf("latency response n=%d streamers=%d", lr.N, lr.Streamers)
+	}
+	if lr.MeanMs < 40 || lr.MeanMs > 60 {
+		t.Errorf("mean %.1f out of range", lr.MeanMs)
+	}
+
+	recB := get("/v1/latency?location="+url.QueryEscape(milanKey)+"&game=dota+2", ContentTypeBinary)
+	if recB.Code != 200 {
+		t.Fatalf("latency binary = %d", recB.Code)
+	}
+	dec, err := DecodeLatencyBinary(recB.Body.Bytes())
+	if err != nil {
+		t.Fatalf("binary decode: %v", err)
+	}
+	if dec.N != lr.N || dec.Game != lr.Game {
+		t.Errorf("binary/JSON disagree: %+v vs %+v", dec, lr)
+	}
+
+	cmp := get("/v1/compare?a="+url.QueryEscape(milanKey+"::Dota 2")+
+		"&b="+url.QueryEscape(streamLocs[1].Key()+"::Dota 2"), "")
+	if cmp.Code != 200 {
+		t.Fatalf("compare = %d: %s", cmp.Code, cmp.Body.String())
+	}
+	var cr CompareResponse
+	if err := json.Unmarshal(cmp.Body.Bytes(), &cr); err != nil {
+		t.Fatal(err)
+	}
+	if cr.WassersteinMs < 30 || cr.WassersteinMs > 70 {
+		t.Errorf("compare W1 = %.1f want ~50", cr.WassersteinMs)
+	}
+	if cr.A.MedianMs <= 0 || cr.B.MedianMs <= cr.A.MedianMs {
+		t.Errorf("compare medians: %.1f vs %.1f", cr.A.MedianMs, cr.B.MedianMs)
+	}
+
+	for _, path := range []string{"/v1/locations", "/v1/games"} {
+		if rec := get(path, ""); rec.Code != 200 {
+			t.Errorf("%s = %d", path, rec.Code)
+		}
+	}
+}
+
+// TestStreamConcurrentObserveAndBuild exercises the locking contract under
+// the race detector: readings arrive while deltas build.
+func TestStreamConcurrentObserveAndBuild(t *testing.T) {
+	b := newStreamBuilder(4)
+	rs := makeStreamReadings(99, 2000)
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		feedReadings(b, rs)
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 20; i++ {
+			b.BuildDelta()
+		}
+	}()
+	wg.Wait()
+	final, _ := b.BuildDelta()
+	if len(final.Entries) == 0 {
+		t.Fatal("no entries after concurrent feed")
+	}
+	assertSnapshotsIdentical(t, final, b.Build(), "post-concurrency")
+}
+
+// TestObserveReadingRejections pins the two drop paths.
+func TestObserveReadingRejections(t *testing.T) {
+	b := newStreamBuilder(1)
+	if b.ObserveReading("s", geo.Location{}, "Dota 2", 1_650_000_000, 50) {
+		t.Error("zero location accepted")
+	}
+	if !b.ObserveReading("s", streamLocs[0], "Dota 2", 1_650_000_000, 50) {
+		t.Error("valid reading rejected")
+	}
+	// Beyond the 600s x 6 retention horizon behind the newest reading.
+	if b.ObserveReading("s", streamLocs[0], "Dota 2", 1_650_000_000-4000, 50) {
+		t.Error("expired reading accepted")
+	}
+}

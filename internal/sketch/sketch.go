@@ -1,0 +1,381 @@
+// Package sketch implements the mergeable quantile sketches behind the
+// streaming latency index (DESIGN.md §15): a DDSketch-style log-bucketed
+// quantile sketch with *exact*, order-independent merge semantics, plus a
+// ring of sliding time-window buckets over the virtual clock.
+//
+// Determinism is the design constraint everything here bends around. The
+// serving tier republishes by delta — only entries whose sketch state
+// changed re-render their pre-marshaled bodies — and pins a from-scratch
+// rebuild byte-identical to the incremental path. That only works if sketch
+// state is a pure function of the reading *multiset*, independent of
+// insertion or merge order. So:
+//
+//   - Bucket counts are integers; merge is bucket-wise integer addition —
+//     exactly associative and commutative, unlike merging float summaries.
+//   - Sums are kept in fixed point (micro-units, int64), so the mean and
+//     standard deviation are derived from integers and never depend on
+//     float accumulation order. OCR readings are small integers in ms; the
+//     fixed-point representation is exact for them.
+//   - Min/max use the commutative lattice operations.
+//
+// The quantile guarantee is the usual DDSketch one: a value returned for
+// any quantile is within relative error Alpha of a true sample value at
+// that rank (for values above the zero threshold).
+package sketch
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"math"
+	"sort"
+)
+
+// Alpha is the relative accuracy of the sketch: every quantile estimate is
+// within Alpha of a true sample at that rank. Fixed package-wide so every
+// sketch is mergeable with every other.
+const Alpha = 0.01
+
+// minTrackable is the smallest positive value with its own bucket; values
+// at or below it land in the zero bucket (latencies are >= 1 ms integers,
+// so in practice only true zeros land there).
+const minTrackable = 1e-3
+
+var (
+	gamma   = (1 + Alpha) / (1 - Alpha)
+	lnGamma = math.Log(gamma)
+	// repScale maps gamma^idx (the bucket's upper bound) to the bucket's
+	// representative value: the point minimizing worst-case relative error.
+	repScale = 2 / (1 + gamma)
+)
+
+// Sketch is one mergeable quantile sketch. The zero value is not usable;
+// create with New. Not safe for concurrent mutation.
+type Sketch struct {
+	counts map[int32]uint64
+	zero   uint64 // values <= minTrackable
+	n      uint64
+	// Fixed-point accumulators: sum in micro-units (v * 1e6), sum of
+	// squares in milli-units (v*v * 1e3). Integer adds are exactly
+	// associative, so merges in any order produce identical state. The
+	// units bound the exact range: |v| <= ~9e3 ms over ~1e7 samples stays
+	// far from int64 overflow.
+	sumMicros   int64
+	sumSqMillis int64
+	min, max    float64
+}
+
+// New returns an empty sketch.
+func New() *Sketch {
+	return &Sketch{
+		counts: make(map[int32]uint64),
+		min:    math.Inf(1),
+		max:    math.Inf(-1),
+	}
+}
+
+// indexOf maps a value to its log bucket.
+func indexOf(v float64) int32 {
+	return int32(math.Ceil(math.Log(v) / lnGamma))
+}
+
+// rep returns the representative value of bucket idx: within Alpha
+// (relative) of every value the bucket covers.
+func rep(idx int32) float64 {
+	return math.Pow(gamma, float64(idx)) * repScale
+}
+
+// Add records one value. Negative values are clamped into the zero bucket
+// (latencies cannot be negative; OCR never produces them).
+func (s *Sketch) Add(v float64) {
+	if v < 0 {
+		v = 0
+	}
+	s.n++
+	s.sumMicros += int64(math.Round(v * 1e6))
+	s.sumSqMillis += int64(math.Round(v * v * 1e3))
+	if v < s.min {
+		s.min = v
+	}
+	if v > s.max {
+		s.max = v
+	}
+	if v <= minTrackable {
+		s.zero++
+		return
+	}
+	s.counts[indexOf(v)]++
+}
+
+// Merge folds o into s. Exact and order-independent: bucket counts and
+// fixed-point sums add as integers, min/max take the lattice meet/join, so
+// any merge tree over the same sketches yields identical state.
+func (s *Sketch) Merge(o *Sketch) {
+	if o == nil || o.n == 0 {
+		return
+	}
+	for k, c := range o.counts {
+		s.counts[k] += c
+	}
+	s.zero += o.zero
+	s.n += o.n
+	s.sumMicros += o.sumMicros
+	s.sumSqMillis += o.sumSqMillis
+	if o.min < s.min {
+		s.min = o.min
+	}
+	if o.max > s.max {
+		s.max = o.max
+	}
+}
+
+// Subtract returns a new sketch holding s minus part (s must be a merge
+// superset of part — the streaming index uses this to derive a window's
+// trailing baseline as total−window without re-merging the ring). Counts
+// and sums subtract exactly; min/max cannot be un-merged, so they are
+// re-derived from the surviving buckets (within Alpha — fine for the
+// baseline median/Wasserstein uses this exists for).
+func Subtract(s, part *Sketch) *Sketch {
+	out := New()
+	if s == nil {
+		return out
+	}
+	for k, c := range s.counts {
+		out.counts[k] = c
+	}
+	out.zero, out.n = s.zero, s.n
+	out.sumMicros, out.sumSqMillis = s.sumMicros, s.sumSqMillis
+	if part != nil {
+		for k, c := range part.counts {
+			if out.counts[k] <= c {
+				delete(out.counts, k)
+			} else {
+				out.counts[k] -= c
+			}
+		}
+		if out.zero >= part.zero {
+			out.zero -= part.zero
+		} else {
+			out.zero = 0
+		}
+		if out.n >= part.n {
+			out.n -= part.n
+		} else {
+			out.n = 0
+		}
+		out.sumMicros -= part.sumMicros
+		out.sumSqMillis -= part.sumSqMillis
+	}
+	// Approximate bounds from the surviving buckets.
+	if out.zero > 0 {
+		out.min = 0
+	}
+	for _, idx := range out.sortedIndexes() {
+		v := rep(idx)
+		if v < out.min {
+			out.min = v
+		}
+		if v > out.max {
+			out.max = v
+		}
+	}
+	if out.zero > 0 && out.max < 0 {
+		out.max = 0
+	}
+	return out
+}
+
+// Count returns the number of recorded values.
+func (s *Sketch) Count() uint64 { return s.n }
+
+// Sum returns the exact sum of recorded values.
+func (s *Sketch) Sum() float64 { return float64(s.sumMicros) / 1e6 }
+
+// Mean returns the exact mean (0 when empty).
+func (s *Sketch) Mean() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return float64(s.sumMicros) / 1e6 / float64(s.n)
+}
+
+// Std returns the population standard deviation derived from the exact
+// fixed-point moments (0 when empty).
+func (s *Sketch) Std() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	mean := s.Mean()
+	m2 := float64(s.sumSqMillis) / 1e3 / float64(s.n)
+	v := m2 - mean*mean
+	if v < 0 {
+		v = 0 // fixed-point rounding can dip epsilon-negative
+	}
+	return math.Sqrt(v)
+}
+
+// Min returns the exact minimum (0 when empty).
+func (s *Sketch) Min() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return s.min
+}
+
+// Max returns the exact maximum (0 when empty).
+func (s *Sketch) Max() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return s.max
+}
+
+// sortedIndexes returns the populated bucket indexes in ascending order.
+func (s *Sketch) sortedIndexes() []int32 {
+	idxs := make([]int32, 0, len(s.counts))
+	for k := range s.counts {
+		idxs = append(idxs, k)
+	}
+	sort.Slice(idxs, func(i, j int) bool { return idxs[i] < idxs[j] })
+	return idxs
+}
+
+// Quantile returns the p-th percentile (p in [0, 100]) within relative
+// error Alpha of a true sample at that rank. Ranks follow the same
+// convention as stats.Percentile: rank = p/100 * (n-1).
+func (s *Sketch) Quantile(p float64) float64 {
+	if s.n == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 100 {
+		p = 100
+	}
+	rank := p / 100 * float64(s.n-1)
+	cum := float64(s.zero)
+	if cum > rank {
+		return 0
+	}
+	for _, idx := range s.sortedIndexes() {
+		cum += float64(s.counts[idx])
+		if cum > rank {
+			return rep(idx)
+		}
+	}
+	return s.Max() // only reachable via float slack at p=100
+}
+
+// ForEach calls fn for every populated bucket in ascending value order:
+// first the zero bucket (as value 0), then the log buckets by their
+// representative values. The iteration order is deterministic.
+func (s *Sketch) ForEach(fn func(v float64, count uint64)) {
+	if s.zero > 0 {
+		fn(0, s.zero)
+	}
+	for _, idx := range s.sortedIndexes() {
+		fn(rep(idx), s.counts[idx])
+	}
+}
+
+// CDF returns the fraction of recorded values at or below each edge.
+// Edges must be ascending.
+func (s *Sketch) CDF(edges []float64) []float64 {
+	out := make([]float64, len(edges))
+	if s.n == 0 {
+		return out
+	}
+	cum := uint64(0)
+	i := 0
+	s.ForEach(func(v float64, c uint64) {
+		for i < len(edges) && edges[i] < v {
+			out[i] = float64(cum) / float64(s.n)
+			i++
+		}
+		cum += c
+	})
+	for ; i < len(edges); i++ {
+		out[i] = float64(cum) / float64(s.n)
+	}
+	return out
+}
+
+// Fingerprint hashes the full sketch state (FNV-64a over the canonical
+// serialization: totals, fixed-point moments, exact bounds, then the
+// populated buckets in ascending index order). Two sketches built from the
+// same value multiset — in any insertion or merge order — fingerprint
+// identically; the serving tier derives ETags from it.
+func (s *Sketch) Fingerprint() uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	w := func(u uint64) {
+		binary.LittleEndian.PutUint64(buf[:], u)
+		h.Write(buf[:]) //nolint:errcheck — fnv never fails
+	}
+	w(s.n)
+	w(s.zero)
+	w(uint64(s.sumMicros))
+	w(uint64(s.sumSqMillis))
+	if s.n > 0 {
+		w(math.Float64bits(s.min))
+		w(math.Float64bits(s.max))
+	}
+	for _, idx := range s.sortedIndexes() {
+		w(uint64(uint32(idx)))
+		w(s.counts[idx])
+	}
+	return h.Sum64()
+}
+
+// Wasserstein1 returns the 1-Wasserstein (earth mover's) distance between
+// the two sketched distributions, computed exactly over the shared bucket
+// representatives (the same merge-the-CDFs walk stats.Wasserstein1 does on
+// raw samples, with bucket counts as weights). Within O(Alpha·scale) of
+// the sample-level distance. Returns 0 when either side is empty.
+func Wasserstein1(a, b *Sketch) float64 {
+	if a == nil || b == nil || a.n == 0 || b.n == 0 {
+		return 0
+	}
+	type wpt struct {
+		v      float64
+		ca, cb uint64
+	}
+	pts := make(map[int32]*wpt, len(a.counts)+len(b.counts))
+	const zeroIdx = math.MinInt32 // sentinel for the zero bucket
+	get := func(idx int32, v float64) *wpt {
+		p, ok := pts[idx]
+		if !ok {
+			p = &wpt{v: v}
+			pts[idx] = p
+		}
+		return p
+	}
+	if a.zero > 0 {
+		get(zeroIdx, 0).ca = a.zero
+	}
+	if b.zero > 0 {
+		get(zeroIdx, 0).cb = b.zero
+	}
+	for idx, c := range a.counts {
+		get(idx, rep(idx)).ca = c
+	}
+	for idx, c := range b.counts {
+		get(idx, rep(idx)).cb = c
+	}
+	ordered := make([]*wpt, 0, len(pts))
+	for _, p := range pts {
+		ordered = append(ordered, p)
+	}
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].v < ordered[j].v })
+
+	na, nb := float64(a.n), float64(b.n)
+	var fa, fb, dist float64
+	prev := ordered[0].v
+	for _, p := range ordered {
+		dist += math.Abs(fa-fb) * (p.v - prev)
+		fa += float64(p.ca) / na
+		fb += float64(p.cb) / nb
+		prev = p.v
+	}
+	return dist
+}

@@ -1,0 +1,263 @@
+package sketch
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"tero/internal/stats"
+)
+
+func fromValues(vs []float64) *Sketch {
+	s := New()
+	for _, v := range vs {
+		s.Add(v)
+	}
+	return s
+}
+
+// lognormalish produces positive latency-like integers (ms), the shape OCR
+// readings actually have.
+func lognormalish(rng *rand.Rand, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		v := math.Exp(rng.NormFloat64()*0.5 + 4) // median ~55ms
+		out[i] = math.Round(v)
+		if out[i] < 1 {
+			out[i] = 1
+		}
+	}
+	return out
+}
+
+func TestMergeOrderIndependence(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		vs := lognormalish(rng, 200+rng.Intn(200))
+		a := fromValues(vs)
+
+		shuffled := append([]float64(nil), vs...)
+		rng.Shuffle(len(shuffled), func(i, j int) {
+			shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+		})
+		b := fromValues(shuffled)
+		return a.Fingerprint() == b.Fingerprint()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMergeAssociativity(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		x := fromValues(lognormalish(rng, 50))
+		y := fromValues(lognormalish(rng, 70))
+		z := fromValues(lognormalish(rng, 30))
+
+		// (x+y)+z
+		l := New()
+		l.Merge(x)
+		l.Merge(y)
+		l.Merge(z)
+		// x+(z+y) — different order AND different tree shape
+		inner := New()
+		inner.Merge(z)
+		inner.Merge(y)
+		r := New()
+		r.Merge(x)
+		r.Merge(inner)
+		return l.Fingerprint() == r.Fingerprint()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMergeEqualsBulkInsert(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	vs := lognormalish(rng, 500)
+	whole := fromValues(vs)
+	parts := New()
+	for i := 0; i < len(vs); i += 37 {
+		end := i + 37
+		if end > len(vs) {
+			end = len(vs)
+		}
+		parts.Merge(fromValues(vs[i:end]))
+	}
+	if whole.Fingerprint() != parts.Fingerprint() {
+		t.Fatal("merging chunked sketches differs from bulk insert")
+	}
+	if whole.Count() != uint64(len(vs)) {
+		t.Fatalf("count %d want %d", whole.Count(), len(vs))
+	}
+}
+
+// TestQuantileErrorBound pins the DDSketch guarantee: the estimate at any
+// quantile lies within Alpha (relative) of true samples at that rank.
+// Because our rank convention and stats.Percentile's interpolation can
+// differ by at most one sample, we bound against the floor/ceil samples.
+func TestQuantileErrorBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	dists := map[string][]float64{
+		"uniform-int":  nil,
+		"lognormalish": lognormalish(rng, 2000),
+		"bimodal":      nil,
+	}
+	uni := make([]float64, 1000)
+	for i := range uni {
+		uni[i] = float64(1 + rng.Intn(1000))
+	}
+	dists["uniform-int"] = uni
+	bi := make([]float64, 1200)
+	for i := range bi {
+		if i%3 == 0 {
+			bi[i] = math.Round(30 + rng.Float64()*10)
+		} else {
+			bi[i] = math.Round(150 + rng.Float64()*40)
+		}
+	}
+	dists["bimodal"] = bi
+
+	for name, vs := range dists {
+		s := fromValues(vs)
+		sorted := append([]float64(nil), vs...)
+		sort.Float64s(sorted)
+		for _, p := range []float64{1, 5, 10, 25, 50, 75, 90, 95, 99, 100} {
+			est := s.Quantile(p)
+			rank := p / 100 * float64(len(sorted)-1)
+			lo := sorted[int(math.Floor(rank))]
+			hi := sorted[int(math.Ceil(rank))]
+			if est < (1-Alpha)*lo-1e-9 || est > (1+Alpha)*hi+1e-9 {
+				t.Errorf("%s p%v: estimate %.4f outside [%.4f, %.4f]±%v%%",
+					name, p, est, lo, hi, Alpha*100)
+			}
+			// And sanity vs the stats package's interpolated percentile:
+			// within Alpha relative plus one inter-sample gap.
+			exact := stats.Percentile(vs, p)
+			slack := Alpha*exact + (hi - lo) + 1e-9
+			if math.Abs(est-exact) > slack {
+				t.Errorf("%s p%v: |%.4f-%.4f| > %.4f", name, p, est, exact, slack)
+			}
+		}
+	}
+}
+
+func TestExactMoments(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	vs := lognormalish(rng, 800)
+	s := fromValues(vs)
+	mean := stats.Mean(vs)
+	if math.Abs(s.Mean()-mean) > 1e-6 {
+		t.Errorf("mean %.9f want %.9f", s.Mean(), mean)
+	}
+	// stats.MeanStd is the sample std (n-1); the sketch stores population
+	// moments. Compare against the population value.
+	popStd := stats.StdDev(vs) * math.Sqrt(float64(len(vs)-1)/float64(len(vs)))
+	if math.Abs(s.Std()-popStd) > 1e-4 {
+		t.Errorf("std %.6f want %.6f", s.Std(), popStd)
+	}
+	if s.Min() != stats.Min(vs) || s.Max() != stats.Max(vs) {
+		t.Errorf("min/max %.1f/%.1f want %.1f/%.1f", s.Min(), s.Max(), stats.Min(vs), stats.Max(vs))
+	}
+}
+
+func TestZeroAndNegativeValues(t *testing.T) {
+	s := fromValues([]float64{0, 0, -3, 5, 10})
+	if s.Count() != 5 {
+		t.Fatalf("count %d", s.Count())
+	}
+	if got := s.Quantile(0); got != 0 {
+		t.Errorf("p0 = %v want 0", got)
+	}
+	if got := s.Quantile(100); math.Abs(got-10) > 10*Alpha {
+		t.Errorf("p100 = %v want ~10", got)
+	}
+}
+
+func TestWasserstein1AgainstExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 20; trial++ {
+		xs := lognormalish(rng, 300)
+		ys := lognormalish(rng, 250)
+		if trial%2 == 0 {
+			for i := range ys {
+				ys[i] += 40 // shifted mode: a real distance to measure
+			}
+		}
+		exact := stats.Wasserstein1(xs, ys)
+		approx := Wasserstein1(fromValues(xs), fromValues(ys))
+		// Bucketing moves each sample by at most Alpha relative, so the
+		// distance shifts by at most Alpha * (mean magnitude of both sides).
+		slack := Alpha*(stats.Mean(xs)+stats.Mean(ys)) + 1e-9
+		if math.Abs(exact-approx) > slack {
+			t.Errorf("trial %d: exact %.4f sketch %.4f (slack %.4f)", trial, exact, approx, slack)
+		}
+	}
+}
+
+func TestWasserstein1Shifted(t *testing.T) {
+	a, b := New(), New()
+	for i := 0; i < 100; i++ {
+		a.Add(50)
+		b.Add(130)
+	}
+	got := Wasserstein1(a, b)
+	if math.Abs(got-80) > 80*2*Alpha+1e-9 {
+		t.Errorf("W1 = %.3f want ~80", got)
+	}
+	if Wasserstein1(a, a) != 0 {
+		t.Errorf("W1(a,a) = %v want 0", Wasserstein1(a, a))
+	}
+	if Wasserstein1(a, New()) != 0 {
+		t.Errorf("W1 vs empty should be 0")
+	}
+}
+
+func TestSubtract(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	xs := lognormalish(rng, 400)
+	part := fromValues(xs[:150])
+	total := fromValues(xs)
+	rest := Subtract(total, part)
+	want := fromValues(xs[150:])
+	if rest.Count() != want.Count() {
+		t.Fatalf("count %d want %d", rest.Count(), want.Count())
+	}
+	if math.Abs(rest.Mean()-want.Mean()) > 1e-6 {
+		t.Errorf("mean %.6f want %.6f", rest.Mean(), want.Mean())
+	}
+	if d := Wasserstein1(rest, want); d != 0 {
+		t.Errorf("subtracted distribution differs: W1 = %v", d)
+	}
+	if math.Abs(rest.Quantile(50)-want.Quantile(50)) > 1e-9 {
+		t.Errorf("median %.4f want %.4f", rest.Quantile(50), want.Quantile(50))
+	}
+}
+
+func TestCDFMatchesStats(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	vs := lognormalish(rng, 1000)
+	s := fromValues(vs)
+	edges := []float64{0, 20, 40, 60, 80, 120, 200, 400}
+	got := s.CDF(edges)
+	want := stats.CDFAt(vs, edges)
+	for i := range edges {
+		// Bucketing can shuffle samples within Alpha of an edge across it.
+		if math.Abs(got[i]-want[i]) > 0.05 {
+			t.Errorf("CDF(%v) = %.4f want %.4f", edges[i], got[i], want[i])
+		}
+	}
+}
+
+func TestFingerprintSensitivity(t *testing.T) {
+	a := fromValues([]float64{10, 20, 30})
+	b := fromValues([]float64{10, 20, 30, 31})
+	c := fromValues([]float64{10, 20, 31})
+	if a.Fingerprint() == b.Fingerprint() || a.Fingerprint() == c.Fingerprint() {
+		t.Fatal("fingerprint failed to distinguish different multisets")
+	}
+}

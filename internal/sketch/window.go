@@ -1,0 +1,155 @@
+package sketch
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"sort"
+)
+
+// Windowed holds one sketch per sliding time window, in a fixed-size ring
+// keyed by the virtual clock. Retention is anchored to the *data* — the
+// newest window start observed — not the wall clock, so the final ring
+// state is a pure function of the (timestamp, value) multiset:
+//
+//   - A reading older than the retention horizon of the newest window is
+//     dropped on insert.
+//   - When a newer window opens, slots that fell behind the horizon are
+//     evicted.
+//
+// Either order — stale reading inserted before the newer one arrives (then
+// evicted), or after (then dropped) — converges to the same live windows
+// with the same contents, which is what lets the delta publish path promise
+// byte-identity with a full rebuild over any insertion order. The count of
+// dropped readings IS insertion-order-dependent, so it is exposed only as
+// a diagnostic (Dropped) and never enters Fingerprint or served bodies.
+type Windowed struct {
+	width   int64 // seconds per window
+	slots   []wslot
+	latest  int64 // newest window start seen; valid iff populated
+	any     bool
+	dropped uint64
+}
+
+type wslot struct {
+	start int64
+	sk    *Sketch
+}
+
+// NewWindowed creates a ring of `windows` sketches each covering `width`
+// seconds of virtual time. Both must be positive.
+func NewWindowed(width int64, windows int) *Windowed {
+	if width <= 0 || windows <= 0 {
+		panic("sketch: NewWindowed requires positive width and window count")
+	}
+	return &Windowed{width: width, slots: make([]wslot, windows)}
+}
+
+// span is the retention horizon: readings this far behind the newest
+// window start are out of the ring.
+func (w *Windowed) span() int64 { return w.width * int64(len(w.slots)) }
+
+// windowStart floors a timestamp to its window start (correct for negative
+// timestamps too, though the virtual clock never goes there).
+func (w *Windowed) windowStart(atUnix int64) int64 {
+	q := atUnix / w.width
+	if atUnix%w.width < 0 {
+		q--
+	}
+	return q * w.width
+}
+
+// Add records one reading. Returns false (and counts it as dropped) when
+// the reading is older than the retention horizon; the ring is unchanged
+// in that case.
+func (w *Windowed) Add(atUnix int64, v float64) bool {
+	ws := w.windowStart(atUnix)
+	if w.any && ws <= w.latest-w.span() {
+		w.dropped++
+		return false
+	}
+	i := int(((ws/w.width)%int64(len(w.slots)) + int64(len(w.slots))) % int64(len(w.slots)))
+	if w.slots[i].sk == nil || w.slots[i].start != ws {
+		w.slots[i] = wslot{start: ws, sk: New()}
+	}
+	w.slots[i].sk.Add(v)
+	if !w.any || ws > w.latest {
+		w.latest, w.any = ws, true
+		// The horizon moved: evict any slot that fell behind it. Lazy and
+		// write-path-only, so a group nobody writes to never mutates.
+		hz := w.latest - w.span()
+		for j := range w.slots {
+			if w.slots[j].sk != nil && w.slots[j].start <= hz {
+				w.slots[j] = wslot{}
+			}
+		}
+	}
+	return true
+}
+
+// Width returns the window width in seconds.
+func (w *Windowed) Width() int64 { return w.width }
+
+// Dropped returns how many readings were rejected as older than the
+// retention horizon. Diagnostic only: the value depends on insertion
+// order, so it must never feed served bodies or fingerprints.
+func (w *Windowed) Dropped() uint64 { return w.dropped }
+
+// Count returns the total readings across live windows.
+func (w *Windowed) Count() uint64 {
+	var n uint64
+	for i := range w.slots {
+		if w.slots[i].sk != nil {
+			n += w.slots[i].sk.n
+		}
+	}
+	return n
+}
+
+// Merged returns a new sketch merging every live window, in ascending
+// window-start order (order does not matter for the result — Merge is
+// exact — but determinism costs nothing).
+func (w *Windowed) Merged() *Sketch {
+	out := New()
+	for _, ws := range w.Snapshots() {
+		out.Merge(ws.Sketch)
+	}
+	return out
+}
+
+// WindowSketch is one live window of a Windowed ring.
+type WindowSketch struct {
+	Start  int64 // window start, unix seconds (virtual clock)
+	Sketch *Sketch
+}
+
+// Snapshots returns the live windows in ascending start order. The sketches
+// are the ring's own (not copies); callers must not mutate them.
+func (w *Windowed) Snapshots() []WindowSketch {
+	out := make([]WindowSketch, 0, len(w.slots))
+	for i := range w.slots {
+		if w.slots[i].sk != nil {
+			out = append(out, WindowSketch{Start: w.slots[i].start, Sketch: w.slots[i].sk})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	return out
+}
+
+// Fingerprint hashes the full ring state: width, then each live window's
+// start and sketch fingerprint in ascending start order. Identical for any
+// insertion order of the same reading multiset (Dropped is excluded — see
+// its doc).
+func (w *Windowed) Fingerprint() uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	wr := func(u uint64) {
+		binary.LittleEndian.PutUint64(buf[:], u)
+		h.Write(buf[:]) //nolint:errcheck — fnv never fails
+	}
+	wr(uint64(w.width))
+	for _, ws := range w.Snapshots() {
+		wr(uint64(ws.Start))
+		wr(ws.Sketch.Fingerprint())
+	}
+	return h.Sum64()
+}

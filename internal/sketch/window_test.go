@@ -1,0 +1,127 @@
+package sketch
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+type reading struct {
+	at int64
+	v  float64
+}
+
+func feed(w *Windowed, rs []reading) {
+	for _, r := range rs {
+		w.Add(r.at, r.v)
+	}
+}
+
+// TestWindowedOrderIndependence is the property the delta publish path
+// rests on: any insertion order of the same (timestamp, value) multiset —
+// including orders where stale readings arrive before or after the windows
+// that evict them — yields an identical ring.
+func TestWindowedOrderIndependence(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 100 + rng.Intn(200)
+		// Timestamps spanning ~3x the retention horizon so eviction and
+		// late-drop paths both trigger.
+		const width, windows = 600, 6
+		span := int64(width * windows)
+		rs := make([]reading, n)
+		for i := range rs {
+			rs[i] = reading{
+				at: 1_000_000 + rng.Int63n(3*span),
+				v:  float64(1 + rng.Intn(500)),
+			}
+		}
+		a := NewWindowed(width, windows)
+		feed(a, rs)
+
+		shuffled := append([]reading(nil), rs...)
+		rng.Shuffle(len(shuffled), func(i, j int) {
+			shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+		})
+		b := NewWindowed(width, windows)
+		feed(b, shuffled)
+		return a.Fingerprint() == b.Fingerprint()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWindowedEviction(t *testing.T) {
+	w := NewWindowed(60, 3) // 3 minutes retention
+	w.Add(0, 10)
+	w.Add(60, 20)
+	w.Add(120, 30)
+	if got := len(w.Snapshots()); got != 3 {
+		t.Fatalf("live windows = %d want 3", got)
+	}
+	// Window start 180 pushes the horizon to 180-180=0: the t=0 window
+	// (start <= horizon) must evict.
+	w.Add(180, 40)
+	snaps := w.Snapshots()
+	if len(snaps) != 3 || snaps[0].Start != 60 {
+		t.Fatalf("after advance: %d windows, first start %d", len(snaps), snaps[0].Start)
+	}
+	// A reading at/below the horizon is dropped without mutating the ring.
+	fp := w.Fingerprint()
+	if w.Add(0, 99) {
+		t.Fatal("stale reading accepted")
+	}
+	if w.Dropped() != 1 {
+		t.Fatalf("dropped = %d want 1", w.Dropped())
+	}
+	if w.Fingerprint() != fp {
+		t.Fatal("dropped reading mutated ring state")
+	}
+	if w.Count() != 3 {
+		t.Fatalf("count = %d want 3", w.Count())
+	}
+}
+
+func TestWindowedMergedMatchesFlat(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	w := NewWindowed(300, 8)
+	flat := New()
+	base := int64(2_000_000)
+	for i := 0; i < 500; i++ {
+		// At most 8 distinct window starts even with base misaligned to the
+		// window grid, so nothing ever evicts.
+		at := base + rng.Int63n(300*7)
+		v := float64(1 + rng.Intn(400))
+		w.Add(at, v)
+		flat.Add(v)
+	}
+	if w.Merged().Fingerprint() != flat.Fingerprint() {
+		t.Fatal("merged ring differs from flat sketch over same values")
+	}
+}
+
+func TestWindowedSnapshotsSorted(t *testing.T) {
+	w := NewWindowed(60, 5)
+	for _, at := range []int64{240, 0, 120, 60, 180} {
+		w.Add(at, 50)
+	}
+	snaps := w.Snapshots()
+	for i := 1; i < len(snaps); i++ {
+		if snaps[i].Start <= snaps[i-1].Start {
+			t.Fatalf("snapshots not ascending: %v then %v", snaps[i-1].Start, snaps[i].Start)
+		}
+	}
+}
+
+func TestWindowedQuantileSane(t *testing.T) {
+	w := NewWindowed(3600, 48)
+	for i := 0; i < 1000; i++ {
+		w.Add(int64(i*60), 75)
+	}
+	m := w.Merged()
+	if got := m.Quantile(50); math.Abs(got-75) > 75*2*Alpha {
+		t.Errorf("median %.3f want ~75", got)
+	}
+}

@@ -1,0 +1,45 @@
+#!/bin/sh
+# Write-heavy ingest benchmark harness: builds cmd/teroserve, replays one
+# world through the legacy full-rebuild publish path and through the
+# streaming sketch-delta path (-bench-ingest) — both under the same
+# publish duty-cycle budget with LoadGen clients reading concurrently —
+# and collects the emitted BENCHPOINT lines into a JSON array.
+#
+# Environment overrides:
+#   BENCH_OUT         output file             (default BENCH_sketch.json)
+#   BENCH_STREAMERS   synthetic population    (default 100)
+#   BENCH_DAYS        observation days        (default 2)
+#   BENCH_DUTY        publish duty fraction   (default 0.05)
+#   BENCH_CLIENTS     concurrent read clients (default 2)
+#
+# The smoke invocation in scripts/check.sh runs a tiny world into a
+# throwaway file, just proving both phases still execute end to end.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+OUT="${BENCH_OUT:-BENCH_sketch.json}"
+STREAMERS="${BENCH_STREAMERS:-100}"
+DAYS="${BENCH_DAYS:-2}"
+DUTY="${BENCH_DUTY:-0.05}"
+CLIENTS="${BENCH_CLIENTS:-2}"
+TMPDIR="${TMPDIR:-/tmp}"
+BIN="$TMPDIR/teroserve-sketch-$$"
+TXT="$TMPDIR/teroserve-sketch-$$.txt"
+trap 'rm -f "$BIN" "$TXT"' EXIT
+
+echo "== build cmd/teroserve =="
+go build -o "$BIN" ./cmd/teroserve
+
+echo "== ingest benchmark (streamers $STREAMERS, days $DAYS, duty $DUTY, $CLIENTS read clients) =="
+"$BIN" -addr 127.0.0.1:0 -streamers "$STREAMERS" -days "$DAYS" -log warn \
+    -bench-ingest -ingest-duty "$DUTY" -ingest-clients "$CLIENTS" | tee "$TXT"
+
+grep '^BENCHPOINT ' "$TXT" | sed 's/^BENCHPOINT //' | awk '
+BEGIN { print "[" }
+{ if (NR > 1) printf(",\n"); printf("  %s", $0) }
+END { print "\n]" }' > "$OUT"
+
+N=$(grep -c '"phase"' "$OUT")
+[ "$N" -eq 2 ] || { echo "expected 2 BENCHPOINT lines, got $N" >&2; exit 1; }
+echo "wrote $OUT ($N points)"

@@ -30,6 +30,7 @@ GOLD="$TMPDIR/tero-gold-$$.out"
 CHAOS="$TMPDIR/tero-chaos-$$.out"
 SERVE="$TMPDIR/tero-serve-$$.out"
 TRACE="$TMPDIR/tero-trace-$$.out"
+DELTA="$TMPDIR/tero-delta-$$.out"
 go build -o "$TMPDIR/tero-check-$$" ./cmd/tero
 "$TMPDIR/tero-check-$$" -streamers 15 -days 1 -debug-addr 127.0.0.1:0 -log warn \
     > "$OUT" 2>&1 &
@@ -40,6 +41,7 @@ cleanup() {
     kill "$TERO_PID" 2>/dev/null || true
     kill "${SERVE_PID:-}" 2>/dev/null || true
     kill "${TRACE_PID:-}" 2>/dev/null || true
+    kill "${DELTA_PID:-}" 2>/dev/null || true
     rm -f "$TMPDIR/tero-check-$$" "$TMPDIR/teroserve-check-$$" \
         "$TMPDIR/terokv-check-$$" "$TMPDIR/teroexp-check-$$" \
         "$TMPDIR/teroworker-check-$$" \
@@ -47,7 +49,8 @@ cleanup() {
         "$GOLD" "$GOLD.tables" "$CHAOS" "$CHAOS.err" "$CHAOS.tables" \
         "$SERVE" "$SERVE.hdr" "$SERVE.binhdr" "$SERVE.metrics" "$SERVE.shed" \
         "$TRACE" "$TRACE.list" "$TRACE.detail" "$TRACE.metrics" "$TRACE.hdr" \
-        "$TRACE.readyz" "$STORE" "$DIST"
+        "$TRACE.readyz" "$STORE" "$DIST" \
+        "$DELTA" "$DELTA.anom" "$DELTA.metrics" "$DELTA.hdr"
 }
 trap cleanup EXIT
 
@@ -293,6 +296,75 @@ grep -q '^slo ' "$TRACE.readyz" \
 echo "trace/SLO smoke ok: traceparent joined, journey stored, freshness + burn rate live"
 kill "$TRACE_PID" 2>/dev/null || true
 
+echo "== delta smoke (teroserve -deltas: incremental publishes, anomaly feed) =="
+# A streaming-index run republishing every virtual 2 minutes: the index must
+# be updated mid-serve purely through sketch deltas (zero full rebuilds, the
+# skip counter lit on ticks with nothing new), and the injected evening
+# latency event on lol must surface on /v1/anomalies.
+"$TMPDIR/teroserve-check-$$" -streamers 25 -days 1 -addr 127.0.0.1:0 -log warn \
+    -deltas -refresh 2m \
+    -spike-game lol -spike-ms 400 -spike-after 18h -spike-duration 3h \
+    > "$DELTA" 2>&1 &
+DELTA_PID=$!
+DQUERY=""
+i=0
+while [ $i -lt 300 ]; do
+    DQUERY=$(sed -n 's|^sample query: \(http://[^ ]*\)$|\1|p' "$DELTA" | head -n 1)
+    [ -n "$DQUERY" ] && break
+    if ! kill -0 "$DELTA_PID" 2>/dev/null; then
+        echo "delta teroserve exited before publishing:" >&2
+        cat "$DELTA" >&2
+        exit 1
+    fi
+    i=$((i + 1))
+    sleep 0.2
+done
+[ -n "$DQUERY" ] || { echo "delta run never published a sample query" >&2; exit 1; }
+DSADDR=$(sed -n 's|^teroserve listening at http://\([^ ]*\).*|\1|p' "$DELTA" | head -n 1)
+
+# Served entries must carry the streaming ETag form and answer 200.
+curl -fsS -D "$DELTA.hdr" -o /dev/null "$DQUERY" \
+    || { echo "delta sample query failed: $DQUERY" >&2; exit 1; }
+DETAG=$(sed -n 's/^[Ee][Tt][Aa][Gg]: *//p' "$DELTA.hdr" | tr -d '\r' | head -n 1)
+case "$DETAG" in
+    '"t1-'*) ;;
+    *) echo "delta latency ETag is $DETAG, want \"t1-...\" form" >&2; exit 1 ;;
+esac
+
+# Mid-serve ingest went through the delta path only: many delta publishes,
+# not one full rebuild, and the skip counter caught the idle ticks.
+curl -fsS "http://$DSADDR/metrics" > "$DELTA.metrics"
+grep -Eq '^counter serve_delta_publishes_total +[1-9]' "$DELTA.metrics" \
+    || { echo "delta run recorded no delta publishes" >&2; exit 1; }
+grep -Eq '^counter serve_full_rebuilds_total +0$' "$DELTA.metrics" \
+    || { echo "delta run performed full rebuilds" >&2; exit 1; }
+grep -Eq '^counter serve_publish_skipped_total +[1-9]' "$DELTA.metrics" \
+    || { echo "delta run never skipped an idle republish" >&2; exit 1; }
+grep -Eq '^counter pipeline_delta_readings_total +[1-9]' "$DELTA.metrics" \
+    || { echo "delta run ingested no readings" >&2; exit 1; }
+
+# The seeded shared event must be flagged: /v1/anomalies lists Wasserstein
+# outlier windows for the spiked game, and revalidates by ETag like every
+# other endpoint.
+curl -fsS -D "$DELTA.hdr" "http://$DSADDR/v1/anomalies" > "$DELTA.anom" \
+    || { echo "/v1/anomalies not serving" >&2; exit 1; }
+grep -q '"count":0' "$DELTA.anom" \
+    && { echo "/v1/anomalies flagged nothing despite the seeded spike" >&2; exit 1; }
+grep -q 'League of Legends' "$DELTA.anom" \
+    || { echo "/v1/anomalies does not mention the spiked game" >&2; exit 1; }
+grep -q '"wasserstein_ms"' "$DELTA.anom" \
+    || { echo "/v1/anomalies carries no distance field" >&2; exit 1; }
+grep -Eq '^counter serve_anomaly_windows_total +[1-9]' "$DELTA.metrics" \
+    || { echo "anomaly windows not counted on /metrics" >&2; exit 1; }
+AETAG=$(sed -n 's/^[Ee][Tt][Aa][Gg]: *//p' "$DELTA.hdr" | tr -d '\r' | head -n 1)
+[ -n "$AETAG" ] || { echo "/v1/anomalies carried no ETag" >&2; exit 1; }
+ACODE=$(curl -s -o /dev/null -w '%{http_code}' -H "If-None-Match: $AETAG" \
+    "http://$DSADDR/v1/anomalies")
+[ "$ACODE" = "304" ] \
+    || { echo "anomalies ETag replay returned $ACODE, want 304" >&2; exit 1; }
+echo "delta smoke ok: $(grep -Eo '^counter serve_delta_publishes_total +[0-9]+' "$DELTA.metrics" | awk '{print $3}') delta publishes, 0 full rebuilds, anomaly feed live"
+kill "$DELTA_PID" 2>/dev/null || true
+
 echo "== bench_serve.sh smoke (tiny world, throwaway output) =="
 BENCH_OUT="$TMPDIR/tero-bench-serve-smoke-$$.json" \
     BENCH_STREAMERS=12 BENCH_DAYS=1 sh scripts/bench_serve.sh > /dev/null
@@ -300,5 +372,13 @@ grep -q '"phase"' "$TMPDIR/tero-bench-serve-smoke-$$.json" \
     || { echo "bench_serve.sh produced no points" >&2; exit 1; }
 rm -f "$TMPDIR/tero-bench-serve-smoke-$$.json"
 echo "bench_serve smoke ok"
+
+echo "== bench_sketch.sh smoke (tiny world, throwaway output) =="
+BENCH_OUT="$TMPDIR/tero-bench-sketch-smoke-$$.json" \
+    BENCH_STREAMERS=10 BENCH_DAYS=1 BENCH_DUTY=0.25 sh scripts/bench_sketch.sh > /dev/null
+grep -q '"phase":"ingest_delta"' "$TMPDIR/tero-bench-sketch-smoke-$$.json" \
+    || { echo "bench_sketch.sh produced no delta phase" >&2; exit 1; }
+rm -f "$TMPDIR/tero-bench-sketch-smoke-$$.json"
+echo "bench_sketch smoke ok"
 
 echo "OK"
